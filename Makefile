@@ -1,0 +1,44 @@
+# Veil reproduction — convenience targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test vet bench attacks demo experiments boot-full examples clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The full table/figure regeneration (Fig. 4/5/6 + §9.1 micro + ablations).
+experiments:
+	$(GO) run ./cmd/veil-bench -experiment all
+
+# The paper's full-scale 2 GiB boot experiment (slow: sweeps 524288 pages).
+boot-full:
+	$(GO) run ./cmd/veil-bench -experiment boot -mem 2048
+
+# Tables 1 & 2 and the §8.3 validation attacks, executed live.
+attacks:
+	$(GO) run ./cmd/veil-attack -suite all
+
+# End-to-end demo of all protected services.
+demo:
+	$(GO) run ./cmd/veil-sim
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/shielded-kv
+	$(GO) run ./examples/secure-audit
+	$(GO) run ./examples/kernel-module
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

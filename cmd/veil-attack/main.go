@@ -1,0 +1,59 @@
+// Command veil-attack runs the paper's §8 security analysis as executable
+// attack suites: every attack of Tables 1 and 2 plus the two §8.3
+// validation attacks, each against a freshly booted Veil CVM, reporting
+// whether the implemented defence held.
+//
+// Usage:
+//
+//	veil-attack -suite all          # framework + enclave + validation
+//	veil-attack -suite framework    # Table 1
+//	veil-attack -suite enclave      # Table 2
+//	veil-attack -suite validation   # §8.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"veil/internal/attacks"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|all")
+	flag.Parse()
+
+	var results []attacks.Result
+	run := func(name string, fn func() []attacks.Result) {
+		if *suite != "all" && *suite != name {
+			return
+		}
+		fmt.Printf("== %s attacks ==\n", name)
+		rs := fn()
+		for _, r := range rs {
+			status := "DEFENDED"
+			if !r.Defended {
+				status = "BREACHED"
+			}
+			fmt.Printf("  [%s] %-38s — %s\n", status, r.Attack, r.Defence)
+		}
+		results = append(results, rs...)
+		fmt.Println()
+	}
+
+	run("framework", attacks.Framework)
+	run("enclave", attacks.Enclave)
+	run("validation", attacks.Validation)
+
+	breached := 0
+	for _, r := range results {
+		if !r.Defended {
+			breached++
+		}
+	}
+	fmt.Printf("%d attacks executed, %d defended, %d breached\n",
+		len(results), len(results)-breached, breached)
+	if breached > 0 {
+		os.Exit(1)
+	}
+}

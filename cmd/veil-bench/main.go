@@ -1,0 +1,109 @@
+// Command veil-bench regenerates the tables and figures of the Veil
+// paper's evaluation (§9) on the simulated SEV-SNP machine.
+//
+// Usage:
+//
+//	veil-bench -experiment all
+//	veil-bench -experiment fig4 -iters 10000
+//	veil-bench -experiment boot -mem 2048   # MiB, the paper's testbed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"veil/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|monitors|ablation|all")
+	iters := flag.Int("iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
+	memMB := flag.Uint64("mem", 2048, "guest memory (MiB) for the boot experiment")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "veil-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("boot", func() error {
+		r, err := bench.BootInit(*memMB << 20)
+		if err != nil {
+			return err
+		}
+		bench.ReportBoot(os.Stdout, r)
+		return nil
+	})
+	run("switch", func() error {
+		r, err := bench.DomainSwitchCost(*iters)
+		if err != nil {
+			return err
+		}
+		bench.ReportSwitch(os.Stdout, r)
+		return nil
+	})
+	run("background", func() error {
+		rows, err := bench.Background()
+		if err != nil {
+			return err
+		}
+		bench.ReportBackground(os.Stdout, rows)
+		return nil
+	})
+	run("cs1", func() error {
+		n := *iters
+		if n > 100 {
+			n = 100 // the paper's repetition count
+		}
+		r, err := bench.CS1Module(n)
+		if err != nil {
+			return err
+		}
+		bench.ReportCS1(os.Stdout, r)
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := bench.Fig4(*iters)
+		if err != nil {
+			return err
+		}
+		bench.ReportFig4(os.Stdout, rows)
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := bench.Fig5()
+		if err != nil {
+			return err
+		}
+		bench.ReportFig5(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := bench.Fig6()
+		if err != nil {
+			return err
+		}
+		bench.ReportFig6(os.Stdout, rows)
+		return nil
+	})
+	run("monitors", func() error {
+		bench.ReportMonitors(os.Stdout)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := bench.Ablation()
+		if err != nil {
+			return err
+		}
+		bench.ReportAblation(os.Stdout, rows)
+		return nil
+	})
+}

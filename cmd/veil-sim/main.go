@@ -1,0 +1,130 @@
+// Command veil-sim boots a Veil CVM on the simulated SEV-SNP machine and
+// demonstrates the full framework end to end: remote attestation, the
+// secure channel, and all three protected services (VeilS-Kci, VeilS-Enc,
+// VeilS-Log).
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/kernel"
+	"veil/internal/sdk"
+	"veil/internal/snp"
+	"veil/internal/vmod"
+)
+
+func main() {
+	memMB := flag.Uint64("mem", 64, "guest memory (MiB)")
+	vcpus := flag.Int("vcpus", 2, "VCPUs")
+	flag.Parse()
+	if err := run(*memMB<<20, *vcpus); err != nil {
+		log.Fatalf("veil-sim: %v", err)
+	}
+}
+
+func run(mem uint64, vcpus int) error {
+	fmt.Printf("Booting Veil CVM: %d MiB, %d VCPUs...\n", mem>>20, vcpus)
+	c, err := cvm.Boot(cvm.Options{MemBytes: mem, VCPUs: vcpus, Veil: true, LogPages: 64})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  boot work: %.3f simulated seconds (%d cycles)\n",
+		c.M.Clock().Seconds(), c.M.Clock().Cycles())
+	fmt.Printf("  launch measurement: %x\n", c.ExpectedMeasurement())
+
+	// Remote attestation + secure channel (§5.1).
+	user, err := core.NewRemoteUser(c.PSP.PublicKey(), c.ExpectedMeasurement(), nil)
+	if err != nil {
+		return err
+	}
+	if err := user.Connect(c.Stub); err != nil {
+		return fmt.Errorf("attestation: %w", err)
+	}
+	fmt.Println("  remote user attested the CVM (VMPL0 report) and opened the secure channel")
+
+	// VeilS-Log: audit a few syscalls, retrieve over the channel (§6.3).
+	c.K.Audit().SetRules(kernel.DefaultRuleset())
+	p := c.K.Spawn("demo")
+	fd, err := c.K.Open(p, "/tmp/hello.txt", kernel.OCreat|kernel.ORdwr, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := c.K.Write(p, fd, []byte("hello veil\n")); err != nil {
+		return err
+	}
+	stats, err := user.Request(c.Stub, append([]byte{core.SvcLOG}, "STATS"...))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  VeilS-Log: %s (tamper-proof, retrieved over the channel)\n", stats)
+
+	// VeilS-Kci: load a signed module, then show the text is immutable.
+	mod := &vmod.Module{
+		Name: "veil_demo", Text: bytes.Repeat([]byte{0x90}, 2000),
+		Data: []byte("demo data"), BSS: 4096,
+		Relocs: []vmod.Reloc{{Offset: 0, Symbol: "printk"}},
+	}
+	lm, err := c.K.Modules().Load(mod.Sign(c.ModulePriv))
+	if err != nil {
+		return fmt.Errorf("module load: %w", err)
+	}
+	fmt.Printf("  VeilS-Kci: module %q verified, relocated and installed (%d B)\n", lm.Name, lm.Size)
+	tampered := mod.Sign(c.ModulePriv)
+	tampered[64] ^= 0xFF
+	if _, err := c.K.Modules().Load(tampered); err == nil {
+		return fmt.Errorf("tampered module was accepted")
+	}
+	fmt.Println("  VeilS-Kci: tampered module rejected")
+
+	// VeilS-Enc: run a program inside an enclave.
+	prog := sdk.ProgramFunc(func(lc sdk.Libc, args []string) int {
+		f, err := lc.Open("/tmp/secret", kernel.OCreat|kernel.ORdwr, 0o600)
+		if err != nil {
+			return 1
+		}
+		lc.Write(f, []byte("computed inside the enclave: "+args[0]))
+		lc.Close(f)
+		return 0
+	})
+	host := c.K.Spawn("enclave-host")
+	app, err := sdk.LaunchEnclave(c, host, prog, sdk.EnclaveConfig{RegionPages: 16})
+	if err != nil {
+		return fmt.Errorf("enclave: %w", err)
+	}
+	// The user verifies the enclave measurement over the channel.
+	msg := append([]byte{core.SvcENC}, []byte("MEASURE ")...)
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], app.ID)
+	meas, err := user.Request(c.Stub, append(msg, id[:]...))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(meas, app.Measurement[:]) {
+		return fmt.Errorf("enclave measurement mismatch")
+	}
+	rc, err := app.Enter("42")
+	if err != nil || rc != 0 {
+		return fmt.Errorf("enclave run: rc=%d err=%v", rc, err)
+	}
+	fmt.Printf("  VeilS-Enc: enclave %d attested (measurement %x...) and ran with %d exits\n",
+		app.ID, app.Measurement[:6], app.Enclave().Exits())
+
+	// Show the enforcement is real: the kernel cannot read enclave pages.
+	frames, _ := host.RegionFrames(kernel.UserBinBase)
+	if err := c.K.ReadPhys(frames[0], make([]byte, 8)); !snp.IsNPF(err) {
+		return fmt.Errorf("enclave memory was readable by the OS")
+	}
+	fmt.Println("  enforcement check: OS read of enclave memory → #NPF, CVM halted (as designed)")
+	fmt.Printf("\nTrace: %d syscalls, %d domain switches, %d enclave exits, %d audit records\n",
+		c.M.Trace().Syscalls, c.M.Trace().DomainSwitches,
+		c.M.Trace().EnclaveExits, c.M.Trace().AuditRecords)
+	fmt.Fprintln(os.Stdout, "veil-sim: all services demonstrated")
+	return nil
+}

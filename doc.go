@@ -1,0 +1,21 @@
+// Package veil is a full-system Go reproduction of "Veil: A Protected
+// Services Framework for Confidential Virtual Machines" (ASPLOS 2023).
+//
+// The repository contains a deterministic SEV-SNP machine model
+// (internal/snp), an untrusted hypervisor (internal/hv), a commodity guest
+// kernel (internal/kernel), the VeilMon security monitor (internal/core),
+// the three protected services of the paper (internal/services/...), the
+// enclave SDK with its syscall sanitizer (internal/sdk), the evaluation
+// workloads (internal/workloads) and the benchmark harness regenerating
+// every table and figure of the paper's evaluation (internal/bench).
+//
+// Entry points:
+//
+//   - cvm.Boot assembles and boots a Veil (or native baseline) CVM.
+//   - cmd/veil-sim demonstrates the three protected services end to end.
+//   - cmd/veil-bench regenerates the evaluation (§9).
+//   - cmd/veil-attack runs the §8 security validation suites.
+//
+// See DESIGN.md for the system inventory and substitution rationale, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package veil

@@ -1,0 +1,68 @@
+// Quickstart: boot a Veil CVM, attest it from a remote user's point of
+// view, and use the secure channel to pull tamper-proof audit logs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/kernel"
+	"veil/internal/services/vlog"
+)
+
+func main() {
+	// 1. Boot a confidential VM with the Veil framework installed. The
+	// monitor (VeilMon) runs at VMPL0; the kernel is deprivileged to
+	// VMPL3 and hooked to the protected services.
+	c, err := cvm.Boot(cvm.Options{
+		MemBytes:   64 << 20,
+		VCPUs:      2,
+		Veil:       true,
+		LogPages:   64,
+		AuditRules: kernel.DefaultRuleset(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted: launch measurement %x\n", c.ExpectedMeasurement())
+
+	// 2. Attest. The remote user knows the PSP key and the measurement of
+	// the boot image they built; the report must come from VMPL0.
+	user, err := core.NewRemoteUser(c.PSP.PublicKey(), c.ExpectedMeasurement(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := user.Connect(c.Stub); err != nil {
+		log.Fatalf("attestation failed: %v", err)
+	}
+	fmt.Println("attested: secure channel to VeilMon established")
+
+	// 3. Do some audited work in the untrusted world.
+	p := c.K.Spawn("worker")
+	fd, err := c.K.Open(p, "/tmp/report.txt", kernel.OCreat|kernel.ORdwr, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.K.Write(p, fd, []byte("quarterly numbers\n")); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.K.Rename(p, "/tmp/report.txt", "/tmp/final.txt"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Every audited syscall crossed into VeilS-Log *before* it ran
+	// (execute-ahead): retrieve the records over the channel.
+	recs, err := vlog.FetchAll(func(msg []byte) ([]byte, error) {
+		return user.Request(c.Stub, append([]byte{core.SvcLOG}, msg...))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %d protected audit records (store holds %d)\n",
+		len(recs), c.LOG.Count())
+	fmt.Println("quickstart complete")
+}

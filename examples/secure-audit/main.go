@@ -1,0 +1,90 @@
+// Secure audit: drive a web-server workload under VeilS-Log auditing, then
+// "compromise" the kernel and attempt the classic post-intrusion cleanup —
+// wiping the audit trail. Under native kaudit the wipe succeeds silently;
+// under Veil the trail survives (the wipe attempt halts the CVM) and the
+// remote user retrieves everything up to the compromise (§6.3).
+//
+//	go run ./examples/secure-audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/kernel"
+	"veil/internal/sdk"
+	"veil/internal/services/vlog"
+	"veil/internal/snp"
+	"veil/internal/workloads"
+)
+
+func main() {
+	// --- Native kaudit: the baseline weakness. ---
+	nat, err := cvm.Boot(cvm.Options{
+		MemBytes: 64 << 20, VCPUs: 1, Veil: false,
+		AuditRules: kernel.DefaultRuleset(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runServer(nat, 50)
+	before := len(nat.K.Audit().Records())
+	nat.K.Audit().TamperNative(before) // root attacker wipes the buffer
+	fmt.Printf("native kaudit: %d records collected, %d left after the attacker's wipe\n",
+		before, len(nat.K.Audit().Records()))
+
+	// --- VeilS-Log: the same flow, protected. ---
+	veil, err := cvm.Boot(cvm.Options{
+		MemBytes: 64 << 20, VCPUs: 1, Veil: true, LogPages: 256,
+		AuditRules: kernel.DefaultRuleset(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := core.NewRemoteUser(veil.PSP.PublicKey(), veil.ExpectedMeasurement(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := user.Connect(veil.Stub); err != nil {
+		log.Fatal(err)
+	}
+	runServer(veil, 50)
+	collected := veil.LOG.Count()
+
+	// The user drains the trail over the secure channel (the normal
+	// retrieval cadence of §6.3).
+	trail, err := vlog.FetchAll(func(msg []byte) ([]byte, error) {
+		return user.Request(veil.Stub, append([]byte{core.SvcLOG}, msg...))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("veils-log: %d records collected, %d retrieved over the channel\n",
+		collected, len(trail))
+
+	// The attacker now controls the kernel and goes for the log store —
+	// every record up to this moment already crossed into protected
+	// memory *before* its event ran (execute-ahead).
+	wipeErr := veil.K.WritePhys(veil.Lay.MonHeapLo, []byte("rm -rf /var/log"))
+	if !snp.IsNPF(wipeErr) {
+		log.Fatal("the wipe should have faulted")
+	}
+	fmt.Printf("wipe attempt → %v\n", wipeErr)
+	fmt.Printf("CVM halted; protected store still holds %d records for post-mortem forensics\n",
+		veil.LOG.Count())
+}
+
+// runServer performs a short audited HTTP-like exchange.
+func runServer(c *cvm.CVM, requests int) {
+	w := workloads.Lighttpd(requests)
+	if err := w.Setup(c); err != nil {
+		log.Fatal(err)
+	}
+	prog := w.Build(c)
+	p := c.K.Spawn("server")
+	if rc := prog.Main(&sdk.DirectLibc{K: c.K, P: p}, nil); rc != 0 {
+		log.Fatalf("server exited %d", rc)
+	}
+}

@@ -1,0 +1,3 @@
+module veil
+
+go 1.22

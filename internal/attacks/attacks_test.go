@@ -1,0 +1,36 @@
+package attacks
+
+import "testing"
+
+func assertAllDefended(t *testing.T, results []Result) {
+	t.Helper()
+	for _, r := range results {
+		if !r.Defended {
+			t.Errorf("BREACHED: %s (%s): %s", r.Attack, r.Defence, r.Detail)
+		}
+	}
+}
+
+func TestTable1FrameworkAttacksAllDefended(t *testing.T) {
+	results := Framework()
+	if len(results) != 8 {
+		t.Fatalf("framework suite has %d attacks, want 8 (Table 1)", len(results))
+	}
+	assertAllDefended(t, results)
+}
+
+func TestTable2EnclaveAttacksAllDefended(t *testing.T) {
+	results := Enclave()
+	if len(results) != 9 {
+		t.Fatalf("enclave suite has %d attacks, want 9 (Table 2)", len(results))
+	}
+	assertAllDefended(t, results)
+}
+
+func TestValidationAttacksAllDefended(t *testing.T) {
+	results := Validation()
+	if len(results) != 2 {
+		t.Fatalf("validation suite has %d attacks, want 2 (§8.3)", len(results))
+	}
+	assertAllDefended(t, results)
+}

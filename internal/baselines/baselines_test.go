@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"testing"
+
+	"veil/internal/snp"
+)
+
+func models(t *testing.T) map[string]Monitor {
+	t.Helper()
+	out := map[string]Monitor{}
+	for _, m := range Models() {
+		out[m.Name] = m
+	}
+	return out
+}
+
+func TestComparisonSetComplete(t *testing.T) {
+	ms := models(t)
+	for _, name := range []string{
+		"nested-kernel", "nested-kernel+unmap", "compiler-cfi",
+		"hypervisor-monitor", "veilmon",
+	} {
+		if _, ok := ms[name]; !ok {
+			t.Fatalf("missing monitor model %q", name)
+		}
+	}
+}
+
+func TestVeilTradeOffClaims(t *testing.T) {
+	ms := models(t)
+	veil := ms["veilmon"]
+	nk := ms["nested-kernel"]
+	nku := ms["nested-kernel+unmap"]
+	hvm := ms["hypervisor-monitor"]
+	cfi := ms["compiler-cfi"]
+
+	// §9.1: Veil's C_ds is high but its N_ds is low, so background
+	// overhead is negligible; software monitors pay constantly.
+	if veil.SwitchCycles <= nk.SwitchCycles {
+		t.Fatal("Veil's C_ds should exceed the Nested Kernel's")
+	}
+	if veil.BackgroundOverheadPct() >= nk.BackgroundOverheadPct() {
+		t.Fatal("Veil's background overhead should be below the Nested Kernel's")
+	}
+	// §2: adding confidentiality to the Nested Kernel costs dearly.
+	if nku.BackgroundOverheadPct() <= nk.BackgroundOverheadPct() {
+		t.Fatal("confidentiality retrofit should cost more")
+	}
+	if !nku.Confidentiality || nk.Confidentiality {
+		t.Fatal("confidentiality flags wrong")
+	}
+	// Compiler CFI pays even when idle.
+	if cfi.BackgroundOverheadPct() < 40 {
+		t.Fatal("compiler CFI should show heavy flat overhead")
+	}
+	// §9.1: hypervisor monitors halve C_ds but are not CVM-deployable.
+	if hvm.SwitchCycles != snp.CyclesDomainSwitch/2 {
+		t.Fatalf("hypervisor C_ds = %d, want half of Veil's", hvm.SwitchCycles)
+	}
+	if hvm.CVMCompatible {
+		t.Fatal("hypervisor monitors must be CVM-incompatible")
+	}
+	if !veil.CVMCompatible || !veil.Confidentiality {
+		t.Fatal("Veil must be CVM-compatible and confidential")
+	}
+	if veil.BackgroundOverheadPct() > 0.1 {
+		t.Fatalf("Veil background = %.3f%%, should be negligible", veil.BackgroundOverheadPct())
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// At what invocation rate would Veil's switch cost 2% background?
+	n := CrossoverInvocationsPerSec(snp.CyclesDomainSwitch, 2)
+	if n < 2000 || n > 10000 {
+		t.Fatalf("crossover = %.0f/s, expected a few thousand", n)
+	}
+	// Monotonic: cheaper switches push the crossover higher.
+	if CrossoverInvocationsPerSec(snp.CyclesVMCALL, 2) <= n {
+		t.Fatal("cheaper switch should allow more invocations")
+	}
+	if CrossoverInvocationsPerSec(0, 2) != 0 {
+		t.Fatal("zero-cost switch edge case")
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationRowsCoverDesignChoices(t *testing.T) {
+	rows, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices := map[string]int{}
+	for _, r := range rows {
+		choices[r.Choice]++
+	}
+	for _, want := range []string{"switch-primitive", "syscall-batching", "paging-crypto", "vcpu-replication"} {
+		if choices[want] == 0 {
+			t.Fatalf("ablation missing %q", want)
+		}
+	}
+	// The batching speedup must be >1 and the shipped switch cost the
+	// highest of the per-call alternatives except none.
+	var speedup float64
+	var shipped, direct float64
+	for _, r := range rows {
+		if r.Choice == "syscall-batching" && strings.HasPrefix(r.Metric, "speedup") {
+			speedup = r.Value
+		}
+		if strings.HasPrefix(r.Metric, "hypervisor-relayed") {
+			shipped = r.Value
+		}
+		if strings.HasPrefix(r.Metric, "hypothetical direct") {
+			direct = r.Value
+		}
+	}
+	if speedup <= 1.5 {
+		t.Fatalf("batching speedup = %.2f", speedup)
+	}
+	if shipped <= direct {
+		t.Fatal("shipped switch should cost more than the hypothetical direct one")
+	}
+	var buf bytes.Buffer
+	ReportAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "switch-primitive") {
+		t.Fatal("ablation report rendering")
+	}
+}
+
+func TestBootInitSmallScale(t *testing.T) {
+	r, err := BootInit(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VeilCycles <= r.NativeCycles {
+		t.Fatal("Veil boot should cost more than native")
+	}
+	if r.SweepShareOfDelta < 0.7 {
+		t.Fatalf("sweep share = %.2f, want > 0.7", r.SweepShareOfDelta)
+	}
+	if r.DeltaSeconds <= 0 {
+		t.Fatal("no boot delta")
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"veil/internal/workloads"
+)
+
+// The simulator's headline reproducibility claim: identical runs produce
+// identical cycle counts and traces, bit for bit. EXPERIMENTS.md's numbers
+// are therefore exact, not averages.
+
+func TestMeasurementsAreDeterministic(t *testing.T) {
+	w := workloads.SQLite(300)
+	m1, err := Run(w, ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(w, ModeNative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("native runs differ:\n%+v\n%+v", m1, m2)
+	}
+	e1, err := Run(w, ModeEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Run(w, ModeEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("enclave runs differ:\n%+v\n%+v", e1, e2)
+	}
+}
+
+func TestSwitchCostDeterministic(t *testing.T) {
+	r1, err := DomainSwitchCost(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DomainSwitchCost(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("switch measurements differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestFig4Deterministic(t *testing.T) {
+	a, err := Fig4(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fig4 row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"veil/internal/sdk"
+	"veil/internal/workloads"
+)
+
+// Fig5Row is one stacked bar of Fig. 5: the overhead of shielding a
+// real-world program with VeilS-Enc, decomposed into syscall-redirection
+// (deep copies + marshalling) and enclave-exit (domain switch) costs, with
+// the observed exit rate.
+type Fig5Row struct {
+	Program        string
+	Params         string
+	OverheadPct    float64
+	RedirectPct    float64 // portion of the overhead from copies/marshalling
+	ExitPct        float64 // portion from domain switches
+	ExitsPerSecond float64
+	NativeCycles   uint64
+	EnclaveCycles  uint64
+}
+
+// fig5Programs are Table 4's five shielded programs in figure order.
+var fig5Programs = []string{"gzip", "unqlite", "mbedtls", "lighttpd", "sqlite"}
+
+// Fig5 regenerates Fig. 5 (performance overhead while shielding real-world
+// programs with VeilS-Enc, Table 4 settings).
+func Fig5() ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, name := range fig5Programs {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(w, ModeNative)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := Run(w, ModeEnclave)
+		if err != nil {
+			return nil, err
+		}
+		overhead := Overhead(base, enc)
+		extra := float64(enc.Cycles) - float64(base.Cycles)
+		switchDelta := float64(enc.SwitchCycles) - float64(base.SwitchCycles)
+		redirectDelta := (float64(enc.CopyCycles) - float64(base.CopyCycles)) +
+			float64(enc.MarshalCalls)*float64(sdk.CyclesMarshalFixed)
+		var redirectPct, exitPct float64
+		if extra > 0 {
+			redirectPct = overhead * redirectDelta / extra
+			exitPct = overhead * switchDelta / extra
+		}
+		rows = append(rows, Fig5Row{
+			Program:        w.Name,
+			Params:         w.Params,
+			OverheadPct:    overhead,
+			RedirectPct:    redirectPct,
+			ExitPct:        exitPct,
+			ExitsPerSecond: float64(enc.EnclaveExits) / enc.WallSeconds,
+			NativeCycles:   base.Cycles,
+			EnclaveCycles:  enc.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// Fig6Row is one pair of bars of Fig. 6: auditing overhead of native
+// Kaudit (in-memory) vs VeilS-Log for a real-world program.
+type Fig6Row struct {
+	Program       string
+	Params        string
+	KauditPct     float64
+	VeilSLogPct   float64
+	LogsPerSecond float64
+	Records       uint64
+}
+
+// fig6Programs are Table 5's five audited programs in figure order.
+var fig6Programs = []string{"openssl", "7zip", "memcached", "sqlite-speedtest", "nginx"}
+
+// Fig6 regenerates Fig. 6 (system-audit overhead, Table 5 settings, with
+// the 44-syscall ruleset of the paper's CS3 configuration).
+func Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, name := range fig6Programs {
+		w, err := fig6Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(w, ModeNative)
+		if err != nil {
+			return nil, err
+		}
+		ka, err := Run(w, ModeKaudit)
+		if err != nil {
+			return nil, err
+		}
+		vl, err := Run(w, ModeVeilLog)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Program:       w.Name,
+			Params:        w.Params,
+			KauditPct:     Overhead(base, ka),
+			VeilSLogPct:   Overhead(base, vl),
+			LogsPerSecond: float64(vl.AuditRecords) / vl.WallSeconds,
+			Records:       vl.AuditRecords,
+		})
+	}
+	return rows, nil
+}
+
+func fig6Workload(name string) (workloads.Workload, error) {
+	if name == "sqlite-speedtest" {
+		return workloads.SQLiteSpeedtest(1500), nil
+	}
+	return workloads.Get(name)
+}

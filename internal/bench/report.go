@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"veil/internal/baselines"
+	"veil/internal/snp"
+)
+
+// Report functions print each experiment in the paper's row/series shape.
+
+// ReportFig4 prints the Fig. 4 series.
+func ReportFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintf(w, "Fig. 4 — Cost of redirecting popular system calls from a VeilS-Enc enclave (Table 3 parameters)\n")
+	fmt.Fprintf(w, "%-8s  %14s  %14s  %9s\n", "syscall", "native(cyc)", "enclave(cyc)", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %14d  %14d  %8.1fx\n", r.Syscall, r.NativeCycles, r.EnclaveCycles, r.Ratio)
+	}
+}
+
+// ReportFig5 prints the Fig. 5 stacked bars.
+func ReportFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintf(w, "Fig. 5 — Overhead while shielding real-world programs with VeilS-Enc (Table 4 settings)\n")
+	fmt.Fprintf(w, "%-10s  %9s  %16s  %13s  %12s\n", "program", "overhead", "syscall-redirect", "enclave-exit", "exits/sec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s  %8.1f%%  %15.1f%%  %12.1f%%  %12.1f\n",
+			r.Program, r.OverheadPct, r.RedirectPct, r.ExitPct, r.ExitsPerSecond)
+	}
+}
+
+// ReportFig6 prints the Fig. 6 bar pairs.
+func ReportFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Fig. 6 — Audit overhead: Kaudit (in-memory) vs VeilS-Log (Table 5 settings)\n")
+	fmt.Fprintf(w, "%-18s  %10s  %10s  %12s\n", "program", "kaudit", "veils-log", "logs/sec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %9.1f%%  %9.1f%%  %12.1f\n",
+			r.Program, r.KauditPct, r.VeilSLogPct, r.LogsPerSecond)
+	}
+}
+
+// ReportBoot prints the §9.1 initialization measurement.
+func ReportBoot(w io.Writer, r BootResult) {
+	fmt.Fprintf(w, "§9.1 Initialization time (guest: %d MiB)\n", r.MemBytes>>20)
+	fmt.Fprintf(w, "  native boot work: %.3f s (%d cycles)\n", r.NativeSeconds, r.NativeCycles)
+	fmt.Fprintf(w, "  veil boot work:   %.3f s (%d cycles)\n", r.VeilSeconds, r.VeilCycles)
+	fmt.Fprintf(w, "  veil delta:       +%.3f s (+%.1f%% of reference CVM boot)\n", r.DeltaSeconds, r.DeltaPct)
+	fmt.Fprintf(w, "  RMPADJUST sweep share of delta: %.0f%% (paper: >70%%)\n", 100*r.SweepShareOfDelta)
+}
+
+// ReportSwitch prints the §9.1 domain-switch measurement.
+func ReportSwitch(w io.Writer, r SwitchResult) {
+	fmt.Fprintf(w, "§9.1 Domain switch cost (%d OS↔VeilMon switches)\n", r.Iterations)
+	fmt.Fprintf(w, "  per switch (VMGEXIT+VMENTER): %d cycles (paper: 7135)\n", r.CyclesPerSwitch)
+	fmt.Fprintf(w, "  full round trip incl. IDCB:   %d cycles\n", r.CyclesPerRoundTrip)
+	fmt.Fprintf(w, "  plain VMCALL (non-SNP VM):    %d cycles (paper: ~1100)\n", r.CyclesPerPlainVMCAL)
+}
+
+// ReportBackground prints the §9.1 background-impact rows.
+func ReportBackground(w io.Writer, rows []BackgroundRow) {
+	fmt.Fprintf(w, "§9.1 Background system impact (Veil installed, services unused; paper: <2%%)\n")
+	fmt.Fprintf(w, "%-10s  %14s  %14s  %9s\n", "workload", "native(cyc)", "veil(cyc)", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s  %14d  %14d  %8.2f%%\n", r.Workload, r.NativeCycles, r.VeilCycles, r.OverheadPct)
+	}
+}
+
+// ReportCS1 prints the module load/unload case study.
+func ReportCS1(w io.Writer, r CS1Result) {
+	fmt.Fprintf(w, "CS1 — Secure module load/unload (module %d B, installed %d B, %d reps)\n",
+		r.ModuleBytes, r.InstalledBytes, r.Iterations)
+	fmt.Fprintf(w, "  load:   native %d, veil %d (+%d cycles, +%.1f%%; paper: +55k, +5.7%%)\n",
+		r.NativeLoadCycles, r.VeilLoadCycles, r.LoadDeltaCycles, r.LoadPct)
+	fmt.Fprintf(w, "  unload: native %d, veil %d (+%d cycles, +%.1f%%; paper: +55k, +4.2%%)\n",
+		r.NativeUnloadCycles, r.VeilUnloadCycles, r.UnloadDeltaCycles, r.UnloadPct)
+}
+
+// ReportMonitors prints the §9.1 monitor cost-model comparison.
+func ReportMonitors(w io.Writer) {
+	fmt.Fprintf(w, "§9.1 Runtime monitor cost analysis (C_ds × N_ds model)\n")
+	fmt.Fprintf(w, "%-20s  %10s  %10s  %10s  %5s  %5s\n", "monitor", "C_ds(cyc)", "N_ds(/s)", "background", "CVM", "conf")
+	for _, m := range baselines.Models() {
+		fmt.Fprintf(w, "%-20s  %10d  %10d  %9.2f%%  %5v  %5v\n",
+			m.Name, m.SwitchCycles, m.InvocationsPerSec, m.BackgroundOverheadPct(),
+			m.CVMCompatible, m.Confidentiality)
+	}
+	fmt.Fprintf(w, "  crossover: a %d-cycle switch reaches 2%%%% background at %.0f invocations/s\n",
+		uint64(snp.CyclesDomainSwitch), baselines.CrossoverInvocationsPerSec(snp.CyclesDomainSwitch, 2))
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+
+	"veil/internal/core"
+)
+
+func TestUserChannelWithGarbagePublicKey(t *testing.T) {
+	c := bootVeil(t)
+	resp, err := c.Stub.CallMon(core.Request{
+		Svc: core.SvcMon, Op: core.OpUserChannel, Payload: []byte("not-a-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == core.StatusOK {
+		t.Fatal("garbage channel key accepted")
+	}
+}
+
+func TestUserMessageBeforeChannelEstablished(t *testing.T) {
+	c := bootVeil(t)
+	resp, err := c.Stub.CallMon(core.Request{
+		Svc: core.SvcMon, Op: core.OpUserMessage, Payload: []byte("sealed?"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == core.StatusOK {
+		t.Fatal("message accepted without a channel")
+	}
+}
+
+func TestUnknownMonitorOpRejected(t *testing.T) {
+	c := bootVeil(t)
+	resp, err := c.Stub.CallMon(core.Request{Svc: core.SvcMon, Op: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == core.StatusOK {
+		t.Fatal("unknown op accepted")
+	}
+	// Wrong service routed to the monitor IDCB.
+	resp, err = c.Stub.CallMon(core.Request{Svc: core.SvcKCI, Op: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == core.StatusOK {
+		t.Fatal("misrouted service request accepted")
+	}
+}
+
+func TestUnknownServiceRejected(t *testing.T) {
+	c := bootVeil(t)
+	resp, err := c.Stub.CallSrv(core.Request{Svc: 77, Op: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == core.StatusOK {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestSecondUserConnectRotatesChannel(t *testing.T) {
+	c := bootVeil(t)
+	u1, err := core.NewRemoteUser(c.PSP.PublicKey(), c.ExpectedMeasurement(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u1.Connect(c.Stub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u1.Request(c.Stub, append([]byte{core.SvcLOG}, "STATS"...)); err != nil {
+		t.Fatal(err)
+	}
+	// A reconnect (e.g. the user's machine rebooted) re-keys the channel;
+	// the new session works, the old sequence numbers do not carry over.
+	u2, err := core.NewRemoteUser(c.PSP.PublicKey(), c.ExpectedMeasurement(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Connect(c.Stub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u2.Request(c.Stub, append([]byte{core.SvcLOG}, "STATS"...)); err != nil {
+		t.Fatal(err)
+	}
+	// The stale session's traffic is now rejected.
+	if _, err := u1.Request(c.Stub, append([]byte{core.SvcLOG}, "STATS"...)); err == nil {
+		t.Fatal("stale channel still accepted")
+	}
+}

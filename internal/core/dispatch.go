@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"veil/internal/hv"
+	"veil/internal/snp"
+)
+
+// Additional monitor operations (beyond OpPValidate/OpBootAP).
+const (
+	// OpAttest asks VeilMon to request a signed attestation report from
+	// the PSP with the monitor's channel public key as report data. Any
+	// domain may trigger it — the report is only useful to the remote
+	// user, and only VeilMon's VMPL0 context can mint it (§5.1).
+	OpAttest uint8 = 3
+	// OpUserChannel delivers the remote user's X25519 public key so the
+	// monitor can derive the shared secure channel.
+	OpUserChannel uint8 = 4
+	// OpUserMessage carries one sealed user→monitor message; the reply
+	// payload is the sealed response. The OS relays these blindly (it is
+	// the untrusted network path of §6.3).
+	OpUserMessage uint8 = 5
+)
+
+// SecureHandler processes decrypted user messages arriving over the
+// monitor's secure channel. The first byte of each message selects the
+// service (SvcLOG for log retrieval, SvcENC for enclave measurements, ...);
+// the handler receives the rest.
+type SecureHandler func(msg []byte) ([]byte, error)
+
+// RegisterSecureService installs the secure-channel handler for a service.
+func (mon *Monitor) RegisterSecureService(svc uint8, h SecureHandler) {
+	if mon.secureHandlers == nil {
+		mon.secureHandlers = make(map[uint8]SecureHandler)
+	}
+	mon.secureHandlers[svc] = h
+}
+
+// dispatchMon serves one Dom-MON entry: read the request from the OS↔Mon
+// IDCB, sanitize, act, respond (§5.2, Fig. 3).
+func (mon *Monitor) dispatchMon(vcpu int) error {
+	idcb := mon.lay.MonIDCB(vcpu)
+	req, err := ReadIDCBRequest(mon.m, snp.VMPL0, idcb)
+	if err != nil {
+		return err
+	}
+	var resp Response
+	if req.Svc != SvcMon {
+		resp = Response{Status: StatusError}
+	} else {
+		resp = mon.handleMonOp(vcpu, req)
+	}
+	return WriteIDCBResponse(mon.m, snp.VMPL0, idcb, resp)
+}
+
+func (mon *Monitor) handleMonOp(vcpu int, req Request) Response {
+	switch req.Op {
+	case OpPValidate:
+		d := &dec{b: req.Payload}
+		phys := d.u64()
+		validate := d.u8() == 1
+		if d.err != nil {
+			return Response{Status: StatusError}
+		}
+		return mon.servePValidate(phys, validate)
+	case OpBootAP:
+		d := &dec{b: req.Payload}
+		ap := int(d.u32())
+		if d.err != nil {
+			return Response{Status: StatusError}
+		}
+		return mon.serveBootAP(ap)
+	case OpAttest:
+		return mon.serveAttest(vcpu)
+	case OpUserChannel:
+		if err := mon.EstablishUserChannel(req.Payload); err != nil {
+			return Response{Status: StatusError}
+		}
+		return Response{Status: StatusOK}
+	case OpUserMessage:
+		return mon.serveUserMessage(req.Payload)
+	}
+	return Response{Status: StatusError}
+}
+
+// servePValidate is the §5.3 page-state delegation: check the OS-supplied
+// physical address against the protected-region registry, then execute the
+// instruction the OS architecturally cannot.
+func (mon *Monitor) servePValidate(phys uint64, validate bool) Response {
+	if err := mon.Sanitize(phys, snp.PageSize); err != nil {
+		return Response{Status: StatusDenied}
+	}
+	if err := mon.m.PValidate(snp.VMPL0, phys, validate); err != nil {
+		return Response{Status: StatusError}
+	}
+	if validate {
+		// A freshly validated page starts VMPL0-only; restore the kernel
+		// region's standing grants so the OS can use it.
+		if phys >= mon.lay.KernelLo {
+			grants := []struct {
+				vmpl snp.VMPL
+				perm snp.Perm
+			}{
+				{snp.VMPL1, snp.PermAll},
+				{snp.VMPL2, snp.PermRW | snp.PermUserExec},
+				{snp.VMPL3, snp.PermAll},
+			}
+			for _, g := range grants {
+				if err := mon.m.RMPAdjust(snp.VMPL0, phys, g.vmpl, g.perm); err != nil {
+					return Response{Status: StatusError}
+				}
+			}
+		}
+	}
+	return Response{Status: StatusOK}
+}
+
+// serveBootAP is the §5.3 VCPU-boot delegation: create the Dom-UNT VMSA for
+// the new VCPU (only VMPL0 can), replicate the trusted domains onto it
+// (§5.2), and ask the hypervisor to start it.
+func (mon *Monitor) serveBootAP(ap int) Response {
+	if ap <= 0 || ap >= mon.lay.VCPUs {
+		return Response{Status: StatusError}
+	}
+	entry, ok := mon.apEntries[ap]
+	if !ok {
+		return Response{Status: StatusError}
+	}
+	if _, exists := mon.replicas[ap][DomUNT]; exists {
+		return Response{Status: StatusError} // already booted
+	}
+	untVMSA, err := mon.createReplica(ap, DomUNT, snp.VMSA{
+		VMPL: snp.VMPL3, CPL: snp.CPL0,
+	}, entry)
+	if err != nil {
+		return Response{Status: StatusError}
+	}
+	g := &snp.GHCB{ExitCode: hv.ExitStartVCPU, ExitInfo1: untVMSA}
+	if err := mon.hypercall(0, g); err != nil {
+		return Response{Status: StatusError}
+	}
+	return Response{Status: StatusOK}
+}
+
+// serveAttest requests a PSP report carrying the monitor's channel key.
+func (mon *Monitor) serveAttest(vcpu int) Response {
+	report, err := mon.AttestationReport(vcpu)
+	if err != nil {
+		return Response{Status: StatusError}
+	}
+	return Response{Status: StatusOK, Payload: report}
+}
+
+// serveUserMessage opens a sealed user message, routes it to the addressed
+// service's secure handler, and seals the reply.
+func (mon *Monitor) serveUserMessage(sealed []byte) Response {
+	if mon.userCh == nil {
+		return Response{Status: StatusError}
+	}
+	msg, err := mon.userCh.Open(sealed)
+	if err != nil {
+		return Response{Status: StatusDenied}
+	}
+	if len(msg) == 0 {
+		return Response{Status: StatusError}
+	}
+	h, ok := mon.secureHandlers[msg[0]]
+	if !ok {
+		return Response{Status: StatusError}
+	}
+	reply, err := h(msg[1:])
+	if err != nil {
+		return Response{Status: StatusError}
+	}
+	return Response{Status: StatusOK, Payload: mon.userCh.Seal(reply)}
+}
+
+// dispatchSrv serves one Dom-SRV entry: requests from the OS to protected
+// services through the OS↔Srv IDCB.
+func (mon *Monitor) dispatchSrv(vcpu int) error {
+	idcb := mon.lay.SrvIDCB(vcpu)
+	req, err := ReadIDCBRequest(mon.m, snp.VMPL1, idcb)
+	if err != nil {
+		return err
+	}
+	var resp Response
+	if h, ok := mon.services[req.Svc]; ok {
+		status, payload := h(vcpu, req.Op, req.Payload)
+		resp = Response{Status: status, Payload: payload}
+	} else {
+		resp = Response{Status: StatusError}
+	}
+	return WriteIDCBResponse(mon.m, snp.VMPL1, idcb, resp)
+}
+
+// AttestationReport asks the PSP (via a guest-request hypercall from the
+// monitor's context) for a report binding the monitor's channel public key.
+func (mon *Monitor) AttestationReport(vcpu int) ([]byte, error) {
+	if mon.kp == nil {
+		return nil, fmt.Errorf("core: monitor keys not initialized")
+	}
+	pub := mon.kp.PublicBytes()
+	g := &snp.GHCB{ExitCode: hv.ExitGuestRequest, SwScratch: uint64(len(pub))}
+	copy(g.Payload[:], pub)
+	if err := mon.hypercall(vcpu, g); err != nil {
+		return nil, err
+	}
+	n := g.SwScratch
+	if n == 0 || n > uint64(len(g.Payload)) {
+		return nil, fmt.Errorf("core: bad report length %d", n)
+	}
+	out := make([]byte, n)
+	copy(out, g.Payload[:n])
+	return out, nil
+}
+
+// ChannelPublicKey returns the monitor's X25519 public key (it also rides
+// in every attestation report's report data).
+func (mon *Monitor) ChannelPublicKey() []byte {
+	if mon.kp == nil {
+		return nil
+	}
+	return mon.kp.PublicBytes()
+}
+
+// EstablishUserChannel derives the AES-GCM channel with the remote user.
+func (mon *Monitor) EstablishUserChannel(userPub []byte) error {
+	if mon.kp == nil {
+		return fmt.Errorf("core: monitor keys not initialized")
+	}
+	ch, err := mon.kp.OpenChannel(userPub, true)
+	if err != nil {
+		return err
+	}
+	mon.userCh = ch
+	return nil
+}
+
+// ChargeServiceSwitch accounts a Dom-SRV↔Dom-MON (or service-internal)
+// domain-switch round trip: services occasionally need VMPL0 operations
+// (e.g. enclave VMSA creation) that cost two full switches (§5.2).
+func (mon *Monitor) ChargeServiceSwitch() {
+	c := mon.m.Clock()
+	t := mon.m.Trace()
+	c.Charge(snp.CostVMGEXIT, snp.CyclesVMGEXITSave*2)
+	c.Charge(snp.CostVMENTER, snp.CyclesVMENTERRestore*2)
+	t.VMGExits += 2
+	t.VMEnters += 2
+	t.DomainSwitches += 2
+}
+
+// CreateEnclaveVCPU creates a Dom-ENC VMSA for an enclave thread on one
+// VCPU (§6.2): a VMPL2/CPL3 replica whose page-table root is the enclave's
+// protected clone. tag is the per-enclave domain tag. Called by VeilS-Enc
+// (Dom-SRV), so it charges the SRV→MON switch.
+func (mon *Monitor) CreateEnclaveVCPU(vcpu int, tag uint64, cr3 uint64, rip uint64, ctx hv.Context) (uint64, error) {
+	mon.ChargeServiceSwitch()
+	return mon.createReplica(vcpu, tag, snp.VMSA{
+		VMPL: snp.VMPL2, CPL: snp.CPL3, CR3: cr3, RIP: rip,
+	}, ctx)
+}
+
+// DestroyEnclaveVCPU tears down an enclave replica.
+func (mon *Monitor) DestroyEnclaveVCPU(vcpu int, tag uint64) error {
+	mon.ChargeServiceSwitch()
+	phys, ok := mon.replicas[vcpu][tag]
+	if !ok {
+		return fmt.Errorf("core: no replica for vcpu %d tag %d", vcpu, tag)
+	}
+	if err := mon.m.DestroyVMSA(snp.VMPL0, phys); err != nil {
+		return err
+	}
+	delete(mon.replicas[vcpu], tag)
+	mon.regions.Remove("vmsa") // rebuild below
+	for _, doms := range mon.replicas {
+		for _, p := range doms {
+			if err := mon.regions.Add(p, p+snp.PageSize, "vmsa"); err != nil {
+				return err
+			}
+		}
+	}
+	return mon.heap.Free(phys)
+}

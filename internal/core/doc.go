@@ -1,0 +1,19 @@
+// Package core implements VeilMon, the Veil security monitor (§5).
+//
+// VeilMon occupies Dom-MON (VMPL0 + CPL0): the highest-privileged domain of
+// the CVM, booted on the launch VCPU that the architecture pins at VMPL0.
+// From there it:
+//
+//   - protects the CVM at boot by accepting every physical page and setting
+//     the per-VMPL RMP permission vectors (the boot sweep of §9.1);
+//   - creates per-domain VCPU replicas — one VMSA per (VCPU, domain) pair —
+//     so the same physical VCPU can context-switch between domains through
+//     hypervisor-relayed switches (§5.2);
+//   - hosts the inter-domain communication blocks (IDCBs) protocol and
+//     sanitizes every pointer the untrusted OS passes (§8.1);
+//   - serves the privileged functionality the kernel loses at VMPL3:
+//     PVALIDATE page-state changes and VCPU boot (§5.3);
+//   - runs the protected services of the services/ packages in Dom-SRV
+//     (VMPL1), and creates Dom-ENC (VMPL2) for enclaves on demand;
+//   - establishes the remote user's secure channel after SEV attestation.
+package core

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"veil/internal/snp"
+)
+
+// Inter-domain communication blocks (IDCBs, §5.2) are per-VCPU shared pages
+// allocated in the *less privileged* domain's memory so that both sides of
+// a pair can access them. The request frame occupies the first half of the
+// page and the response frame the second half.
+
+// Service identifiers (high-level request routing).
+const (
+	SvcMon uint8 = 0 // VeilMon itself (delegated privileged functionality)
+	SvcKCI uint8 = 1 // VeilS-Kci
+	SvcENC uint8 = 2 // VeilS-Enc management interface
+	SvcLOG uint8 = 3 // VeilS-Log
+)
+
+// Monitor operations.
+const (
+	OpPValidate uint8 = 1
+	OpBootAP    uint8 = 2
+)
+
+// Response status codes.
+const (
+	StatusOK     uint32 = 0
+	StatusDenied uint32 = 1 // request sanitization failed (§8.1)
+	StatusError  uint32 = 2
+)
+
+const (
+	idcbReqOff  = 0
+	idcbRespOff = snp.PageSize / 2
+	idcbHdrLen  = 8
+	// IDCBPayloadMax bounds a single request or response payload.
+	IDCBPayloadMax = snp.PageSize/2 - idcbHdrLen
+)
+
+// Request is one IDCB request frame.
+type Request struct {
+	Svc     uint8
+	Op      uint8
+	Payload []byte
+}
+
+// Response is one IDCB response frame.
+type Response struct {
+	Status  uint32
+	Payload []byte
+}
+
+// WriteIDCBRequest stores a request into the IDCB page as software at
+// vmpl/cpl (the RMP check applies: a domain can only use IDCBs it can
+// write).
+func WriteIDCBRequest(m *snp.Machine, vmpl snp.VMPL, cpl snp.CPL, page uint64, req Request) error {
+	if len(req.Payload) > IDCBPayloadMax {
+		return fmt.Errorf("core: IDCB request payload %d exceeds %d", len(req.Payload), IDCBPayloadMax)
+	}
+	buf := make([]byte, idcbHdrLen+len(req.Payload))
+	buf[0] = req.Svc
+	buf[1] = req.Op
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(req.Payload)))
+	copy(buf[idcbHdrLen:], req.Payload)
+	return m.GuestWritePhys(vmpl, cpl, page+idcbReqOff, buf)
+}
+
+// ReadIDCBRequest loads the pending request from an IDCB page.
+func ReadIDCBRequest(m *snp.Machine, vmpl snp.VMPL, page uint64) (Request, error) {
+	hdr := make([]byte, idcbHdrLen)
+	if err := m.GuestReadPhys(vmpl, snp.CPL0, page+idcbReqOff, hdr); err != nil {
+		return Request{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > IDCBPayloadMax {
+		return Request{}, fmt.Errorf("core: IDCB request length %d corrupt", n)
+	}
+	req := Request{Svc: hdr[0], Op: hdr[1], Payload: make([]byte, n)}
+	if n > 0 {
+		if err := m.GuestReadPhys(vmpl, snp.CPL0, page+idcbReqOff+idcbHdrLen, req.Payload); err != nil {
+			return Request{}, err
+		}
+	}
+	return req, nil
+}
+
+// WriteIDCBResponse stores a response frame.
+func WriteIDCBResponse(m *snp.Machine, vmpl snp.VMPL, page uint64, resp Response) error {
+	if len(resp.Payload) > IDCBPayloadMax {
+		return fmt.Errorf("core: IDCB response payload %d exceeds %d", len(resp.Payload), IDCBPayloadMax)
+	}
+	buf := make([]byte, idcbHdrLen+len(resp.Payload))
+	binary.LittleEndian.PutUint32(buf[0:], resp.Status)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(resp.Payload)))
+	copy(buf[idcbHdrLen:], resp.Payload)
+	return m.GuestWritePhys(vmpl, snp.CPL0, page+idcbRespOff, buf)
+}
+
+// ReadIDCBResponse loads the response frame as software at vmpl/cpl.
+func ReadIDCBResponse(m *snp.Machine, vmpl snp.VMPL, cpl snp.CPL, page uint64) (Response, error) {
+	hdr := make([]byte, idcbHdrLen)
+	if err := m.GuestReadPhys(vmpl, cpl, page+idcbRespOff, hdr); err != nil {
+		return Response{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > IDCBPayloadMax {
+		return Response{}, fmt.Errorf("core: IDCB response length %d corrupt", n)
+	}
+	resp := Response{Status: binary.LittleEndian.Uint32(hdr[0:]), Payload: make([]byte, n)}
+	if n > 0 {
+		if err := m.GuestReadPhys(vmpl, cpl, page+idcbRespOff+idcbHdrLen, resp.Payload); err != nil {
+			return Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+// enc is a tiny append-encoder for request payloads.
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64) *enc {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	e.b = append(e.b, t[:]...)
+	return e
+}
+
+func (e *enc) u32(v uint32) *enc {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	e.b = append(e.b, t[:]...)
+	return e
+}
+
+func (e *enc) u8(v uint8) *enc { e.b = append(e.b, v); return e }
+
+func (e *enc) bytes(v []byte) *enc {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+	return e
+}
+
+// dec is the matching decoder; it latches the first error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: truncated IDCB payload")
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"veil/internal/attest"
+	"veil/internal/hv"
+	"veil/internal/mm"
+	"veil/internal/snp"
+)
+
+// ServiceHandler processes one IDCB request for a protected service running
+// in Dom-SRV. It returns a status code and response payload.
+type ServiceHandler func(vcpu int, op uint8, payload []byte) (uint32, []byte)
+
+// CyclesReplicaInit models initializing the architectural structures of a
+// fresh domain replica — stack, page tables, descriptor tables (§5.2 step
+// two).
+const CyclesReplicaInit = 20_000
+
+// Config configures VeilMon.
+type Config struct {
+	Layout Layout
+	// Rand provides key material (crypto/rand.Reader if nil).
+	Rand io.Reader
+	// UNTContext returns the Dom-UNT guest context for a VCPU. The first
+	// invocation on VCPU 0 boots the kernel.
+	UNTContext func(vcpu int) hv.Context
+}
+
+// Monitor is VeilMon: the Dom-MON security monitor.
+type Monitor struct {
+	m   *snp.Machine
+	hv  *hv.Hypervisor
+	lay Layout
+
+	heap     *mm.PhysAllocator
+	regions  RegionSet
+	replicas map[int]map[uint64]uint64 // vcpu → domain tag → VMSA phys
+	services map[uint8]ServiceHandler
+	onBoot   []func() error
+
+	apEntries map[int]hv.Context
+	untCtx    func(int) hv.Context
+
+	kp             *attest.KeyPair
+	userCh         *attest.Channel
+	secureHandlers map[uint8]SecureHandler
+	rand           io.Reader
+
+	booted bool
+}
+
+// NewMonitor creates VeilMon over the machine/hypervisor pair. Protected
+// services must be registered before the CVM is launched (they are part of
+// the measured boot image).
+func NewMonitor(m *snp.Machine, hyp *hv.Hypervisor, cfg Config) (*Monitor, error) {
+	if cfg.UNTContext == nil {
+		return nil, fmt.Errorf("core: Config.UNTContext is required")
+	}
+	heap, err := mm.NewPhysAllocator(cfg.Layout.MonHeapLo, cfg.Layout.MonHeapHi)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		m:         m,
+		hv:        hyp,
+		lay:       cfg.Layout,
+		heap:      heap,
+		replicas:  make(map[int]map[uint64]uint64),
+		services:  make(map[uint8]ServiceHandler),
+		apEntries: make(map[int]hv.Context),
+		untCtx:    cfg.UNTContext,
+		rand:      cfg.Rand,
+	}, nil
+}
+
+// Machine returns the machine (services need it for RMP operations).
+func (mon *Monitor) Machine() *snp.Machine { return mon.m }
+
+// Hypervisor returns the host interface.
+func (mon *Monitor) Hypervisor() *hv.Hypervisor { return mon.hv }
+
+// Layout returns the physical layout.
+func (mon *Monitor) Layout() Layout { return mon.lay }
+
+// RegisterService installs a Dom-SRV request handler for a service ID.
+func (mon *Monitor) RegisterService(svc uint8, h ServiceHandler) {
+	mon.services[svc] = h
+}
+
+// OnBoot queues an initialization function to run during monitor boot
+// (services use it to set up their protected state).
+func (mon *Monitor) OnBoot(fn func() error) { mon.onBoot = append(mon.onBoot, fn) }
+
+// AllocFrame hands out a monitor-heap frame (accepted during the boot
+// sweep). Monitor frames are protected: no lower domain can touch them.
+func (mon *Monitor) AllocFrame() (uint64, error) { return mon.heap.Alloc() }
+
+// FreeFrame returns a monitor-heap frame.
+func (mon *Monitor) FreeFrame(p uint64) error { return mon.heap.Free(p) }
+
+// AllocServiceFrame hands a protected frame to Dom-SRV: a monitor-heap page
+// with VMPL1 read/write granted. Services keep their own state here —
+// cloned enclave page tables, the log store — out of the OS's reach.
+func (mon *Monitor) AllocServiceFrame() (uint64, error) {
+	f, err := mon.heap.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	if err := mon.m.RMPAdjust(snp.VMPL0, f, snp.VMPL1, snp.PermRW); err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// FreeServiceFrame revokes the Dom-SRV grant and returns the frame.
+func (mon *Monitor) FreeServiceFrame(f uint64) error {
+	if err := mon.m.RMPAdjust(snp.VMPL0, f, snp.VMPL1, snp.PermNone); err != nil {
+		return err
+	}
+	return mon.heap.Free(f)
+}
+
+// ProtectPages registers pages in the protected-region set (the sanitizer's
+// deny list) — used for enclave frames, cloned page tables, etc.
+func (mon *Monitor) ProtectPages(pages []uint64, label string) error {
+	return mon.regions.AddPages(pages, label)
+}
+
+// UnprotectLabel removes all regions with the given label.
+func (mon *Monitor) UnprotectLabel(label string) { mon.regions.Remove(label) }
+
+// Sanitize validates an untrusted pointer range (§8.1).
+func (mon *Monitor) Sanitize(ptr, n uint64) error { return mon.regions.Sanitize(ptr, n) }
+
+// BootContext returns the hv context for the launch VCPU: booting VeilMon
+// on first entry and dispatching Dom-MON requests afterwards.
+func (mon *Monitor) BootContext() hv.Context {
+	return hv.ContextFunc(func(r hv.Reason) error {
+		if r == hv.ReasonBoot {
+			return mon.boot()
+		}
+		return mon.dispatchMon(0)
+	})
+}
+
+// monCtx is the Dom-MON replica context for non-boot VCPUs.
+func (mon *Monitor) monCtx(vcpu int) hv.Context {
+	return hv.ContextFunc(func(r hv.Reason) error {
+		return mon.dispatchMon(vcpu)
+	})
+}
+
+// srvCtx is the Dom-SRV replica context.
+func (mon *Monitor) srvCtx(vcpu int) hv.Context {
+	return hv.ContextFunc(func(r hv.Reason) error {
+		return mon.dispatchSrv(vcpu)
+	})
+}
+
+// hypercall issues a monitor hypercall through the monitor's own GHCB,
+// preserving whatever GHCB MSR value the interrupted domain had.
+func (mon *Monitor) hypercall(vcpu int, g *snp.GHCB) error {
+	old, had := mon.m.ReadGHCBMSR(vcpu)
+	if err := mon.m.WriteGHCBMSR(vcpu, snp.CPL0, mon.lay.MonGHCB(vcpu)); err != nil {
+		return err
+	}
+	err := mon.hv.GuestCall(vcpu, snp.VMPL0, snp.CPL0, mon.lay.MonGHCB(vcpu), g)
+	if had {
+		if merr := mon.m.WriteGHCBMSR(vcpu, snp.CPL0, old); err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// boot is VeilMon's launch-time initialization (§5.1): protect every
+// physical page, create the per-VCPU domain replicas, initialize protected
+// services, prepare the attestation keys, and finally hand control to the
+// kernel in Dom-UNT.
+func (mon *Monitor) boot() error {
+	if mon.booted {
+		return fmt.Errorf("core: monitor already booted")
+	}
+	if err := mon.m.WriteGHCBMSR(0, snp.CPL0, mon.lay.MonGHCB(0)); err != nil {
+		return err
+	}
+	if err := mon.sweepAndProtect(); err != nil {
+		return fmt.Errorf("core: boot sweep: %w", err)
+	}
+	// Register protected regions: everything the sanitizer must refuse to
+	// dereference on the OS's behalf.
+	if err := mon.regions.Add(mon.lay.BootVMSA, mon.lay.BootVMSA+snp.PageSize, "boot-vmsa"); err != nil {
+		return err
+	}
+	if err := mon.regions.Add(mon.lay.MonImage, mon.lay.MonHeapHi, "veilmon"); err != nil {
+		return err
+	}
+
+	// The boot VMSA already runs Dom-MON on VCPU 0.
+	mon.replicas[0] = map[uint64]uint64{DomMON: mon.lay.BootVMSA}
+
+	// Replicate every VCPU into the standing domains (§5.2).
+	for vcpu := 0; vcpu < mon.lay.VCPUs; vcpu++ {
+		if vcpu > 0 {
+			if _, err := mon.createReplica(vcpu, DomMON, snp.VMSA{
+				VCPUID: vcpu, VMPL: snp.VMPL0, CPL: snp.CPL0, Runnable: true,
+			}, mon.monCtx(vcpu)); err != nil {
+				return err
+			}
+		}
+		if _, err := mon.createReplica(vcpu, DomSRV, snp.VMSA{
+			VCPUID: vcpu, VMPL: snp.VMPL1, CPL: snp.CPL0, Runnable: true,
+		}, mon.srvCtx(vcpu)); err != nil {
+			return err
+		}
+	}
+	// Dom-UNT replica for the boot VCPU (APs get theirs via BootAP).
+	if _, err := mon.createReplica(0, DomUNT, snp.VMSA{
+		VCPUID: 0, VMPL: snp.VMPL3, CPL: snp.CPL0, Runnable: true,
+	}, mon.untCtx(0)); err != nil {
+		return err
+	}
+
+	// Service initialization (log store, KCI symbol snapshot, ...).
+	for _, fn := range mon.onBoot {
+		if err := fn(); err != nil {
+			return fmt.Errorf("core: service init: %w", err)
+		}
+	}
+
+	// Attestation: ephemeral channel key, offered in future reports.
+	kp, err := attest.NewKeyPair(mon.rand)
+	if err != nil {
+		return err
+	}
+	mon.kp = kp
+	mon.booted = true
+
+	// Hand over to the operating system: first switch into Dom-UNT boots
+	// the kernel (§5.1: "VeilMon creates new domains for protected
+	// services, the kernel, and enclaves"). No MSR restore afterwards:
+	// the steady state is the OS running with its own GHCB.
+	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: DomUNT}
+	if err := mon.m.WriteGHCBMSR(0, snp.CPL0, mon.lay.MonGHCB(0)); err != nil {
+		return err
+	}
+	return mon.hv.GuestCall(0, snp.VMPL0, snp.CPL0, mon.lay.MonGHCB(0), g)
+}
+
+// sweepAndProtect accepts every page of the machine and installs Veil's
+// boot-time RMP policy. This is the dominant component of Veil's boot cost
+// (§9.1): one PVALIDATE with a cold first touch and three RMPADJUSTs (one
+// permission vector per lower VMPL) per page.
+func (mon *Monitor) sweepAndProtect() error {
+	m := mon.m
+	total := m.NumPages()
+	ghcbLo := mon.lay.GHCBBase >> snp.PageShift
+	ghcbHi := ghcbLo + mon.lay.GHCBPages
+
+	// Batch host page-state requests over runs of unassigned pages.
+	var runStart uint64
+	var inRun bool
+	flush := func(endPage uint64) error {
+		if !inRun {
+			return nil
+		}
+		inRun = false
+		g := &snp.GHCB{
+			ExitCode:  hv.ExitPageState,
+			ExitInfo1: runStart * snp.PageSize,
+			ExitInfo2: (endPage-runStart)<<1 | 1,
+		}
+		if err := mon.hypercall(0, g); err != nil {
+			return err
+		}
+		if g.SwScratch != 0 {
+			return fmt.Errorf("core: host refused %d pages in sweep", g.SwScratch)
+		}
+		return nil
+	}
+	for pg := uint64(0); pg < total; pg++ {
+		if pg >= ghcbLo && pg < ghcbHi {
+			if err := flush(pg); err != nil {
+				return err
+			}
+			continue // GHCBs stay shared
+		}
+		e, err := m.RMPEntryAt(pg * snp.PageSize)
+		if err != nil {
+			return err
+		}
+		if !e.Assigned {
+			if !inRun {
+				runStart, inRun = pg, true
+			}
+		} else if err := flush(pg); err != nil {
+			return err
+		}
+	}
+	if err := flush(total); err != nil {
+		return err
+	}
+
+	// Accept and protect each page.
+	kernelPerms := [3]struct {
+		vmpl snp.VMPL
+		perm snp.Perm
+	}{
+		// Services hold full permissions on the OS region: RMPADJUST can
+		// only grant a subset of the caller's own permissions, and
+		// VeilS-Kci/VeilS-Enc manage execute bits for VMPL2/3 from VMPL1.
+		{snp.VMPL1, snp.PermAll},
+		{snp.VMPL2, snp.PermRW | snp.PermUserExec}, // enclaves run user code in OS-region frames
+		{snp.VMPL3, snp.PermAll},                   // the OS owns its region (until KCI narrows it)
+	}
+	for pg := uint64(0); pg < total; pg++ {
+		if pg >= ghcbLo && pg < ghcbHi {
+			continue
+		}
+		phys := pg * snp.PageSize
+		e, err := m.RMPEntryAt(phys)
+		if err != nil {
+			return err
+		}
+		if e.VMSA {
+			continue // the boot VMSA page: already protected by hardware
+		}
+		if !e.Validated {
+			if err := m.PValidate(snp.VMPL0, phys, true); err != nil {
+				return err
+			}
+			m.Clock().Charge(snp.CostCompute, snp.CyclesColdPageTouch)
+		}
+		if phys >= mon.lay.KernelLo {
+			for _, kp := range kernelPerms {
+				if err := m.RMPAdjust(snp.VMPL0, phys, kp.vmpl, kp.perm); err != nil {
+					return err
+				}
+			}
+		} else {
+			// Monitor image and heap: explicitly no access below VMPL0.
+			for v := snp.VMPL1; v < snp.NumVMPLs; v++ {
+				if err := m.RMPAdjust(snp.VMPL0, phys, v, snp.PermNone); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// createReplica implements the four replica-creation steps of §5.2:
+// allocate a VMSA, initialize the domain's architectural structures, set
+// the entry state, and register the instance with the hypervisor.
+func (mon *Monitor) createReplica(vcpu int, tag uint64, vmsa snp.VMSA, ctx hv.Context) (uint64, error) {
+	frame, err := mon.heap.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	vmsa.VCPUID = vcpu
+	vmsa.Runnable = true
+	if err := mon.m.CreateVMSA(snp.VMPL0, frame, vmsa); err != nil {
+		return 0, err
+	}
+	mon.m.Clock().Charge(snp.CostCompute, CyclesReplicaInit)
+	mon.hv.BindContext(frame, ctx)
+	g := &snp.GHCB{ExitCode: hv.ExitRegisterVMSA, ExitInfo1: frame, ExitInfo2: tag}
+	if err := mon.hypercall(vcpu0ForRegistration(vcpu), g); err != nil {
+		return 0, err
+	}
+	if mon.replicas[vcpu] == nil {
+		mon.replicas[vcpu] = make(map[uint64]uint64)
+	}
+	mon.replicas[vcpu][tag] = frame
+	if err := mon.regions.Add(frame, frame+snp.PageSize, "vmsa"); err != nil {
+		return 0, err
+	}
+	return frame, nil
+}
+
+// vcpu0ForRegistration: registration hypercalls are issued from whichever
+// VCPU the monitor currently runs on; during boot that is VCPU 0.
+func vcpu0ForRegistration(int) int { return 0 }
+
+// ReplicaVMSA returns the VMSA page of a (vcpu, domain) replica.
+func (mon *Monitor) ReplicaVMSA(vcpu int, tag uint64) (uint64, bool) {
+	p, ok := mon.replicas[vcpu][tag]
+	return p, ok
+}
+
+// RegisterAPEntry wires the kernel's entry context for a future BootAP
+// delegation (simulation wiring for the code the new VCPU starts in).
+func (mon *Monitor) RegisterAPEntry(vcpu int, ctx hv.Context) {
+	mon.apEntries[vcpu] = ctx
+}

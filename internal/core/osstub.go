@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"veil/internal/hv"
+	"veil/internal/snp"
+)
+
+// OSStub is the operating-system side of Veil's kernel patch: ~560 lines of
+// Linux changes in the paper that write delegation requests into IDCBs and
+// trigger hypervisor-relayed domain switches. It runs at Dom-UNT (VMPL3,
+// CPL0); every memory access and switch it performs is subject to the same
+// enforcement as any other OS code.
+//
+// The stub satisfies the kernel package's Hooks interface.
+type OSStub struct {
+	m    *snp.Machine
+	hyp  *hv.Hypervisor
+	lay  Layout
+	vcpu int
+
+	// mon is simulation wiring only: BootAP must hand VeilMon the Go
+	// context that stands in for the code at the new VCPU's entry point.
+	mon *Monitor
+}
+
+// NewOSStub creates the kernel-side stub for one VCPU.
+func NewOSStub(mon *Monitor, vcpu int) *OSStub {
+	return &OSStub{m: mon.m, hyp: mon.hv, lay: mon.lay, vcpu: vcpu, mon: mon}
+}
+
+// ErrDenied is returned when VeilMon's sanitizer refuses an OS request
+// (Table 1, "OS request sanitized").
+var ErrDenied = errors.New("core: request denied by VeilMon")
+
+func statusErr(r Response) error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusDenied:
+		return ErrDenied
+	default:
+		return fmt.Errorf("core: request failed (status %d)", r.Status)
+	}
+}
+
+// call writes the request into the IDCB for the target domain, requests a
+// domain switch through the kernel GHCB, and reads the response back
+// (Fig. 3's six steps). The kernel re-points the GHCB MSR at its own GHCB
+// first (it may currently reference a scheduled process's user GHCB) and
+// restores it afterwards.
+func (s *OSStub) call(idcb uint64, dom uint64, req Request) (Response, error) {
+	if err := WriteIDCBRequest(s.m, snp.VMPL3, snp.CPL0, idcb, req); err != nil {
+		return Response{}, err
+	}
+	s.m.Clock().Charge(snp.CostPageCopy, uint64(len(req.Payload))*snp.CyclesPageCopy4K/snp.PageSize+1)
+	old, hadMSR := s.m.ReadGHCBMSR(s.vcpu)
+	if err := s.m.WriteGHCBMSR(s.vcpu, snp.CPL0, s.lay.KernelGHCB(s.vcpu)); err != nil {
+		return Response{}, err
+	}
+	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: dom}
+	callErr := s.hyp.GuestCall(s.vcpu, snp.VMPL3, snp.CPL0, s.lay.KernelGHCB(s.vcpu), g)
+	if hadMSR && old != s.lay.KernelGHCB(s.vcpu) {
+		if err := s.m.WriteGHCBMSR(s.vcpu, snp.CPL0, old); err != nil && callErr == nil {
+			callErr = err
+		}
+	}
+	if callErr != nil {
+		return Response{}, callErr
+	}
+	resp, err := ReadIDCBResponse(s.m, snp.VMPL3, snp.CPL0, idcb)
+	if err != nil {
+		return Response{}, err
+	}
+	s.m.Clock().Charge(snp.CostPageCopy, uint64(len(resp.Payload))*snp.CyclesPageCopy4K/snp.PageSize+1)
+	return resp, nil
+}
+
+// CallMon issues a request to VeilMon (Dom-MON).
+func (s *OSStub) CallMon(req Request) (Response, error) {
+	return s.call(s.lay.MonIDCB(s.vcpu), DomMON, req)
+}
+
+// CallSrv issues a request to the protected services (Dom-SRV).
+func (s *OSStub) CallSrv(req Request) (Response, error) {
+	return s.call(s.lay.SrvIDCB(s.vcpu), DomSRV, req)
+}
+
+// PValidate delegates a page-state change (§5.3).
+func (s *OSStub) PValidate(phys uint64, validate bool) error {
+	var v uint8
+	if validate {
+		v = 1
+	}
+	e := (&enc{}).u64(phys).u8(v)
+	resp, err := s.CallMon(Request{Svc: SvcMon, Op: OpPValidate, Payload: e.b})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// BootAP delegates VCPU boot (§5.3). The entry context is pre-registered
+// with VeilMon (wiring for "the code at the VCPU's rip").
+func (s *OSStub) BootAP(vcpuID int, entry hv.Context) error {
+	s.mon.RegisterAPEntry(vcpuID, entry)
+	e := (&enc{}).u32(uint32(vcpuID))
+	resp, err := s.CallMon(Request{Svc: SvcMon, Op: OpBootAP, Payload: e.b})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// LoadModule streams the module image to VeilS-Kci and asks it to verify
+// and install into the kernel-allocated frames (§6.1).
+func (s *OSStub) LoadModule(image []byte, destFrames []uint64) (int, error) {
+	const chunk = IDCBPayloadMax
+	for off := 0; off < len(image); off += chunk {
+		end := off + chunk
+		if end > len(image) {
+			end = len(image)
+		}
+		resp, err := s.CallSrv(Request{Svc: SvcKCI, Op: OpKciStage, Payload: image[off:end]})
+		if err != nil {
+			return 0, err
+		}
+		if err := statusErr(resp); err != nil {
+			return 0, err
+		}
+	}
+	e := &enc{}
+	e.u32(uint32(len(destFrames)))
+	for _, f := range destFrames {
+		e.u64(f)
+	}
+	resp, err := s.CallSrv(Request{Svc: SvcKCI, Op: OpKciLoad, Payload: e.b})
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(resp); err != nil {
+		return 0, err
+	}
+	d := &dec{b: resp.Payload}
+	handle := int(d.u32())
+	if d.err != nil {
+		return 0, d.err
+	}
+	return handle, nil
+}
+
+// FreeModule unloads a module through VeilS-Kci.
+func (s *OSStub) FreeModule(handle int) error {
+	e := (&enc{}).u32(uint32(handle))
+	resp, err := s.CallSrv(Request{Svc: SvcKCI, Op: OpKciFree, Payload: e.b})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// AuditEmit sends one finalized audit record to VeilS-Log before the
+// audited event executes (§6.3).
+func (s *OSStub) AuditEmit(rec []byte) error {
+	if len(rec) > IDCBPayloadMax {
+		rec = rec[:IDCBPayloadMax]
+	}
+	resp, err := s.CallSrv(Request{Svc: SvcLOG, Op: OpLogAppend, Payload: rec})
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}

@@ -1,0 +1,54 @@
+package core
+
+// Service operation codes shared between the OS-side stubs (the kernel
+// patch) and the Dom-SRV service implementations. They are part of the
+// IDCB wire protocol, so they live here rather than in the service
+// packages.
+
+// VeilS-Kci operations (§6.1).
+const (
+	// OpKciStage appends a chunk of a module image to the service's
+	// staging buffer for this VCPU (payload: raw bytes). Large images
+	// cross the IDCB in chunks.
+	OpKciStage uint8 = 1
+	// OpKciLoad verifies and installs the staged image into the frames
+	// listed in the payload (count u32, then u64 frames). Response: the
+	// module handle (u32).
+	OpKciLoad uint8 = 2
+	// OpKciFree unloads the module with the handle in the payload (u32).
+	OpKciFree uint8 = 3
+	// OpKciActivate enables kernel W⊕X over the text/data page lists in
+	// the payload.
+	OpKciActivate uint8 = 4
+)
+
+// VeilS-Enc management operations (§6.2). Enclave *execution* flows through
+// Dom-ENC domain switches; these are the OS-side management requests.
+const (
+	// OpEncFinalize finalizes an installed enclave: payload carries the
+	// process's page-table root, the enclave's virtual base/length, the
+	// frame list, the entry point and the per-thread GHCB. Response: the
+	// enclave ID (u32) and the 32-byte measurement.
+	OpEncFinalize uint8 = 1
+	// OpEncSyncPerms mirrors a non-enclave mprotect into the protected
+	// enclave tables (payload: enclave id u32, virt u64, len u64, prot u64).
+	OpEncSyncPerms uint8 = 2
+	// OpEncPageFree asks VeilS-Enc to encrypt, hash and unmap one enclave
+	// page so the OS can reclaim it (payload: id u32, virt u64).
+	// Response: the encrypted page image the OS may keep on disk.
+	OpEncPageFree uint8 = 3
+	// OpEncPageRestore re-maps a previously freed page after verifying
+	// its integrity and freshness (payload: id u32, virt u64, frame u64,
+	// ciphertext bytes).
+	OpEncPageRestore uint8 = 4
+	// OpEncDestroy tears an enclave down (payload: id u32).
+	OpEncDestroy uint8 = 5
+)
+
+// VeilS-Log operations (§6.3).
+const (
+	// OpLogAppend appends one audit record (payload: record bytes).
+	OpLogAppend uint8 = 1
+	// OpLogStats returns (count u64, bytes u64, dropped u64).
+	OpLogStats uint8 = 2
+)

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"veil/internal/snp"
+)
+
+// RegionSet is VeilMon's registry of protected physical ranges. Before
+// dereferencing any pointer received from the untrusted OS, the monitor and
+// every protected service check it against this set — the IDCB-sanitization
+// defence of §8.1 ("OS request sanitized", Table 1).
+type RegionSet struct {
+	regions []region
+}
+
+type region struct {
+	lo, hi uint64 // [lo, hi)
+	label  string
+}
+
+// Add registers [lo, hi) as protected.
+func (rs *RegionSet) Add(lo, hi uint64, label string) error {
+	if hi <= lo {
+		return fmt.Errorf("core: bad region [%#x,%#x)", lo, hi)
+	}
+	rs.regions = append(rs.regions, region{lo: lo, hi: hi, label: label})
+	sort.Slice(rs.regions, func(i, j int) bool { return rs.regions[i].lo < rs.regions[j].lo })
+	return nil
+}
+
+// AddPages registers a page list (e.g. an enclave's frames).
+func (rs *RegionSet) AddPages(pages []uint64, label string) error {
+	for _, p := range pages {
+		if err := rs.Add(p, p+snp.PageSize, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove drops every region with the given label (enclave teardown).
+func (rs *RegionSet) Remove(label string) int {
+	kept := rs.regions[:0]
+	removed := 0
+	for _, r := range rs.regions {
+		if r.label == label {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	rs.regions = kept
+	return removed
+}
+
+// Overlaps returns the label of a protected region intersecting
+// [ptr, ptr+n), if any.
+func (rs *RegionSet) Overlaps(ptr, n uint64) (string, bool) {
+	if n == 0 {
+		n = 1
+	}
+	end := ptr + n
+	for _, r := range rs.regions {
+		if r.lo >= end {
+			break
+		}
+		if ptr < r.hi && r.lo < end {
+			return r.label, true
+		}
+	}
+	return "", false
+}
+
+// Sanitize returns an error if [ptr, ptr+n) touches protected memory. This
+// is the check every untrusted pointer goes through before the monitor or a
+// service dereferences it.
+func (rs *RegionSet) Sanitize(ptr, n uint64) error {
+	if label, bad := rs.Overlaps(ptr, n); bad {
+		return fmt.Errorf("core: untrusted pointer %#x+%d targets protected region %q", ptr, n, label)
+	}
+	return nil
+}
+
+// Len reports how many regions are registered.
+func (rs *RegionSet) Len() int { return len(rs.regions) }

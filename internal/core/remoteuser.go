@@ -1,0 +1,86 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+
+	"veil/internal/attest"
+	"veil/internal/snp"
+)
+
+// RemoteUser models the CVM owner's off-platform verifier: it knows the PSP
+// public key and the expected boot-image measurement, attests the CVM, and
+// then talks to VeilMon over the authenticated secure channel (§5.1). All
+// its traffic travels through the untrusted OS (the stub), which can drop
+// it but can neither read nor forge it.
+type RemoteUser struct {
+	pspPub   ed25519.PublicKey
+	expected [32]byte
+	kp       *attest.KeyPair
+	ch       *attest.Channel
+}
+
+// NewRemoteUser creates a verifier with the given trust anchors.
+func NewRemoteUser(pspPub ed25519.PublicKey, expectedMeasurement [32]byte, rng io.Reader) (*RemoteUser, error) {
+	kp, err := attest.NewKeyPair(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteUser{pspPub: pspPub, expected: expectedMeasurement, kp: kp}, nil
+}
+
+// Connect performs the attestation handshake: obtain a report (relayed by
+// the untrusted OS), verify it was minted at VMPL0 over the expected
+// measurement, extract the monitor's channel key, and establish the
+// channel.
+func (u *RemoteUser) Connect(stub *OSStub) error {
+	resp, err := stub.CallMon(Request{Svc: SvcMon, Op: OpAttest})
+	if err != nil {
+		return err
+	}
+	if err := statusErr(resp); err != nil {
+		return err
+	}
+	rep, err := attest.VerifyReport(u.pspPub, resp.Payload)
+	if err != nil {
+		return err
+	}
+	if rep.VMPL != snp.VMPL0 {
+		return fmt.Errorf("core: report minted at %v, not VMPL0 — refusing channel", rep.VMPL)
+	}
+	if rep.Measurement != u.expected {
+		return fmt.Errorf("core: measurement mismatch — boot image is not the one we built")
+	}
+	monPub := rep.ReportData[:32]
+	ch, err := u.kp.OpenChannel(monPub, false)
+	if err != nil {
+		return err
+	}
+	// Hand our public key to the monitor (integrity of this message does
+	// not matter: a wrong key just yields a channel nobody can speak on).
+	resp, err = stub.CallMon(Request{Svc: SvcMon, Op: OpUserChannel, Payload: u.kp.PublicBytes()})
+	if err != nil {
+		return err
+	}
+	if err := statusErr(resp); err != nil {
+		return err
+	}
+	u.ch = ch
+	return nil
+}
+
+// Request sends one sealed message to VeilMon and opens the sealed reply.
+func (u *RemoteUser) Request(stub *OSStub, msg []byte) ([]byte, error) {
+	if u.ch == nil {
+		return nil, fmt.Errorf("core: user not connected")
+	}
+	resp, err := stub.CallMon(Request{Svc: SvcMon, Op: OpUserMessage, Payload: u.ch.Seal(msg)})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return u.ch.Open(resp.Payload)
+}

@@ -1,0 +1,346 @@
+// Package cvm assembles a complete confidential VM: the SNP machine, the
+// untrusted hypervisor, and either a Veil guest (VeilMon + protected
+// services + the kernel in Dom-UNT) or a native guest (the same kernel at
+// VMPL0, no monitor) — the baseline configuration of every benchmark in §9.
+package cvm
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"veil/internal/attest"
+	"veil/internal/core"
+	"veil/internal/hv"
+	"veil/internal/kernel"
+	"veil/internal/services/enc"
+	"veil/internal/services/kci"
+	"veil/internal/services/vlog"
+	"veil/internal/snp"
+)
+
+// CyclesInterruptHandler is the OS-side cost of servicing one relayed
+// interrupt (exclusive of the exit/enter costs charged by the hypervisor).
+const CyclesInterruptHandler = 600
+
+// KernelTextPages is the size of the synthetic kernel text region that
+// VeilS-Kci write-protects at activation.
+const KernelTextPages = 16
+
+// Options selects the CVM configuration.
+type Options struct {
+	// MemBytes and VCPUs size the machine (defaults: 64 MiB, 1 VCPU for
+	// tests; the paper testbed is 2 GiB / 4 VCPUs).
+	MemBytes uint64
+	VCPUs    int
+	// Veil installs VeilMon and the three protected services; false boots
+	// the same kernel natively at VMPL0.
+	Veil bool
+	// LogPages sizes VeilS-Log's reserved store.
+	LogPages uint64
+	// AuditRules, when non-nil, enables kaudit with this ruleset at boot.
+	AuditRules []kernel.SysNo
+	// Rand supplies key material (crypto/rand.Reader if nil).
+	Rand io.Reader
+}
+
+// CVM is a booted machine with all its software layers.
+type CVM struct {
+	M   *snp.Machine
+	HV  *hv.Hypervisor
+	PSP *attest.PSP
+	K   *kernel.Kernel
+
+	// Veil-mode components (nil when native).
+	Mon  *core.Monitor
+	KCI  *kci.Service
+	ENC  *enc.Service
+	LOG  *vlog.Service
+	Stub *core.OSStub
+	Lay  core.Layout
+
+	// ModulePriv is the module vendor's signing key (kept off-platform in
+	// reality; exposed here so tests and examples can build signed
+	// modules).
+	ModulePriv ed25519.PrivateKey
+
+	// TextLo/TextHi bound the synthetic kernel text VeilS-Kci protects.
+	TextLo, TextHi uint64
+
+	bootRegions []hv.LaunchRegion
+	// ocallByVCPU tracks the active OCALL server per VCPU (the SDK swaps
+	// it around each enclave entry, so concurrent enclaves never steal
+	// each other's redirected syscalls); ocallOverride, when set, takes
+	// precedence on every VCPU (attack tests use it to play a hostile
+	// application stub).
+	ocallByVCPU   map[int]func(vcpu int) error
+	ocallOverride func(vcpu int) error
+}
+
+// Boot builds and boots a CVM.
+func Boot(opts Options) (*CVM, error) {
+	if opts.MemBytes == 0 {
+		opts.MemBytes = 64 << 20
+	}
+	if opts.VCPUs <= 0 {
+		opts.VCPUs = 1
+	}
+	if opts.LogPages == 0 {
+		opts.LogPages = 64
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if opts.Veil {
+		return bootVeil(opts, rng)
+	}
+	return bootNative(opts, rng)
+}
+
+func moduleKey(rng io.Reader) (ed25519.PrivateKey, ed25519.PublicKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv, pub, nil
+}
+
+// monitorImage builds the measured boot-image bytes: a header plus the
+// module-signing public key (the anchors VeilS-Kci trusts come from the
+// measured image, not from the runtime kernel).
+func monitorImage(pub ed25519.PublicKey) []byte {
+	img := []byte("VEIL boot image v1\x00mod-signing-key:")
+	return append(img, pub...)
+}
+
+func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
+	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	psp, err := attest.NewPSP(rng)
+	if err != nil {
+		return nil, err
+	}
+	hyp := hv.New(m, psp)
+
+	lay, err := core.DefaultLayout(opts.MemBytes, opts.VCPUs, opts.LogPages)
+	if err != nil {
+		return nil, err
+	}
+	priv, pub, err := moduleKey(rng)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &CVM{M: m, HV: hyp, PSP: psp, Lay: lay, ModulePriv: priv}
+	c.TextLo = lay.KernelMemLo()
+	c.TextHi = c.TextLo + KernelTextPages*snp.PageSize
+
+	var k *kernel.Kernel
+	mon, err := core.NewMonitor(m, hyp, core.Config{
+		Layout: lay,
+		Rand:   rng,
+		UNTContext: func(vcpu int) hv.Context {
+			booted := false
+			return hv.ContextFunc(func(r hv.Reason) error {
+				switch r {
+				case hv.ReasonInterrupt:
+					m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+					return nil
+				default:
+					if !booted {
+						booted = true
+						return k.Boot()
+					}
+					return c.dispatchOcall(vcpu)
+				}
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Mon = mon
+
+	// The kernel object exists before launch (its code is part of the
+	// boot image); it runs when the monitor switches into Dom-UNT.
+	stub := core.NewOSStub(mon, 0)
+	c.Stub = stub
+	k, err = kernel.New(m, hyp, kernel.Config{
+		VMPL:         snp.VMPL3,
+		MemLo:        c.TextHi, // text pages are not general-purpose frames
+		MemHi:        lay.KernelHi,
+		GHCBBase:     lay.KernelGHCB(0),
+		VCPUs:        opts.VCPUs,
+		PreValidated: true,
+		Hooks:        stub,
+		// Dom-UNT entries on APs dispatch enclave OCALLs too, so
+		// multi-threaded enclaves can run on any VCPU (§7).
+		APService: func(vcpu int, dflt hv.Context) hv.Context {
+			return hv.ContextFunc(func(r hv.Reason) error {
+				switch r {
+				case hv.ReasonBoot:
+					return dflt.Invoke(r)
+				case hv.ReasonInterrupt:
+					m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+					return nil
+				default:
+					return c.dispatchOcall(vcpu)
+				}
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.K = k
+
+	// Protected services (part of the measured image).
+	c.KCI = kci.New(mon, pub, k.Modules().SymbolTable())
+	c.LOG = vlog.New(mon, opts.LogPages)
+	c.ENC = enc.New(mon, rng)
+	k.Modules().SetSigningKey(pub)
+
+	// Kernel W⊕X activates during monitor boot, once the sweep has
+	// validated the pages: the synthetic text range becomes read+exec,
+	// all remaining kernel memory loses supervisor execution (§6.1).
+	mon.OnBoot(func() error {
+		text := [][2]uint64{{c.TextLo, c.TextHi}}
+		data := [][2]uint64{{c.TextHi, lay.KernelHi}}
+		return c.KCI.Activate(text, data)
+	})
+
+	c.bootRegions = []hv.LaunchRegion{{Phys: lay.MonImage, Data: monitorImage(pub)}}
+	boot := snp.VMSA{VCPUID: 0, VMPL: snp.VMPL0, CPL: snp.CPL0}
+	if err := hyp.Launch(c.bootRegions, lay.BootVMSA, boot, core.DomMON, mon.BootContext()); err != nil {
+		return nil, fmt.Errorf("cvm: veil launch: %w", err)
+	}
+
+	// Steady state: every VCPU rests in Dom-UNT; interrupts during
+	// trusted-domain execution are relayed there (§6.2).
+	for v := 0; v < opts.VCPUs; v++ {
+		unt, ok := mon.ReplicaVMSA(v, core.DomUNT)
+		if !ok {
+			return nil, fmt.Errorf("cvm: VCPU %d has no Dom-UNT replica", v)
+		}
+		if err := hyp.Resume(v, unt); err != nil {
+			return nil, err
+		}
+	}
+	hyp.SetInterruptRelay(hv.RelayToUntrusted, core.DomUNT)
+
+	if opts.AuditRules != nil {
+		k.Audit().SetRules(opts.AuditRules)
+	}
+	return c, nil
+}
+
+func bootNative(opts Options, rng io.Reader) (*CVM, error) {
+	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	psp, err := attest.NewPSP(rng)
+	if err != nil {
+		return nil, err
+	}
+	hyp := hv.New(m, psp)
+	priv, pub, err := moduleKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	c := &CVM{M: m, HV: hyp, PSP: psp, ModulePriv: priv}
+
+	const bootVMSA = 0
+	ghcbBase := uint64(1 * snp.PageSize)
+	imagePhys := ghcbBase + uint64(opts.VCPUs)*snp.PageSize
+	memLo := imagePhys + 4*snp.PageSize
+
+	var k *kernel.Kernel
+	bootCtx := hv.ContextFunc(func(r hv.Reason) error {
+		switch r {
+		case hv.ReasonBoot:
+			return k.Boot()
+		case hv.ReasonInterrupt:
+			m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+			return nil
+		default:
+			return c.dispatchOcall(0)
+		}
+	})
+	k, err = kernel.New(m, hyp, kernel.Config{
+		VMPL:     snp.VMPL0,
+		MemLo:    memLo,
+		MemHi:    opts.MemBytes,
+		GHCBBase: ghcbBase,
+		VCPUs:    opts.VCPUs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.K = k
+	k.Modules().SetSigningKey(pub)
+
+	c.bootRegions = []hv.LaunchRegion{{Phys: imagePhys, Data: monitorImage(pub)}}
+	boot := snp.VMSA{VCPUID: 0, VMPL: snp.VMPL0, CPL: snp.CPL0}
+	if err := hyp.Launch(c.bootRegions, bootVMSA, boot, core.DomUNT, bootCtx); err != nil {
+		return nil, fmt.Errorf("cvm: native launch: %w", err)
+	}
+	if opts.AuditRules != nil {
+		k.Audit().SetRules(opts.AuditRules)
+	}
+	return c, nil
+}
+
+// BootRegions returns the measured launch regions (remote users precompute
+// the expected measurement from these).
+func (c *CVM) BootRegions() []hv.LaunchRegion { return c.bootRegions }
+
+// ExpectedMeasurement computes the launch digest a verifier would expect.
+func (c *CVM) ExpectedMeasurement() [32]byte {
+	regions := make([]attest.Region, len(c.bootRegions))
+	for i, r := range c.bootRegions {
+		regions[i] = attest.Region{Phys: r.Phys, Data: r.Data}
+	}
+	return attest.MeasureRegions(regions)
+}
+
+// dispatchOcall routes a Dom-UNT service entry to the right application.
+func (c *CVM) dispatchOcall(vcpu int) error {
+	if c.ocallOverride != nil {
+		return c.ocallOverride(vcpu)
+	}
+	if c.ocallByVCPU != nil {
+		if fn := c.ocallByVCPU[vcpu]; fn != nil {
+			return fn(vcpu)
+		}
+	}
+	return nil
+}
+
+// RegisterOcallServer installs a global Dom-UNT service entry that takes
+// precedence over per-VCPU servers (tests use it to model hostile
+// application stubs).
+func (c *CVM) RegisterOcallServer(fn func(vcpu int) error) { c.ocallOverride = fn }
+
+// SwapOcallServer installs the active OCALL server for one VCPU and
+// returns the previous one; the SDK brackets every enclave entry with it
+// so syscall redirection always reaches the entering application.
+func (c *CVM) SwapOcallServer(vcpu int, fn func(vcpu int) error) func(vcpu int) error {
+	if c.ocallByVCPU == nil {
+		c.ocallByVCPU = make(map[int]func(vcpu int) error)
+	}
+	prev := c.ocallByVCPU[vcpu]
+	c.ocallByVCPU[vcpu] = fn
+	return prev
+}
+
+// Tick injects n timer interrupts on VCPU 0.
+func (c *CVM) Tick(n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.HV.InjectInterrupt(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Veil reports whether this CVM runs the Veil framework.
+func (c *CVM) Veil() bool { return c.Mon != nil }

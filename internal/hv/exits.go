@@ -1,0 +1,270 @@
+package hv
+
+import (
+	"fmt"
+
+	"veil/internal/snp"
+)
+
+// chargeExit accounts one VMGEXIT (full VMSA state save + host dispatch).
+func (h *Hypervisor) chargeExit() {
+	h.m.Clock().Charge(snp.CostVMGEXIT, snp.CyclesVMGEXITSave)
+	h.m.Trace().VMGExits++
+}
+
+// chargeEnter accounts one VMENTER (VMSA state restore).
+func (h *Hypervisor) chargeEnter() {
+	h.m.Clock().Charge(snp.CostVMENTER, snp.CyclesVMENTERRestore)
+	h.m.Trace().VMEnters++
+}
+
+// VMGEXIT is the guest's non-automatic exit: the exiting VCPU's GHCB (found
+// through its MSR) carries the request (Fig. 1). The call returns when the
+// exiting instance is resumed — for a domain switch that is after the
+// target domain ran and switched back, so the Go call structure mirrors the
+// paper's Fig. 3 sequence exactly.
+func (h *Hypervisor) VMGEXIT(vcpuID int) error {
+	if h.m.Halted() != nil {
+		return snp.ErrHalted
+	}
+	c, ok := h.vcpus[vcpuID]
+	if !ok || !c.started {
+		return fmt.Errorf("hv: VMGEXIT from unknown VCPU %d", vcpuID)
+	}
+	h.chargeExit()
+	ghcbPhys, ok := h.m.ReadGHCBMSR(vcpuID)
+	if !ok {
+		return ErrNoGHCB
+	}
+	var g snp.GHCB
+	if err := h.m.HVReadGHCB(ghcbPhys, &g); err != nil {
+		// The "GHCB" is a guest-private page: the host sees ciphertext.
+		return fmt.Errorf("%w: %v", ErrNoGHCB, err)
+	}
+
+	switch g.ExitCode {
+	case ExitDomainSwitch:
+		return h.serveDomainSwitch(c, ghcbPhys, &g)
+	case ExitRegisterVMSA:
+		err := h.serveRegisterVMSA(&g)
+		h.chargeEnter()
+		return err
+	case ExitStartVCPU:
+		err := h.serveStartVCPU(&g)
+		h.chargeEnter()
+		return err
+	case ExitPageState:
+		err := h.servePageState(ghcbPhys, &g)
+		h.chargeEnter()
+		return err
+	case ExitGuestRequest:
+		err := h.serveGuestRequest(c, ghcbPhys, &g)
+		h.chargeEnter()
+		return err
+	case ExitIO:
+		// Device I/O is serviced host-side; contents are opaque to the
+		// model. The exit/enter cost is what matters.
+		h.chargeEnter()
+		return nil
+	default:
+		h.chargeEnter()
+		return fmt.Errorf("hv: unknown exit code %#x", g.ExitCode)
+	}
+}
+
+// serveDomainSwitch relays a domain switch (§5.2): resume the same VCPU
+// from the target domain's VMSA, and when that domain exits back, resume
+// the caller. Each direction costs one full save/restore pair — the 7135
+// cycles measured in §9.1.
+func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB) error {
+	tag := DomainTag(g.ExitInfo1)
+	if pol, exists := h.ghcbPolicy[ghcbPhys]; exists && !pol[tag] {
+		// Refusing leaves the guest stuck; the caller observes a crash
+		// (§6.2 "the CVM crashes on an attempted domain switch").
+		return ErrPolicy
+	}
+	b, ok := h.bindings[c.id][tag]
+	if !ok {
+		return fmt.Errorf("hv: VCPU %d has no domain %d", c.id, tag)
+	}
+	caller := c.currentVMSA
+
+	c.currentVMSA = b.vmsaPhys
+	h.m.Trace().DomainSwitches++
+	h.chargeEnter()
+	err := b.ctx.Invoke(ReasonService)
+
+	// Target exits; caller resumes (even on error, so halts propagate
+	// with correct accounting).
+	h.chargeExit()
+	c.currentVMSA = caller
+	h.m.Trace().DomainSwitches++
+	h.chargeEnter()
+	return err
+}
+
+// serveRegisterVMSA records a freshly created domain VMSA so later switch
+// requests can find it. The hypervisor learns the owning VCPU from the VMSA
+// it was handed; it keeps no security state here — whether the VMSA exists
+// at all was decided by the RMPADJUST privilege rules inside the guest.
+func (h *Hypervisor) serveRegisterVMSA(g *snp.GHCB) error {
+	vmsaPhys, tag := g.ExitInfo1, DomainTag(g.ExitInfo2)
+	v, err := h.m.VMSAAt(vmsaPhys)
+	if err != nil {
+		return fmt.Errorf("hv: register VMSA: %w", err)
+	}
+	ctx, ok := h.byVMSA[vmsaPhys]
+	if !ok {
+		return fmt.Errorf("hv: VMSA %#x has no bound context", vmsaPhys)
+	}
+	if h.bindings[v.VCPUID] == nil {
+		h.bindings[v.VCPUID] = make(map[DomainTag]binding)
+	}
+	h.bindings[v.VCPUID][tag] = binding{vmsaPhys: vmsaPhys, ctx: ctx}
+	return nil
+}
+
+// serveStartVCPU begins executing a new VCPU instance (AP boot/hotplug,
+// §5.3): the instance must already have a registered VMSA.
+func (h *Hypervisor) serveStartVCPU(g *snp.GHCB) error {
+	vmsaPhys := g.ExitInfo1
+	v, err := h.m.VMSAAt(vmsaPhys)
+	if err != nil {
+		return fmt.Errorf("hv: start VCPU: %w", err)
+	}
+	ctx, ok := h.byVMSA[vmsaPhys]
+	if !ok {
+		return fmt.Errorf("hv: start VCPU: VMSA %#x has no bound context", vmsaPhys)
+	}
+	if existing, ok := h.vcpus[v.VCPUID]; ok && existing.started {
+		return fmt.Errorf("hv: VCPU %d already running", v.VCPUID)
+	}
+	h.vcpus[v.VCPUID] = &vcpu{id: v.VCPUID, currentVMSA: vmsaPhys, started: true}
+	h.chargeEnter()
+	err = ctx.Invoke(ReasonBoot)
+	h.chargeExit()
+	return err
+}
+
+// servePageState performs page-state changes: assigning pages to the guest
+// or reclaiming shared ones. The reply code lands in SwScratch.
+func (h *Hypervisor) servePageState(ghcbPhys uint64, g *snp.GHCB) error {
+	phys := g.ExitInfo1
+	count := g.ExitInfo2 >> 1
+	assign := g.ExitInfo2&1 == 1
+	var failed uint64
+	for i := uint64(0); i < count; i++ {
+		p := phys + i*snp.PageSize
+		var err error
+		if assign {
+			err = h.m.HVAssignPage(p)
+		} else {
+			err = h.m.HVReclaimPage(p)
+		}
+		if err != nil {
+			failed++
+		}
+	}
+	g.SwScratch = failed
+	return h.m.HVWriteGHCB(ghcbPhys, g)
+}
+
+// serveGuestRequest relays an attestation report request to the PSP. The
+// requester's VMPL comes from the hardware (the exiting VMSA), not from the
+// request — this is what lets remote users distinguish a report minted by
+// VeilMon at VMPL0 from one minted by a compromised OS at VMPL3 (§5.1).
+func (h *Hypervisor) serveGuestRequest(c *vcpu, ghcbPhys uint64, g *snp.GHCB) error {
+	v, err := h.m.VMSAAt(c.currentVMSA)
+	if err != nil {
+		return fmt.Errorf("hv: guest request: %w", err)
+	}
+	if h.psp == nil {
+		return fmt.Errorf("hv: no PSP configured")
+	}
+	dataLen := int(g.SwScratch)
+	if dataLen < 0 || dataLen > len(g.Payload) {
+		return fmt.Errorf("hv: guest request: bad report data length %d", dataLen)
+	}
+	report, err := h.psp.SignReport(h.measurement, v.VMPL, g.Payload[:dataLen])
+	if err != nil {
+		return fmt.Errorf("hv: PSP: %w", err)
+	}
+	if len(report) > len(g.Payload) {
+		return fmt.Errorf("hv: report too large (%d bytes)", len(report))
+	}
+	g.SwScratch = uint64(len(report))
+	copy(g.Payload[:], report)
+	return h.m.HVWriteGHCB(ghcbPhys, g)
+}
+
+// VMCall models a plain exit on a non-SNP VM (~1100 cycles on the paper's
+// machine); it exists for the §9.1 comparison benchmark.
+func (h *Hypervisor) VMCall(vcpuID int) {
+	h.m.Clock().Charge(snp.CostVMCALL, snp.CyclesVMCALL)
+	h.m.Trace().VMCalls++
+}
+
+// InjectInterrupt delivers a hardware interrupt to the VCPU. This is an
+// automatic exit: no guest state crosses to the host. Under Veil's
+// instructions the hypervisor resumes Dom-UNT to run the OS handler; in the
+// hostile RefuseRelay mode it re-enters the interrupted domain instead,
+// which — if that domain is an enclave — faults on the unreachable OS
+// handler and halts the CVM (Table 2 "Refuse interrupt relay").
+func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
+	if h.m.Halted() != nil {
+		return snp.ErrHalted
+	}
+	c, ok := h.vcpus[vcpuID]
+	if !ok {
+		return fmt.Errorf("hv: interrupt for unknown VCPU %d", vcpuID)
+	}
+	h.m.Clock().Charge(snp.CostInterrupt, snp.CyclesInterrupt)
+	h.m.Trace().Interrupts++
+	h.m.Trace().AutomaticExits++
+	h.chargeExit()
+	interrupted := c.currentVMSA
+
+	var target binding
+	switch {
+	case h.interruptMode == RelayToUntrusted && h.hasIntrTarget:
+		b, ok := h.bindings[c.id][h.interruptTarget]
+		if !ok {
+			return fmt.Errorf("hv: no interrupt target domain on VCPU %d", c.id)
+		}
+		target = b
+	default:
+		// Hostile (or unconfigured): force handling in the interrupted
+		// context.
+		ctx, ok := h.byVMSA[interrupted]
+		if !ok {
+			return fmt.Errorf("hv: interrupted VMSA %#x has no context", interrupted)
+		}
+		target = binding{vmsaPhys: interrupted, ctx: ctx}
+	}
+
+	c.currentVMSA = target.vmsaPhys
+	h.chargeEnter()
+	err := target.ctx.Invoke(ReasonInterrupt)
+	h.chargeExit()
+	c.currentVMSA = interrupted
+	h.chargeEnter()
+	return err
+}
+
+// AttemptVMSATamper is the Table 2 hypervisor attack: try to overwrite a
+// saved enclave register state. SEV-SNP keeps VMSAs in guest-assigned
+// memory, so the write is blocked; the returned error is the proof.
+func (h *Hypervisor) AttemptVMSATamper(vmsaPhys uint64) error {
+	evil := make([]byte, 8) // would-be rip overwrite
+	return h.m.HVWritePhys(vmsaPhys, evil)
+}
+
+// AttemptMemoryRead is the classic direct attack: the host reads guest
+// memory. Blocked for assigned pages.
+func (h *Hypervisor) AttemptMemoryRead(phys uint64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := h.m.HVReadPhys(phys, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,20 @@
+package hv
+
+import "veil/internal/snp"
+
+// GuestCall is the guest-side hypercall sequence of Fig. 1: write the
+// request into the GHCB at ghcbPhys (as software at vmpl/cpl — the RMP
+// check applies), VMGEXIT, and read the host's reply back from the GHCB.
+//
+// The caller must have had the GHCB MSR set to ghcbPhys for this VCPU; for
+// kernel GHCBs the kernel does that itself at CPL0, for user-mapped enclave
+// GHCBs the OS does it before scheduling the process (§6.2).
+func (h *Hypervisor) GuestCall(vcpuID int, vmpl snp.VMPL, cpl snp.CPL, ghcbPhys uint64, g *snp.GHCB) error {
+	if err := h.m.GuestWriteGHCB(vmpl, cpl, ghcbPhys, g); err != nil {
+		return err
+	}
+	if err := h.VMGEXIT(vcpuID); err != nil {
+		return err
+	}
+	return h.m.GuestReadGHCB(vmpl, cpl, ghcbPhys, g)
+}

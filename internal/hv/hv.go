@@ -1,0 +1,168 @@
+// Package hv models the untrusted host hypervisor of a SEV-SNP deployment.
+//
+// It implements the paper's three KVM-side changes (§7): maintaining VMSAs
+// for newly-created domains, hypercall routines for hypervisor-relayed
+// domain switches (§5.2, Fig. 3), and relaying automatic interrupt exits
+// from enclave domains to the untrusted domain (§6.2).
+//
+// The hypervisor is *outside* the CVM trust boundary. Its view of guest
+// memory goes through the machine's HV accessors, which enforce SEV-SNP's
+// confidentiality and integrity guarantees; tests drive the hostile modes
+// (VMSA tampering, interrupt-relay refusal) to validate Table 2.
+package hv
+
+import (
+	"errors"
+
+	"veil/internal/snp"
+)
+
+// DomainTag identifies a switch target to the hypervisor. Tags are opaque
+// to the hypervisor; the Veil framework defines their meaning (the core
+// package uses one tag per privilege domain).
+type DomainTag uint64
+
+// Reason tells a guest context why it was entered.
+type Reason int
+
+const (
+	// ReasonBoot is the first entry of a fresh VCPU instance.
+	ReasonBoot Reason = iota
+	// ReasonService is a hypervisor-relayed domain switch (the target
+	// should consult its IDCB for the request).
+	ReasonService
+	// ReasonInterrupt is an interrupt delivery (only the domain that the
+	// hypervisor chooses to resume sees it; under Veil's instructions that
+	// is Dom-UNT).
+	ReasonInterrupt
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonBoot:
+		return "boot"
+	case ReasonService:
+		return "service"
+	case ReasonInterrupt:
+		return "interrupt"
+	}
+	return "reason(?)"
+}
+
+// Context is the guest software bound to one VMSA. Invoke is called after
+// VMENTER; when it returns, the hypervisor performs the switch back to the
+// exiting instance. This call/return structure models the paper's
+// exit/enter pairs while keeping the simulation synchronous.
+type Context interface {
+	Invoke(reason Reason) error
+}
+
+// ContextFunc adapts a function to the Context interface.
+type ContextFunc func(reason Reason) error
+
+// Invoke calls f.
+func (f ContextFunc) Invoke(reason Reason) error { return f(reason) }
+
+// GHCB exit codes understood by this hypervisor (the SW_EXITCODE space).
+const (
+	// ExitDomainSwitch requests a switch to the domain in ExitInfo1.
+	ExitDomainSwitch uint64 = 0x8000_1001
+	// ExitRegisterVMSA registers the VMSA at ExitInfo1 under the tag in
+	// ExitInfo2 for the exiting VCPU ("maintain VMSAs for newly-created
+	// domains", §7).
+	ExitRegisterVMSA uint64 = 0x8000_1002
+	// ExitStartVCPU asks the hypervisor to begin executing the VCPU whose
+	// boot VMSA is in ExitInfo1 (AP boot / hotplug, §5.3).
+	ExitStartVCPU uint64 = 0x8000_1003
+	// ExitPageState requests a page-state change: ExitInfo1 = first page
+	// physical address, ExitInfo2 = page count<<1 | op (1 = assign to
+	// guest, 0 = reclaim/share).
+	ExitPageState uint64 = 0x8000_1004
+	// ExitGuestRequest relays an attestation report request to the PSP.
+	// The payload carries the report data; the response overwrites it.
+	ExitGuestRequest uint64 = 0x8000_1005
+	// ExitIO is a generic device-I/O exit (contents are opaque here).
+	ExitIO uint64 = 0x8000_1006
+)
+
+// InterruptMode selects how the hypervisor treats automatic exits taken
+// while a non-OS domain runs.
+type InterruptMode int
+
+const (
+	// RelayToUntrusted follows Veil's instructions: interrupts taken
+	// during enclave execution resume Dom-UNT for handling (§6.2).
+	RelayToUntrusted InterruptMode = iota
+	// RefuseRelay is the hostile mode of Table 2: the hypervisor forces
+	// interrupt handling in the interrupted (enclave) domain. Because the
+	// OS interrupt handler is unmapped/unexecutable there, the CVM halts
+	// with #NPF — the defence the paper describes.
+	RefuseRelay
+)
+
+// AttestationSigner abstracts the AMD PSP: it signs attestation reports
+// binding the launch measurement, the requesting VMPL, and caller-chosen
+// report data. The hypervisor relays requests to it but cannot forge its
+// signatures.
+type AttestationSigner interface {
+	SignReport(measurement [32]byte, vmpl snp.VMPL, reportData []byte) ([]byte, error)
+}
+
+// ErrNoGHCB indicates the exiting VCPU had no (readable) GHCB; on real
+// hardware this terminates the guest.
+var ErrNoGHCB = errors.New("hv: VMGEXIT without readable GHCB")
+
+// ErrPolicy indicates a domain-switch request violated the GHCB policy the
+// guest installed; the hypervisor refuses and the CVM effectively crashes
+// on the attempted switch (§6.2).
+var ErrPolicy = errors.New("hv: domain switch violates GHCB policy")
+
+type vcpu struct {
+	id          int
+	currentVMSA uint64
+	started     bool
+}
+
+type binding struct {
+	vmsaPhys uint64
+	ctx      Context
+}
+
+// Hypervisor is the host-side VM monitor for one CVM.
+type Hypervisor struct {
+	m   *snp.Machine
+	psp AttestationSigner
+
+	measurement [32]byte
+	launched    bool
+
+	vcpus    map[int]*vcpu
+	bindings map[int]map[DomainTag]binding // per VCPU: tag → VMSA+context
+	byVMSA   map[uint64]Context
+
+	// ghcbPolicy restricts, per GHCB page, which tags may be switched to
+	// through it. Nil entry = unrestricted (kernel GHCBs).
+	ghcbPolicy map[uint64]map[DomainTag]bool
+
+	interruptMode   InterruptMode
+	interruptTarget DomainTag
+	hasIntrTarget   bool
+}
+
+// New creates a hypervisor for machine m using psp for report signing.
+func New(m *snp.Machine, psp AttestationSigner) *Hypervisor {
+	return &Hypervisor{
+		m:          m,
+		psp:        psp,
+		vcpus:      make(map[int]*vcpu),
+		bindings:   make(map[int]map[DomainTag]binding),
+		byVMSA:     make(map[uint64]Context),
+		ghcbPolicy: make(map[uint64]map[DomainTag]bool),
+	}
+}
+
+// Machine returns the underlying machine (the host owns the hardware).
+func (h *Hypervisor) Machine() *snp.Machine { return h.m }
+
+// Measurement returns the launch digest recorded at Launch.
+func (h *Hypervisor) Measurement() [32]byte { return h.measurement }

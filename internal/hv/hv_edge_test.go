@@ -1,0 +1,143 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"veil/internal/snp"
+)
+
+func TestStartVCPUDoubleStartRejected(t *testing.T) {
+	h := newHarness(t)
+	phys := uint64(pgDonate) * snp.PageSize
+	gs := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1<<1 | 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, gs); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.PValidate(snp.VMPL0, phys, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.CreateVMSA(snp.VMPL0, phys, snp.VMSA{VCPUID: 1, VMPL: snp.VMPL3}); err != nil {
+		t.Fatal(err)
+	}
+	h.hv.BindContext(phys, ContextFunc(func(Reason) error { return nil }))
+	g := &snp.GHCB{ExitCode: ExitStartVCPU, ExitInfo1: phys}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	g = &snp.GHCB{ExitCode: ExitStartVCPU, ExitInfo1: phys}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestStartVCPUUnknownVMSA(t *testing.T) {
+	h := newHarness(t)
+	g := &snp.GHCB{ExitCode: ExitStartVCPU, ExitInfo1: pgScratch * snp.PageSize}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err == nil {
+		t.Fatal("start of non-VMSA page accepted")
+	}
+}
+
+func TestUnknownExitCode(t *testing.T) {
+	h := newHarness(t)
+	g := &snp.GHCB{ExitCode: 0xDEAD_BEEF}
+	err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g)
+	if err == nil || !strings.Contains(err.Error(), "unknown exit code") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVMGEXITFromUnknownVCPU(t *testing.T) {
+	h := newHarness(t)
+	if err := h.hv.VMGEXIT(7); err == nil {
+		t.Fatal("exit from unstarted VCPU accepted")
+	}
+}
+
+func TestGuestRequestBadLength(t *testing.T) {
+	h := newHarness(t)
+	g := &snp.GHCB{ExitCode: ExitGuestRequest, SwScratch: uint64(len(snp.GHCB{}.Payload) + 1)}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err == nil {
+		t.Fatal("oversized report data accepted")
+	}
+}
+
+func TestGuestRequestWithoutPSP(t *testing.T) {
+	m := snp.NewMachine(snp.Config{MemBytes: 8 * snp.PageSize, VCPUs: 1})
+	hyp := New(m, nil) // no PSP
+	boot := ContextFunc(func(r Reason) error {
+		return m.WriteGHCBMSR(0, snp.CPL0, 1*snp.PageSize)
+	})
+	if err := hyp.Launch(nil, 0, snp.VMSA{VCPUID: 0, VMPL: snp.VMPL0}, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	g := &snp.GHCB{ExitCode: ExitGuestRequest, SwScratch: 4}
+	if err := hyp.GuestCall(0, snp.VMPL0, snp.CPL0, 1*snp.PageSize, g); err == nil {
+		t.Fatal("attestation without a PSP succeeded")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	h := newHarness(t)
+	if err := h.hv.Resume(9, pgBootVMSA); err == nil {
+		t.Fatal("resume of unknown VCPU accepted")
+	}
+	if err := h.hv.Resume(0, pgScratch*snp.PageSize); err == nil {
+		t.Fatal("resume onto a non-VMSA page accepted")
+	}
+	if err := h.hv.Resume(0, pgOSVMSA*snp.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := h.hv.CurrentVMSA(0)
+	if cur != pgOSVMSA*snp.PageSize {
+		t.Fatal("resume did not switch the current VMSA")
+	}
+}
+
+func TestInterruptWithoutTargetHitsCurrent(t *testing.T) {
+	h := newHarness(t)
+	// No relay configuration at all: the interrupted context handles it.
+	if err := h.hv.InjectInterrupt(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.monCalls) != 1 || h.monCalls[0] != ReasonInterrupt {
+		t.Fatalf("monitor calls = %v", h.monCalls)
+	}
+}
+
+func TestPageStateReclaimPath(t *testing.T) {
+	h := newHarness(t)
+	phys := uint64(pgDonate) * snp.PageSize
+	// Assign, validate, then invalidate and reclaim.
+	g := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1<<1 | 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.PValidate(snp.VMPL0, phys, true); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaim of a validated page must fail (count lands in SwScratch).
+	g = &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1 << 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if g.SwScratch != 1 {
+		t.Fatalf("reclaim of validated page reported %d failures, want 1", g.SwScratch)
+	}
+	// After invalidation the reclaim succeeds.
+	if err := h.m.PValidate(snp.VMPL0, phys, false); err != nil {
+		t.Fatal(err)
+	}
+	g = &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1 << 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if g.SwScratch != 0 {
+		t.Fatalf("reclaim failed: %d", g.SwScratch)
+	}
+	e, _ := h.m.RMPEntryAt(phys)
+	if e.Assigned {
+		t.Fatal("page still assigned after reclaim")
+	}
+}

@@ -1,0 +1,383 @@
+package hv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"veil/internal/attest"
+	"veil/internal/snp"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// Fixed test layout (page numbers).
+const (
+	pgBootVMSA = 0 // boot (VMPL0) VMSA
+	pgMonGHCB  = 1 // shared GHCB for the monitor context
+	pgOSVMSA   = 2 // OS (VMPL3) replica VMSA
+	pgOSGHCB   = 3 // shared GHCB for the OS context
+	pgScratch  = 4 // guest-private scratch page
+	pgDonate   = 6 // page the host donates during the test
+	testPages  = 16
+	tagMon     = DomainTag(100)
+	tagOS      = DomainTag(103)
+)
+
+type harness struct {
+	m  *snp.Machine
+	hv *Hypervisor
+	// recorded invocations
+	bootRan  bool
+	monCalls []Reason
+	osCalls  []Reason
+}
+
+// newHarness launches a minimal "Veil-shaped" guest: a VMPL0 boot context
+// (standing in for VeilMon) that creates a VMPL3 OS replica and registers
+// both with the hypervisor.
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{}
+	h.m = snp.NewMachine(snp.Config{MemBytes: testPages * snp.PageSize, VCPUs: 1})
+	psp, err := attest.NewPSP(detRand{r: rand.New(rand.NewSource(42))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.hv = New(h.m, psp)
+
+	monCtx := ContextFunc(func(r Reason) error {
+		if r == ReasonBoot {
+			h.bootRan = true
+			return h.bootMonitor(t)
+		}
+		h.monCalls = append(h.monCalls, r)
+		return nil
+	})
+	image := []LaunchRegion{{Phys: pgScratch * snp.PageSize, Data: []byte("veilmon image")}}
+	boot := snp.VMSA{VCPUID: 0, VMPL: snp.VMPL0, CPL: snp.CPL0, RIP: 0x100}
+	if err := h.hv.Launch(image, pgBootVMSA*snp.PageSize, boot, tagMon, monCtx); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	return h
+}
+
+// bootMonitor is the boot context body: set up GHCB, create + register the
+// OS replica VMSA. It runs "inside" the guest at VMPL0/CPL0.
+func (h *harness) bootMonitor(t *testing.T) error {
+	m, hv := h.m, h.hv
+	// GHCB MSR for VCPU 0 points at the monitor's shared GHCB page.
+	if err := m.WriteGHCBMSR(0, snp.CPL0, pgMonGHCB*snp.PageSize); err != nil {
+		return err
+	}
+	// Ask the host to assign the OS VMSA page, then validate it.
+	g := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: pgOSVMSA * snp.PageSize, ExitInfo2: 1<<1 | 1}
+	if err := hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		return err
+	}
+	if g.SwScratch != 0 {
+		t.Fatalf("page state change failed for %d pages", g.SwScratch)
+	}
+	if err := m.PValidate(snp.VMPL0, pgOSVMSA*snp.PageSize, true); err != nil {
+		return err
+	}
+	// Create the OS replica at VMPL3 and bind its context.
+	osVMSA := snp.VMSA{VCPUID: 0, VMPL: snp.VMPL3, CPL: snp.CPL0, RIP: 0x200, Runnable: true}
+	if err := m.CreateVMSA(snp.VMPL0, pgOSVMSA*snp.PageSize, osVMSA); err != nil {
+		return err
+	}
+	hv.BindContext(pgOSVMSA*snp.PageSize, ContextFunc(func(r Reason) error {
+		h.osCalls = append(h.osCalls, r)
+		return nil
+	}))
+	g = &snp.GHCB{ExitCode: ExitRegisterVMSA, ExitInfo1: pgOSVMSA * snp.PageSize, ExitInfo2: uint64(tagOS)}
+	return hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g)
+}
+
+func TestLaunchRunsBootAndMeasures(t *testing.T) {
+	h := newHarness(t)
+	if !h.bootRan {
+		t.Fatal("boot context did not run")
+	}
+	want := attest.MeasureRegions([]attest.Region{{Phys: pgScratch * snp.PageSize, Data: []byte("veilmon image")}})
+	if h.hv.Measurement() != want {
+		t.Fatal("launch measurement mismatch with attest.MeasureRegions")
+	}
+	// The measured image content is in guest memory.
+	buf := make([]byte, 7)
+	if err := h.m.GuestReadPhys(snp.VMPL0, snp.CPL0, pgScratch*snp.PageSize, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "veilmon" {
+		t.Fatalf("image content %q", buf)
+	}
+}
+
+func TestDoubleLaunchRejected(t *testing.T) {
+	h := newHarness(t)
+	err := h.hv.Launch(nil, pgScratch*snp.PageSize, snp.VMSA{}, tagMon, ContextFunc(func(Reason) error { return nil }))
+	if err == nil {
+		t.Fatal("second launch accepted")
+	}
+}
+
+func TestDomainSwitchRoundTripCostAndTrace(t *testing.T) {
+	h := newHarness(t)
+	clk := h.m.Clock().Snapshot()
+	tr := h.m.Trace().Snapshot()
+
+	g := &snp.GHCB{ExitCode: ExitDomainSwitch, ExitInfo1: uint64(tagOS)}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.osCalls) != 1 || h.osCalls[0] != ReasonService {
+		t.Fatalf("OS context calls: %v", h.osCalls)
+	}
+	d := h.m.Trace().Since(tr)
+	if d.DomainSwitches != 2 {
+		t.Fatalf("DomainSwitches = %d, want 2 (there and back)", d.DomainSwitches)
+	}
+	if d.VMGExits != 2 || d.VMEnters != 2 {
+		t.Fatalf("exits/enters = %d/%d, want 2/2", d.VMGExits, d.VMEnters)
+	}
+	gotCycles := h.m.Clock().Since(clk)
+	if gotCycles != 2*snp.CyclesDomainSwitch {
+		t.Fatalf("round trip cost = %d cycles, want %d", gotCycles, 2*snp.CyclesDomainSwitch)
+	}
+}
+
+func TestSwitchDuringSwitchNests(t *testing.T) {
+	h := newHarness(t)
+	// Rebind the OS context so that, when invoked, it switches back into
+	// the monitor (nested service request), like the kernel asking VeilMon
+	// for a PVALIDATE while handling something else.
+	h.hv.BindContext(pgOSVMSA*snp.PageSize, ContextFunc(func(r Reason) error {
+		h.osCalls = append(h.osCalls, r)
+		if err := h.m.WriteGHCBMSR(0, snp.CPL0, pgOSGHCB*snp.PageSize); err != nil {
+			return err
+		}
+		g := &snp.GHCB{ExitCode: ExitDomainSwitch, ExitInfo1: uint64(tagMon)}
+		return h.hv.GuestCall(0, snp.VMPL3, snp.CPL0, pgOSGHCB*snp.PageSize, g)
+	}))
+	// Re-register binding to pick up the new context.
+	g := &snp.GHCB{ExitCode: ExitRegisterVMSA, ExitInfo1: pgOSVMSA * snp.PageSize, ExitInfo2: uint64(tagOS)}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+
+	g = &snp.GHCB{ExitCode: ExitDomainSwitch, ExitInfo1: uint64(tagOS)}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.monCalls) != 1 || h.monCalls[0] != ReasonService {
+		t.Fatalf("nested monitor calls: %v", h.monCalls)
+	}
+	cur, _ := h.hv.CurrentVMSA(0)
+	if cur != pgBootVMSA*snp.PageSize {
+		t.Fatalf("current VMSA after unwinding = %#x", cur)
+	}
+}
+
+func TestGHCBPolicyBlocksSwitch(t *testing.T) {
+	h := newHarness(t)
+	// Policy: the monitor GHCB may only reach tagMon (not tagOS).
+	h.hv.SetGHCBPolicy(pgMonGHCB*snp.PageSize, tagMon)
+	g := &snp.GHCB{ExitCode: ExitDomainSwitch, ExitInfo1: uint64(tagOS)}
+	err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g)
+	if !errors.Is(err, ErrPolicy) {
+		t.Fatalf("err = %v, want ErrPolicy", err)
+	}
+	if len(h.osCalls) != 0 {
+		t.Fatal("switch happened despite policy")
+	}
+}
+
+func TestGHCBOnPrivatePageFailsExit(t *testing.T) {
+	h := newHarness(t)
+	// Point the MSR at a guest-private page; the host cannot read it.
+	if err := h.m.WriteGHCBMSR(0, snp.CPL0, pgScratch*snp.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	err := h.hv.VMGEXIT(0)
+	if !errors.Is(err, ErrNoGHCB) {
+		t.Fatalf("err = %v, want ErrNoGHCB", err)
+	}
+}
+
+func TestUnknownDomainTag(t *testing.T) {
+	h := newHarness(t)
+	g := &snp.GHCB{ExitCode: ExitDomainSwitch, ExitInfo1: 999}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err == nil {
+		t.Fatal("switch to unknown tag accepted")
+	}
+}
+
+func TestRegisterVMSARequiresBoundContext(t *testing.T) {
+	h := newHarness(t)
+	// Create a second VMSA but don't bind a context.
+	phys := uint64(pgDonate) * snp.PageSize
+	gs := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1<<1 | 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, gs); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.PValidate(snp.VMPL0, phys, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.CreateVMSA(snp.VMPL0, phys, snp.VMSA{VCPUID: 0, VMPL: snp.VMPL2}); err != nil {
+		t.Fatal(err)
+	}
+	g := &snp.GHCB{ExitCode: ExitRegisterVMSA, ExitInfo1: phys, ExitInfo2: 55}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err == nil {
+		t.Fatal("register of unbound VMSA accepted")
+	}
+}
+
+func TestStartVCPURunsBootReason(t *testing.T) {
+	h := newHarness(t)
+	phys := uint64(pgDonate) * snp.PageSize
+	gs := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: phys, ExitInfo2: 1<<1 | 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, gs); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.PValidate(snp.VMPL0, phys, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.CreateVMSA(snp.VMPL0, phys, snp.VMSA{VCPUID: 1, VMPL: snp.VMPL3, Runnable: true}); err != nil {
+		t.Fatal(err)
+	}
+	var apBooted bool
+	h.hv.BindContext(phys, ContextFunc(func(r Reason) error {
+		apBooted = r == ReasonBoot
+		return nil
+	}))
+	g := &snp.GHCB{ExitCode: ExitStartVCPU, ExitInfo1: phys}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if !apBooted {
+		t.Fatal("AP boot context did not run with ReasonBoot")
+	}
+	if _, ok := h.hv.CurrentVMSA(1); !ok {
+		t.Fatal("VCPU 1 not tracked after start")
+	}
+}
+
+func TestPageStateReportsFailures(t *testing.T) {
+	h := newHarness(t)
+	// pgScratch is already assigned (launch image): assigning again fails.
+	g := &snp.GHCB{ExitCode: ExitPageState, ExitInfo1: pgScratch * snp.PageSize, ExitInfo2: 1<<1 | 1}
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	if g.SwScratch != 1 {
+		t.Fatalf("failed count = %d, want 1", g.SwScratch)
+	}
+}
+
+func TestGuestRequestBindsHardwareVMPL(t *testing.T) {
+	h := newHarness(t)
+	psp := h.hv.psp.(*attest.PSP)
+
+	reportData := []byte("monitor dh key")
+	g := &snp.GHCB{ExitCode: ExitGuestRequest, SwScratch: uint64(len(reportData))}
+	copy(g.Payload[:], reportData)
+	if err := h.hv.GuestCall(0, snp.VMPL0, snp.CPL0, pgMonGHCB*snp.PageSize, g); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attest.VerifyReport(psp.PublicKey(), g.Payload[:g.SwScratch])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VMPL != snp.VMPL0 {
+		t.Fatalf("report VMPL = %v, want VMPL0 (from hardware VMSA)", rep.VMPL)
+	}
+	if rep.Measurement != h.hv.Measurement() {
+		t.Fatal("report measurement mismatch")
+	}
+	if string(rep.ReportData[:len(reportData)]) != string(reportData) {
+		t.Fatal("report data mismatch")
+	}
+}
+
+func TestInterruptRelayToUntrusted(t *testing.T) {
+	h := newHarness(t)
+	h.hv.SetInterruptRelay(RelayToUntrusted, tagOS)
+	if err := h.hv.InjectInterrupt(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.osCalls) != 1 || h.osCalls[0] != ReasonInterrupt {
+		t.Fatalf("OS calls after interrupt: %v", h.osCalls)
+	}
+	// The interrupted (monitor) instance is current again afterwards.
+	cur, _ := h.hv.CurrentVMSA(0)
+	if cur != pgBootVMSA*snp.PageSize {
+		t.Fatalf("current VMSA = %#x after interrupt", cur)
+	}
+}
+
+func TestInterruptRefuseRelayHitsCurrentDomain(t *testing.T) {
+	h := newHarness(t)
+	h.hv.SetInterruptRelay(RefuseRelay, tagOS)
+	// The current domain is the monitor; its context sees the interrupt.
+	if err := h.hv.InjectInterrupt(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.monCalls) != 1 || h.monCalls[0] != ReasonInterrupt {
+		t.Fatalf("monitor calls: %v", h.monCalls)
+	}
+	if len(h.osCalls) != 0 {
+		t.Fatal("OS should not have been resumed in RefuseRelay mode")
+	}
+}
+
+func TestHostileVMSATamperBlocked(t *testing.T) {
+	h := newHarness(t)
+	if err := h.hv.AttemptVMSATamper(pgOSVMSA * snp.PageSize); err == nil {
+		t.Fatal("hypervisor tampered with a VMSA")
+	}
+	if _, err := h.hv.AttemptMemoryRead(pgScratch*snp.PageSize, 16); err == nil {
+		t.Fatal("hypervisor read guest-private memory")
+	}
+}
+
+func TestVMCallCost(t *testing.T) {
+	h := newHarness(t)
+	clk := h.m.Clock().Snapshot()
+	h.hv.VMCall(0)
+	if got := h.m.Clock().Since(clk); got != snp.CyclesVMCALL {
+		t.Fatalf("VMCALL cost = %d, want %d", got, snp.CyclesVMCALL)
+	}
+	if h.m.Trace().VMCalls != 1 {
+		t.Fatal("VMCalls not counted")
+	}
+}
+
+func TestVMGEXITAfterHaltReturnsErrHalted(t *testing.T) {
+	h := newHarness(t)
+	// Halt the CVM via an RMP violation.
+	if err := h.m.RMPAdjust(snp.VMPL0, pgScratch*snp.PageSize, snp.VMPL3, snp.PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.m.GuestWritePhys(snp.VMPL3, snp.CPL0, pgScratch*snp.PageSize, []byte{1}); !snp.IsNPF(err) {
+		t.Fatalf("expected #NPF, got %v", err)
+	}
+	if err := h.hv.VMGEXIT(0); !errors.Is(err, snp.ErrHalted) {
+		t.Fatalf("VMGEXIT after halt: %v", err)
+	}
+	if err := h.hv.InjectInterrupt(0); !errors.Is(err, snp.ErrHalted) {
+		t.Fatalf("interrupt after halt: %v", err)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if ReasonBoot.String() != "boot" || ReasonService.String() != "service" || ReasonInterrupt.String() != "interrupt" {
+		t.Fatal("reason strings")
+	}
+}

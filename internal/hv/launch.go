@@ -1,0 +1,110 @@
+package hv
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"veil/internal/snp"
+)
+
+// LaunchRegion is one measured piece of the CVM boot image: data placed at
+// a fixed guest-physical address before the guest runs.
+type LaunchRegion struct {
+	Phys uint64
+	Data []byte
+}
+
+// Launch boots the CVM: it loads and measures the boot-image regions (the
+// SHA-256 over addresses and contents is the launch digest later attested
+// to remote users, §5.1), creates the boot VCPU's VMSA — which the
+// architecture pins at VMPL0, so under Veil the entry context is VeilMon,
+// not the kernel — and synchronously runs the boot context.
+//
+// bootTag registers the boot context for subsequent domain switches.
+func (h *Hypervisor) Launch(regions []LaunchRegion, bootVMSAPhys uint64, boot snp.VMSA, bootTag DomainTag, ctx Context) error {
+	if h.launched {
+		return fmt.Errorf("hv: CVM already launched")
+	}
+	hash := sha256.New()
+	for _, r := range regions {
+		var addr [8]byte
+		binary.LittleEndian.PutUint64(addr[:], r.Phys)
+		hash.Write(addr[:])
+		hash.Write(r.Data)
+		if err := h.m.LaunchLoad(r.Phys, r.Data); err != nil {
+			return fmt.Errorf("hv: launch load at %#x: %w", r.Phys, err)
+		}
+	}
+	copy(h.measurement[:], hash.Sum(nil))
+
+	boot.VMPL = snp.VMPL0
+	if err := h.m.HVCreateBootVMSA(bootVMSAPhys, boot); err != nil {
+		return fmt.Errorf("hv: boot VMSA: %w", err)
+	}
+	h.launched = true
+	h.vcpus[boot.VCPUID] = &vcpu{id: boot.VCPUID, currentVMSA: bootVMSAPhys, started: true}
+	h.BindContext(bootVMSAPhys, ctx)
+	h.bindings[boot.VCPUID] = map[DomainTag]binding{bootTag: {vmsaPhys: bootVMSAPhys, ctx: ctx}}
+
+	h.m.Clock().Charge(snp.CostVMENTER, snp.CyclesVMENTERRestore)
+	h.m.Trace().VMEnters++
+	return ctx.Invoke(ReasonBoot)
+}
+
+// BindContext associates guest software (a Go handler standing in for the
+// code at the VMSA's saved rip) with a VMSA page. This is simulation
+// wiring, not a protocol step: the binding is established by whoever wrote
+// the VMSA — under Veil, only VeilMon can do that (snp.CreateVMSA enforces
+// VMPL0).
+func (h *Hypervisor) BindContext(vmsaPhys uint64, ctx Context) {
+	h.byVMSA[vmsaPhys] = ctx
+}
+
+// SetGHCBPolicy restricts the set of domain tags reachable through the GHCB
+// page at ghcbPhys. VeilS-Enc instructs the hypervisor to allow only
+// Dom-UNT↔Dom-ENC switches on user-mapped GHCBs (§6.2). The hypervisor is
+// untrusted, but following this instruction is in the host's own interest
+// (errant switches crash the CVM); hostile deviation is exercised in tests.
+func (h *Hypervisor) SetGHCBPolicy(ghcbPhys uint64, tags ...DomainTag) {
+	set := make(map[DomainTag]bool, len(tags))
+	for _, t := range tags {
+		set[t] = true
+	}
+	h.ghcbPolicy[ghcbPhys] = set
+}
+
+// SetInterruptRelay configures what the hypervisor does with automatic
+// exits taken while a non-OS domain runs: Veil instructs RelayToUntrusted
+// with the OS's tag (§6.2); RefuseRelay is the Table 2 attack mode.
+func (h *Hypervisor) SetInterruptRelay(mode InterruptMode, target DomainTag) {
+	h.interruptMode = mode
+	h.interruptTarget = target
+	h.hasIntrTarget = true
+}
+
+// CurrentVMSA returns the VMSA the given VCPU is executing (bookkeeping the
+// real host keeps in struct vcpu_svm).
+func (h *Hypervisor) CurrentVMSA(vcpuID int) (uint64, bool) {
+	c, ok := h.vcpus[vcpuID]
+	if !ok {
+		return 0, false
+	}
+	return c.currentVMSA, true
+}
+
+// Resume marks vmsaPhys as the VCPU's steady-state instance. The simulation
+// uses it after boot completes: nested boot calls have unwound, but the
+// system's resting context is the OS domain, and attestation requests must
+// reflect the VMPL of whoever is actually running.
+func (h *Hypervisor) Resume(vcpuID int, vmsaPhys uint64) error {
+	c, ok := h.vcpus[vcpuID]
+	if !ok {
+		return fmt.Errorf("hv: resume of unknown VCPU %d", vcpuID)
+	}
+	if _, err := h.m.VMSAAt(vmsaPhys); err != nil {
+		return err
+	}
+	c.currentVMSA = vmsaPhys
+	return nil
+}

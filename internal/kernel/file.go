@@ -1,0 +1,59 @@
+package kernel
+
+// FD is one entry in a process's descriptor table. Exactly one of ino,
+// sock or pipe is set.
+type FD struct {
+	Path  string
+	Flags int
+
+	ino  *Inode
+	off  int64
+	sock *Socket
+	pipe *pipeEnd
+}
+
+// Open flags (Linux numbering for the common subset).
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Protection bits for mmap/mprotect.
+const (
+	ProtNone  uint64 = 0
+	ProtRead  uint64 = 1
+	ProtWrite uint64 = 2
+	ProtExec  uint64 = 4
+)
+
+// Whence values for lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// pipeEnd is one half of a pipe.
+type pipeEnd struct {
+	q        *byteQueue
+	readSide bool
+	peer     *pipeEnd
+	closed   bool
+}
+
+// Inode returns the backing inode for a file FD (nil otherwise).
+func (f *FD) Inode() *Inode { return f.ino }
+
+// Socket returns the backing socket for a socket FD (nil otherwise).
+func (f *FD) Socket() *Socket { return f.sock }
+
+// Offset returns the current file offset.
+func (f *FD) Offset() int64 { return f.off }
+
+func (f *FD) readable() bool { return f.Flags&0x3 != OWronly }
+func (f *FD) writable() bool { return f.Flags&0x3 != ORdonly }

@@ -1,0 +1,166 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The network stack is a loopback-only socket layer: enough surface for the
+// paper's server workloads (lighttpd/NGINX-style HTTP over AF_INET stream
+// sockets, memcached's text protocol) and the audited network syscalls of
+// Table 5's ruleset. The simulation is synchronous, so "blocking" reads on
+// an empty queue return ErrWouldBlock and the load drivers interleave
+// client and server steps.
+
+// Socket domains and types (Linux numbering).
+const (
+	AFInet     = 2
+	AFUnix     = 1
+	SockStream = 1
+	SockDgram  = 2
+)
+
+// Network errors.
+var (
+	ErrWouldBlock   = errors.New("operation would block")
+	ErrNotConnected = errors.New("socket not connected")
+	ErrInUse        = errors.New("address in use")
+	ErrRefused      = errors.New("connection refused")
+	ErrClosed       = errors.New("connection closed")
+)
+
+// Socket is one endpoint.
+type Socket struct {
+	Domain, Type int
+	port         int
+	listening    bool
+	backlog      []*conn
+	peer         *conn // established connection, from this side's view
+}
+
+// conn is one direction-pair of byte queues.
+type conn struct {
+	tx, rx *byteQueue
+	closed bool
+	remote *conn
+}
+
+type byteQueue struct{ buf []byte }
+
+func (q *byteQueue) write(b []byte) int {
+	q.buf = append(q.buf, b...)
+	return len(b)
+}
+
+func (q *byteQueue) read(b []byte) int {
+	n := copy(b, q.buf)
+	q.buf = q.buf[n:]
+	return n
+}
+
+func (q *byteQueue) len() int { return len(q.buf) }
+
+// netStack is the kernel's loopback fabric.
+type netStack struct {
+	listeners map[int]*Socket // port → listening socket
+}
+
+func (k *Kernel) net() *netStack {
+	if k.netstack == nil {
+		k.netstack = &netStack{listeners: make(map[int]*Socket)}
+	}
+	return k.netstack
+}
+
+// bindSocket attaches a socket to a port.
+func (n *netStack) bind(s *Socket, port int) error {
+	if _, busy := n.listeners[port]; busy {
+		return ErrInUse
+	}
+	s.port = port
+	return nil
+}
+
+func (n *netStack) listen(s *Socket) error {
+	if s.port == 0 {
+		return ErrInval
+	}
+	s.listening = true
+	n.listeners[s.port] = s
+	return nil
+}
+
+// connect establishes a loopback connection to a listening port, producing
+// the client-side conn; the server side lands in the listener's backlog.
+func (n *netStack) connect(s *Socket, port int) error {
+	l, ok := n.listeners[port]
+	if !ok || !l.listening {
+		return ErrRefused
+	}
+	a2b, b2a := &byteQueue{}, &byteQueue{}
+	client := &conn{tx: a2b, rx: b2a}
+	server := &conn{tx: b2a, rx: a2b}
+	client.remote, server.remote = server, client
+	s.peer = client
+	l.backlog = append(l.backlog, server)
+	return nil
+}
+
+// accept pops one pending connection as a fresh socket.
+func (n *netStack) accept(l *Socket) (*Socket, error) {
+	if !l.listening {
+		return nil, ErrInval
+	}
+	if len(l.backlog) == 0 {
+		return nil, ErrWouldBlock
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return &Socket{Domain: l.Domain, Type: l.Type, peer: c}, nil
+}
+
+func (s *Socket) send(b []byte) (int, error) {
+	if s.peer == nil {
+		return 0, ErrNotConnected
+	}
+	if s.peer.closed || s.peer.remote.closed {
+		return 0, ErrClosed
+	}
+	return s.peer.tx.write(b), nil
+}
+
+func (s *Socket) recv(b []byte) (int, error) {
+	if s.peer == nil {
+		return 0, ErrNotConnected
+	}
+	if s.peer.rx.len() == 0 {
+		if s.peer.remote.closed {
+			return 0, nil // orderly EOF
+		}
+		return 0, ErrWouldBlock
+	}
+	return s.peer.rx.read(b), nil
+}
+
+// closeSocket shuts the endpoint down.
+func (n *netStack) close(s *Socket) {
+	if s.listening {
+		delete(n.listeners, s.port)
+		s.listening = false
+	}
+	if s.peer != nil {
+		s.peer.closed = true
+	}
+}
+
+// Pending reports queued bytes available to read (drivers use it to poll).
+func (s *Socket) Pending() int {
+	if s.peer == nil {
+		return 0
+	}
+	return s.peer.rx.len()
+}
+
+func (s *Socket) String() string {
+	return fmt.Sprintf("socket(domain=%d type=%d port=%d)", s.Domain, s.Type, s.port)
+}

@@ -1,0 +1,219 @@
+package kernel
+
+import (
+	"fmt"
+
+	"veil/internal/mm"
+	"veil/internal/snp"
+)
+
+// User-space layout constants.
+const (
+	// UserMmapBase is where anonymous mappings start.
+	UserMmapBase = 0x0000_2000_0000
+	// UserBinBase is where installed binaries (and enclave images) load.
+	UserBinBase = 0x0000_0040_0000
+)
+
+// Process is one user task: an FD table and, when the task maps memory, a
+// real page-table tree over kernel-allocated frames.
+type Process struct {
+	PID  int
+	Name string
+	UID  int
+
+	k        *Kernel
+	as       *mm.AddressSpace
+	fds      map[int]*FD
+	nextFD   int
+	mmapNext uint64
+	frames   map[uint64][]uint64 // virt base → data frames
+	regions  map[uint64]uint64   // virt base → length
+
+	// Enclave is set by the Veil enclave module when this process hosts
+	// an enclave; the kernel treats the region specially on memory ops.
+	Enclave EnclaveBinding
+
+	exited   bool
+	exitCode int
+}
+
+// EnclaveBinding is the kernel-visible part of a process's enclave: enough
+// for the kernel to route memory-permission changes to VeilS-Enc (§6.2)
+// without knowing anything else about the enclave.
+type EnclaveBinding interface {
+	// Covers reports whether [virt, virt+len) intersects enclave memory.
+	Covers(virt, length uint64) bool
+	// SyncPermissions mirrors a non-enclave permission change into the
+	// protected enclave page tables.
+	SyncPermissions(virt, length uint64, prot uint64) error
+}
+
+// Spawn creates a new process.
+func (k *Kernel) Spawn(name string) *Process {
+	p := &Process{
+		PID:      k.nextPID,
+		Name:     name,
+		k:        k,
+		fds:      make(map[int]*FD),
+		nextFD:   3, // 0,1,2 reserved to mimic stdio
+		mmapNext: UserMmapBase,
+		frames:   make(map[uint64][]uint64),
+		regions:  make(map[uint64]uint64),
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	// Standard descriptors, all backed by the console device.
+	if console, err := k.vfs.Lookup("/dev/console"); err == nil {
+		p.fds[0] = &FD{Path: "/dev/console", Flags: ORdonly, ino: console}
+		p.fds[1] = &FD{Path: "/dev/console", Flags: OWronly | OAppend, ino: console}
+		p.fds[2] = &FD{Path: "/dev/console", Flags: OWronly | OAppend, ino: console}
+	}
+	return p
+}
+
+// Process returns a live process by PID.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// AddressSpace lazily creates the process page tables.
+func (p *Process) AddressSpace() (*mm.AddressSpace, error) {
+	if p.as == nil {
+		as, err := mm.NewAddressSpace(p.k.m, p.k.cfg.VMPL, p.k)
+		if err != nil {
+			return nil, err
+		}
+		p.as = as
+	}
+	return p.as, nil
+}
+
+// Mem returns a user-ring access context for the process's memory.
+func (p *Process) Mem() (snp.AccessContext, error) {
+	as, err := p.AddressSpace()
+	if err != nil {
+		return snp.AccessContext{}, err
+	}
+	return as.Context(snp.CPL3), nil
+}
+
+// installFD registers an FD object and returns its number.
+func (p *Process) installFD(f *FD) int {
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = f
+	return fd
+}
+
+// FDDesc returns the descriptor object (for tests).
+func (p *Process) FDDesc(fd int) (*FD, bool) {
+	f, ok := p.fds[fd]
+	return f, ok
+}
+
+// Exited reports termination state.
+func (p *Process) Exited() (bool, int) { return p.exited, p.exitCode }
+
+// protFlags converts PROT_* bits to PTE flags.
+func protFlags(prot uint64) uint64 {
+	flags := snp.PTEUser
+	if prot&ProtWrite != 0 {
+		flags |= snp.PTEWrite
+	}
+	if prot&ProtExec == 0 {
+		flags |= snp.PTENX
+	}
+	return flags
+}
+
+// MapRegion allocates frames and maps [virt, virt+length) with prot. It is
+// the engine under mmap and the enclave installer.
+func (p *Process) MapRegion(virt, length uint64, prot uint64) error {
+	if virt%snp.PageSize != 0 {
+		return ErrInval
+	}
+	length = (length + snp.PageSize - 1) &^ uint64(snp.PageSize-1)
+	if length == 0 {
+		return ErrInval
+	}
+	as, err := p.AddressSpace()
+	if err != nil {
+		return err
+	}
+	var pages []uint64
+	for off := uint64(0); off < length; off += snp.PageSize {
+		frame, err := p.k.AllocFrame()
+		if err != nil {
+			return err
+		}
+		pages = append(pages, frame)
+		if err := as.Map(virt+off, frame, protFlags(prot)); err != nil {
+			return err
+		}
+	}
+	p.frames[virt] = pages
+	p.regions[virt] = length
+	return nil
+}
+
+// UnmapRegion tears down a region created by MapRegion.
+func (p *Process) UnmapRegion(virt uint64) error {
+	length, ok := p.regions[virt]
+	if !ok {
+		return ErrInval
+	}
+	as, err := p.AddressSpace()
+	if err != nil {
+		return err
+	}
+	for off := uint64(0); off < length; off += snp.PageSize {
+		if _, err := as.Unmap(virt + off); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.frames[virt] {
+		if err := p.k.FreeFrame(f); err != nil {
+			return err
+		}
+	}
+	delete(p.frames, virt)
+	delete(p.regions, virt)
+	return nil
+}
+
+// RegionFrames returns the frames backing the region at virt (enclave
+// install path).
+func (p *Process) RegionFrames(virt uint64) ([]uint64, bool) {
+	f, ok := p.frames[virt]
+	return f, ok
+}
+
+// RegionLen returns the byte length of the region at virt.
+func (p *Process) RegionLen(virt uint64) (uint64, bool) {
+	l, ok := p.regions[virt]
+	return l, ok
+}
+
+// Teardown releases all process resources (called by exit).
+func (p *Process) teardown() error {
+	for virt := range p.regions {
+		if err := p.UnmapRegion(virt); err != nil {
+			return err
+		}
+	}
+	if p.as != nil {
+		if err := p.as.Release(); err != nil {
+			return err
+		}
+		p.as = nil
+	}
+	for fd := range p.fds {
+		delete(p.fds, fd)
+	}
+	delete(p.k.procs, p.PID)
+	return nil
+}
+
+func (p *Process) String() string { return fmt.Sprintf("pid %d (%s)", p.PID, p.Name) }

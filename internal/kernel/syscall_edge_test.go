@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpenatAndCreatPaths(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	fd, err := k.Openat(p, -100 /* AT_FDCWD */, "/tmp/via-openat", OCreat|ORdwr, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(p, fd, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	cfd, err := k.Creat(p, "/tmp/via-creat", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(p, cfd, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// creat truncates on reopen.
+	if _, err := k.Creat(p, "/tmp/via-creat", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.Stat(p, "/tmp/via-creat")
+	if st.Size != 0 {
+		t.Fatalf("creat did not truncate: %d", st.Size)
+	}
+}
+
+func TestOpenTruncAndAppendModes(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	fd, _ := k.Open(p, "/tmp/m", OCreat|OWronly, 0o644)
+	k.Write(p, fd, []byte("0123456789"))
+	// O_APPEND positions writes at EOF regardless of seeks.
+	afd, err := k.Open(p, "/tmp/m", OWronly|OAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Lseek(p, afd, 0, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	k.Write(p, afd, []byte("ab"))
+	st, _ := k.Stat(p, "/tmp/m")
+	if st.Size != 12 {
+		t.Fatalf("append size = %d", st.Size)
+	}
+	// O_TRUNC empties.
+	if _, err := k.Open(p, "/tmp/m", OWronly|OTrunc, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = k.Stat(p, "/tmp/m")
+	if st.Size != 0 {
+		t.Fatalf("trunc size = %d", st.Size)
+	}
+	// Opening a directory for writing fails.
+	if _, err := k.Open(p, "/tmp", ORdwr, 0); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir rw: %v", err)
+	}
+}
+
+func TestChmodMknodGetdents(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	if err := k.Mknod(p, "/dev/null0", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Mknod(p, "/dev/null0", 0o666); err == nil {
+		t.Fatal("mknod over existing accepted")
+	}
+	if err := k.Chmod(p, "/dev/null0", 0o400); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := k.Stat(p, "/dev/null0")
+	if st.Mode != 0o400 {
+		t.Fatalf("mode = %o", st.Mode)
+	}
+	fd, err := k.Open(p, "/dev", ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := k.Getdents(p, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "null0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("getdents = %v", names)
+	}
+	if err := k.Fchmod(p, fd, 0o500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecveForkExitLifecycle(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("init")
+	if _, err := k.Open(p, "/tmp/prog", OCreat, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Execve(p, "/tmp/prog", []string{"prog", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "/tmp/prog" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if err := k.Execve(p, "/no/such/binary", nil); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("execve missing: %v", err)
+	}
+	child, err := k.Fork(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Name != p.Name || child.UID != p.UID {
+		t.Fatal("fork did not inherit identity")
+	}
+	if err := k.Exit(child, 3); err != nil {
+		t.Fatal(err)
+	}
+	if exited, code := child.Exited(); !exited || code != 3 {
+		t.Fatalf("exit state: %v %d", exited, code)
+	}
+}
+
+func TestTimeAndIdentitySyscalls(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	t0 := k.Gettime(p)
+	k.Nanosleep(p, 1_000_000) // 1 ms of virtual time
+	t1 := k.Gettime(p)
+	if t1 <= t0 {
+		t.Fatalf("time did not advance: %d → %d", t0, t1)
+	}
+	if t1-t0 < 900_000 {
+		t.Fatalf("nanosleep advanced only %d ns", t1-t0)
+	}
+	if k.Getuid(p) != 0 {
+		t.Fatal("default uid")
+	}
+	if err := k.Setuid(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Getuid(p) != 1000 {
+		t.Fatal("setuid did not stick")
+	}
+}
+
+func TestLseekWhenceValidation(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	fd, _ := k.Open(p, "/tmp/s", OCreat|ORdwr, 0o644)
+	k.Write(p, fd, []byte("12345"))
+	if off, err := k.Lseek(p, fd, -2, SeekEnd); err != nil || off != 3 {
+		t.Fatalf("seek end: %d %v", off, err)
+	}
+	if off, err := k.Lseek(p, fd, 1, SeekCur); err != nil || off != 4 {
+		t.Fatalf("seek cur: %d %v", off, err)
+	}
+	if _, err := k.Lseek(p, fd, 0, 9); !errors.Is(err, ErrInval) {
+		t.Fatalf("bad whence: %v", err)
+	}
+	if _, err := k.Lseek(p, fd, -10, SeekSet); !errors.Is(err, ErrInval) {
+		t.Fatalf("negative seek: %v", err)
+	}
+}
+
+func TestProcessStdioBackedByConsole(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	if _, err := k.Write(p, 1, []byte("to stdout\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Write(p, 2, []byte("to stderr\n")); err != nil {
+		t.Fatal(err)
+	}
+	console, err := k.VFS().Lookup("/dev/console")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if console.Size() != 20 {
+		t.Fatalf("console size = %d", console.Size())
+	}
+	// stdin is read-only.
+	if _, err := k.Write(p, 0, []byte("x")); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("write to stdin: %v", err)
+	}
+}
+
+func TestSyscallBaseCostsApplied(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	before := k.m.Clock().Cycles()
+	if _, err := k.Open(p, "/tmp/cost", OCreat, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cost := k.m.Clock().Cycles() - before
+	// entry (300) + open base (6500); Fig. 4's native anchor.
+	if cost < 6500 || cost > 9000 {
+		t.Fatalf("open cost = %d cycles, want ≈6800", cost)
+	}
+	before = k.m.Clock().Cycles()
+	_ = k.Getpid(p)
+	if got := k.m.Clock().Cycles() - before; got > 1000 {
+		t.Fatalf("getpid cost = %d, want cheap", got)
+	}
+}
+
+func TestMachineTraceCountsSyscalls(t *testing.T) {
+	k := newNativeKernel(t, 1)
+	p := k.Spawn("t")
+	before := k.Machine().Trace().Syscalls
+	k.Getpid(p)
+	k.Getuid(p)
+	if got := k.Machine().Trace().Syscalls - before; got != 2 {
+		t.Fatalf("syscall trace delta = %d", got)
+	}
+}

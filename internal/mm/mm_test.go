@@ -1,0 +1,157 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"veil/internal/snp"
+)
+
+// frameSrc is a FrameSource over pre-validated machine pages.
+type frameSrc struct {
+	m    *snp.Machine
+	next uint64
+	hi   uint64
+	free []uint64
+}
+
+func newFrameSrc(t *testing.T, m *snp.Machine, lo, hi uint64) *frameSrc {
+	t.Helper()
+	for p := lo; p < hi; p += snp.PageSize {
+		if err := m.HVAssignPage(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PValidate(snp.VMPL0, p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &frameSrc{m: m, next: lo, hi: hi}
+}
+
+func (f *frameSrc) AllocFrame() (uint64, error) {
+	if n := len(f.free); n > 0 {
+		p := f.free[n-1]
+		f.free = f.free[:n-1]
+		return p, nil
+	}
+	p := f.next
+	f.next += snp.PageSize
+	return p, nil
+}
+
+func (f *frameSrc) FreeFrame(p uint64) error {
+	f.free = append(f.free, p)
+	return nil
+}
+
+func TestAddressSpaceSparseMappings(t *testing.T) {
+	m := snp.NewMachine(snp.Config{MemBytes: 256 * snp.PageSize, VCPUs: 1})
+	src := newFrameSrc(t, m, 0, 128*snp.PageSize)
+	as, err := NewAddressSpace(m, snp.VMPL0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mappings across widely separated parts of the 48-bit space force
+	// distinct intermediate tables.
+	virts := []uint64{
+		0x0000_0000_1000_0000,
+		0x0000_7F00_0000_0000,
+		0x0000_0040_2000_0000,
+	}
+	for i, v := range virts {
+		frame, _ := src.AllocFrame()
+		if err := as.Map(v, frame, snp.PTEWrite|snp.PTEUser); err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	for _, v := range virts {
+		if _, _, err := as.Lookup(v); err != nil {
+			t.Fatalf("lookup %#x: %v", v, err)
+		}
+	}
+	// Table pages grew beyond the root.
+	if len(as.TablePages()) < 7 {
+		t.Fatalf("expected several table pages, got %d", len(as.TablePages()))
+	}
+	if err := as.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceRejectsUnaligned(t *testing.T) {
+	m := snp.NewMachine(snp.Config{MemBytes: 64 * snp.PageSize, VCPUs: 1})
+	src := newFrameSrc(t, m, 0, 32*snp.PageSize)
+	as, err := NewAddressSpace(m, snp.VMPL0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x1001, 0x2000, 0); err == nil {
+		t.Fatal("unaligned virt accepted")
+	}
+	if err := as.Map(0x1000, 0x2001, 0); err == nil {
+		t.Fatal("unaligned phys accepted")
+	}
+	if _, err := as.Unmap(0x555000); err == nil {
+		t.Fatal("unmap of unmapped accepted")
+	}
+	if err := as.Protect(0x555000, 0); err == nil {
+		t.Fatal("protect of unmapped accepted")
+	}
+}
+
+// Property: Map/Lookup round-trips arbitrary page-aligned pairs.
+func TestMapLookupProperty(t *testing.T) {
+	m := snp.NewMachine(snp.Config{MemBytes: 512 * snp.PageSize, VCPUs: 1})
+	src := newFrameSrc(t, m, 0, 256*snp.PageSize)
+	as, err := NewAddressSpace(m, snp.VMPL0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[uint64]bool{}
+	f := func(vRaw uint32, frameIdx uint8) bool {
+		virt := (uint64(vRaw) << snp.PageShift) & ((1 << 47) - 1) &^ (snp.PageSize - 1)
+		if used[virt] {
+			return true // skip duplicates
+		}
+		used[virt] = true
+		phys := (256 + uint64(frameIdx)%128) * snp.PageSize
+		// phys can repeat across virts here; the AS itself doesn't care.
+		if phys >= m.Config().MemBytes {
+			return true
+		}
+		if err := as.Map(virt, phys, snp.PTEUser); err != nil {
+			return false
+		}
+		got, flags, err := as.Lookup(virt)
+		return err == nil && got == phys && flags&snp.PTEUser != 0 && flags&snp.PTEPresent != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysAllocatorRange(t *testing.T) {
+	if _, err := NewPhysAllocator(100, 200); err == nil {
+		t.Fatal("unaligned range accepted")
+	}
+	if _, err := NewPhysAllocator(snp.PageSize, snp.PageSize); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	a, err := NewPhysAllocator(snp.PageSize, 5*snp.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPages() != 4 || a.FreePages() != 4 {
+		t.Fatalf("pages = %d/%d", a.FreePages(), a.TotalPages())
+	}
+	lo, hi := a.Range()
+	if lo != snp.PageSize || hi != 5*snp.PageSize {
+		t.Fatal("range mismatch")
+	}
+	// Deterministic low-to-high order.
+	p1, _ := a.Alloc()
+	p2, _ := a.Alloc()
+	if p1 != snp.PageSize || p2 != 2*snp.PageSize {
+		t.Fatalf("order: %#x %#x", p1, p2)
+	}
+}

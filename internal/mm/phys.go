@@ -1,0 +1,63 @@
+package mm
+
+import (
+	"fmt"
+
+	"veil/internal/snp"
+)
+
+// PhysAllocator hands out guest physical page frames from a fixed range.
+// The kernel owns one for its region of guest memory; VeilMon owns its own
+// (in the core package) for monitor memory — the two never overlap.
+type PhysAllocator struct {
+	lo, hi uint64 // [lo, hi) in bytes, page aligned
+	free   []uint64
+	inUse  map[uint64]bool
+}
+
+// NewPhysAllocator creates an allocator over [lo, hi). Both bounds must be
+// page aligned.
+func NewPhysAllocator(lo, hi uint64) (*PhysAllocator, error) {
+	if lo%snp.PageSize != 0 || hi%snp.PageSize != 0 || hi <= lo {
+		return nil, fmt.Errorf("mm: bad allocator range [%#x,%#x)", lo, hi)
+	}
+	a := &PhysAllocator{lo: lo, hi: hi, inUse: make(map[uint64]bool)}
+	// Stack the frames so allocation order is deterministic (low → high).
+	for p := hi - snp.PageSize; ; p -= snp.PageSize {
+		a.free = append(a.free, p)
+		if p == lo {
+			break
+		}
+	}
+	return a, nil
+}
+
+// Alloc returns one free page frame.
+func (a *PhysAllocator) Alloc() (uint64, error) {
+	if len(a.free) == 0 {
+		return 0, fmt.Errorf("mm: out of physical pages in [%#x,%#x)", a.lo, a.hi)
+	}
+	p := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.inUse[p] = true
+	return p, nil
+}
+
+// Free returns a frame to the pool.
+func (a *PhysAllocator) Free(p uint64) error {
+	if !a.inUse[p] {
+		return fmt.Errorf("mm: double free of frame %#x", p)
+	}
+	delete(a.inUse, p)
+	a.free = append(a.free, p)
+	return nil
+}
+
+// FreePages reports how many frames remain.
+func (a *PhysAllocator) FreePages() int { return len(a.free) }
+
+// TotalPages reports the size of the managed range in pages.
+func (a *PhysAllocator) TotalPages() int { return int((a.hi - a.lo) / snp.PageSize) }
+
+// Range returns the managed [lo, hi) byte range.
+func (a *PhysAllocator) Range() (lo, hi uint64) { return a.lo, a.hi }

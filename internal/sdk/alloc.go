@@ -1,0 +1,92 @@
+package sdk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heap is the SDK's in-enclave allocator (the paper embeds dlmalloc into
+// its musl port): a first-fit free-list allocator with coalescing over the
+// enclave's heap region. It manages *addresses*; the backing pages are
+// enclave memory measured at initialization.
+type Heap struct {
+	base, size uint64
+	free       []span // sorted by address, non-adjacent
+	inUse      map[uint64]uint64
+	allocated  uint64
+}
+
+type span struct{ addr, size uint64 }
+
+const heapAlign = 16
+
+// NewHeap creates an allocator over [base, base+size).
+func NewHeap(base, size uint64) *Heap {
+	return &Heap{
+		base:  base,
+		size:  size,
+		free:  []span{{addr: base, size: size}},
+		inUse: make(map[uint64]uint64),
+	}
+}
+
+// Alloc returns the address of a 16-byte-aligned block of n bytes.
+func (h *Heap) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("sdk: zero allocation")
+	}
+	n = (n + heapAlign - 1) &^ uint64(heapAlign-1)
+	for i, s := range h.free {
+		if s.size < n {
+			continue
+		}
+		addr := s.addr
+		if s.size == n {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+		} else {
+			h.free[i] = span{addr: s.addr + n, size: s.size - n}
+		}
+		h.inUse[addr] = n
+		h.allocated += n
+		return addr, nil
+	}
+	return 0, fmt.Errorf("sdk: out of enclave heap (%d bytes requested, %d free)", n, h.size-h.allocated)
+}
+
+// Free releases a block returned by Alloc, coalescing adjacent free spans.
+func (h *Heap) Free(addr uint64) error {
+	n, ok := h.inUse[addr]
+	if !ok {
+		return fmt.Errorf("sdk: free of unallocated address %#x", addr)
+	}
+	delete(h.inUse, addr)
+	h.allocated -= n
+	h.free = append(h.free, span{addr: addr, size: n})
+	sort.Slice(h.free, func(i, j int) bool { return h.free[i].addr < h.free[j].addr })
+	// Coalesce.
+	out := h.free[:1]
+	for _, s := range h.free[1:] {
+		last := &out[len(out)-1]
+		if last.addr+last.size == s.addr {
+			last.size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	h.free = out
+	return nil
+}
+
+// Allocated returns the number of bytes currently in use.
+func (h *Heap) Allocated() uint64 { return h.allocated }
+
+// LargestFree returns the biggest allocatable block size.
+func (h *Heap) LargestFree() uint64 {
+	var max uint64
+	for _, s := range h.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}

@@ -1,0 +1,560 @@
+package sdk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"veil/internal/cvm"
+	"veil/internal/hv"
+	"veil/internal/kernel"
+	"veil/internal/services/enc"
+	"veil/internal/snp"
+)
+
+// AppRuntime is the untrusted half of the SDK inside one process: it
+// installs the enclave, enters it through the user-mapped GHCB, and serves
+// the enclave's redirected syscalls (the OCALL server the enclave exits to,
+// §6.2 "System call redirection to untrusted application").
+type AppRuntime struct {
+	C *cvm.CVM
+	P *kernel.Process
+
+	ID          uint32
+	Tag         uint64
+	GHCB        uint64
+	Measurement [32]byte
+
+	sharedVirt uint64
+	mem        snp.AccessContext
+	enclave    *EnclaveRuntime
+	devFD      int
+	// frames is the OS's virt→frame tracking for demand paging (§6.2).
+	frames map[uint64]uint64
+	// threadGHCBs tracks per-thread GHCB frames for teardown.
+	threadGHCBs []uint64
+}
+
+var tokenCounter uint32
+
+// EnclaveConfig sizes the enclave.
+type EnclaveConfig struct {
+	// Image is the enclave binary (self-contained, own libc; its behaviour
+	// is the Program).
+	Image []byte
+	// RegionPages is the total enclave size in pages (binary + heap +
+	// stack); like the paper's prototype, every page is mapped at
+	// initialization.
+	RegionPages uint64
+	// EntryOffset is the program entry within the region.
+	EntryOffset uint64
+	// TickEveryExits injects a timer interrupt after every N enclave
+	// exits (0 = no timer model).
+	TickEveryExits uint64
+}
+
+// LaunchEnclave installs prog as an enclave in process p and returns the
+// runtime handle. The process keeps running untrusted; sensitive work
+// happens only inside Enter.
+func LaunchEnclave(c *cvm.CVM, p *kernel.Process, prog Program, cfg EnclaveConfig) (*AppRuntime, error) {
+	if err := InstallDevice(c); err != nil {
+		return nil, err
+	}
+	if cfg.RegionPages == 0 {
+		cfg.RegionPages = 64
+	}
+	if len(cfg.Image) == 0 {
+		cfg.Image = []byte("veil-enclave-binary\x00")
+	}
+	a := &AppRuntime{C: c, P: p}
+	mem, err := p.Mem()
+	if err != nil {
+		return nil, err
+	}
+	a.mem = mem
+
+	// The shared region must exist before finalize so the cloned tables
+	// map it.
+	sharedVirt, err := c.K.Mmap(p, SharedLen, kernel.ProtRead|kernel.ProtWrite)
+	if err != nil {
+		return nil, err
+	}
+	a.sharedVirt = sharedVirt
+
+	// Stage the binary in app memory for the kernel module to copy.
+	imgVirt, err := c.K.Mmap(p, uint64(len(cfg.Image)), kernel.ProtRead|kernel.ProtWrite)
+	if err != nil {
+		return nil, err
+	}
+	if err := mem.Write(imgVirt, cfg.Image); err != nil {
+		return nil, err
+	}
+
+	// Wire the trusted runtime: VeilS-Enc invokes the factory during
+	// finalization with the protected view.
+	token := atomic.AddUint32(&tokenCounter, 1)
+	c.ENC.RegisterContext(token, func(view enc.View) hv.Context {
+		er := newEnclaveRuntime(c, view, prog, sharedVirt, cfg.TickEveryExits)
+		a.enclave = er
+		return er
+	})
+
+	fd, err := c.K.Open(p, DevicePath, kernel.ORdwr, 0)
+	if err != nil {
+		return nil, err
+	}
+	a.devFD = fd
+	arg := make([]byte, createReplyLen)
+	le := binary.LittleEndian
+	le.PutUint32(arg[0:], token)
+	le.PutUint64(arg[4:], imgVirt)
+	le.PutUint64(arg[12:], uint64(len(cfg.Image)))
+	le.PutUint64(arg[20:], cfg.RegionPages)
+	le.PutUint64(arg[28:], cfg.EntryOffset)
+	if _, err := c.K.Ioctl(p, fd, ReqCreateEnclave, arg); err != nil {
+		return nil, fmt.Errorf("sdk: enclave create ioctl: %w", err)
+	}
+	a.ID = le.Uint32(arg[0:])
+	a.GHCB = le.Uint64(arg[4:])
+	copy(a.Measurement[:], arg[12:44])
+	a.Tag = 100 + uint64(a.ID)
+	if a.enclave == nil {
+		return nil, fmt.Errorf("sdk: enclave context factory never ran")
+	}
+
+	// Release the staging mapping; the clone keeps its own view.
+	if err := c.K.Munmap(p, imgVirt); err != nil {
+		return nil, err
+	}
+
+	return a, nil
+}
+
+// EnclaveThread is one additional enclave thread pinned to a VCPU, with
+// its own per-thread GHCB (§7 multi-threading).
+type EnclaveThread struct {
+	rt   *EnclaveRuntime
+	VCPU int
+	GHCB uint64
+}
+
+// AddThread provisions an enclave thread on another VCPU: the OS shares a
+// per-thread GHCB page and asks VeilS-Enc to mint and synchronize the
+// Dom-ENC VMSA for that VCPU.
+func (a *AppRuntime) AddThread(vcpu int) (*EnclaveThread, error) {
+	if a.enclave == nil {
+		return nil, fmt.Errorf("sdk: no enclave")
+	}
+	ghcb, err := a.C.K.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.C.K.SharePageWithHost(ghcb); err != nil {
+		return nil, err
+	}
+	th := a.enclave.forThread(vcpu, ghcb)
+	if err := a.C.ENC.AddThread(a.ID, vcpu, ghcb, th); err != nil {
+		return nil, err
+	}
+	a.threadGHCBs = append(a.threadGHCBs, ghcb)
+	return &EnclaveThread{rt: th, VCPU: vcpu, GHCB: ghcb}, nil
+}
+
+// EnterThread runs the enclave program on an additional thread's VCPU.
+func (a *AppRuntime) EnterThread(t *EnclaveThread, args ...string) (int, error) {
+	return a.enter(t.VCPU, t.GHCB, t.rt, args)
+}
+
+// Enter runs the enclave program once with the given arguments and returns
+// its exit code (the ECALL of the SGX model).
+func (a *AppRuntime) Enter(args ...string) (int, error) {
+	return a.enter(0, a.GHCB, a.enclave, args)
+}
+
+func (a *AppRuntime) enter(vcpu int, ghcb uint64, rt *EnclaveRuntime, args []string) (int, error) {
+	if rt == nil {
+		return -1, fmt.Errorf("sdk: no enclave")
+	}
+	// The OS scheduler hook: point the VCPU's GHCB MSR at the thread's
+	// GHCB before running the enclave-hosting task (§6.2).
+	if err := a.C.K.ScheduleEnclaveGHCB(vcpu, ghcb); err != nil {
+		return -1, err
+	}
+	// This application serves redirected syscalls while its enclave runs
+	// on this VCPU; restore the previous server afterwards so multiple
+	// enclaves never steal each other's OCALLs.
+	prev := a.C.SwapOcallServer(vcpu, a.ServeOcall)
+	defer a.C.SwapOcallServer(vcpu, prev)
+	// Serialize argv into the entry block.
+	var argBytes []byte
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(args)))
+	argBytes = append(argBytes, cnt[:]...)
+	for _, s := range args {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+		argBytes = append(argBytes, l[:]...)
+		argBytes = append(argBytes, s...)
+	}
+	if len(argBytes) > stageOff-eArgs {
+		return -1, fmt.Errorf("sdk: argv too large")
+	}
+	if err := a.mem.WriteU64(a.sharedVirt+eCmd, cmdRun); err != nil {
+		return -1, err
+	}
+	if err := a.mem.WriteU64(a.sharedVirt+eArgLen, uint64(len(argBytes))); err != nil {
+		return -1, err
+	}
+	if len(argBytes) > 0 {
+		if err := a.mem.Write(a.sharedVirt+eArgs, argBytes); err != nil {
+			return -1, err
+		}
+	}
+	// Enter the enclave: a hypervisor-relayed switch through the user
+	// GHCB (the MSR write happened above, at CPL0, via the scheduler).
+	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: a.Tag}
+	if err := a.C.HV.GuestCall(vcpu, snp.VMPL3, snp.CPL3, ghcb, g); err != nil {
+		return -1, fmt.Errorf("sdk: enclave entry: %w", err)
+	}
+	status, err := a.mem.ReadU64(a.sharedVirt + eStatus)
+	if err != nil {
+		return -1, err
+	}
+	exit, err := a.mem.ReadU64(a.sharedVirt + eExit)
+	if err != nil {
+		return -1, err
+	}
+	if status != 0 {
+		return int(int64(exit)), ErrEnclaveDead
+	}
+	return int(int64(exit)), nil
+}
+
+// Destroy tears the enclave down through the device and returns every
+// per-thread GHCB frame to the kernel pool.
+func (a *AppRuntime) Destroy() error {
+	arg := make([]byte, 4)
+	binary.LittleEndian.PutUint32(arg, a.ID)
+	_, err := a.C.K.Ioctl(a.P, a.devFD, ReqDestroyEnclave, arg)
+	for _, g := range a.threadGHCBs {
+		if ferr := a.C.K.FreeFrame(g); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	a.threadGHCBs = nil
+	a.enclave = nil
+	return err
+}
+
+// Enclave exposes the trusted runtime (tests and attack drills).
+func (a *AppRuntime) Enclave() *EnclaveRuntime { return a.enclave }
+
+// --- the OCALL server ---
+
+// descriptor accessors through the app's (untrusted, CPL3) view.
+func (a *AppRuntime) du64(off uint64) (uint64, error) { return a.mem.ReadU64(a.sharedVirt + off) }
+func (a *AppRuntime) wu64(off uint64, v uint64) error { return a.mem.WriteU64(a.sharedVirt+off, v) }
+
+func (a *AppRuntime) readStage(off, n uint64) ([]byte, error) {
+	if off < stageOff || off+n > SharedLen {
+		return nil, kernel.ErrInval
+	}
+	buf := make([]byte, n)
+	if err := a.mem.Read(a.sharedVirt+off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (a *AppRuntime) writeStage(off uint64, b []byte) error {
+	if off < stageOff || off+uint64(len(b)) > SharedLen {
+		return kernel.ErrInval
+	}
+	return a.mem.Write(a.sharedVirt+off, b)
+}
+
+type ocallArg struct{ val, stage, length uint64 }
+
+// ServeOcall handles one redirected syscall: the Dom-UNT entry invoked when
+// the enclave exits for a system call. It unpacks the descriptor, performs
+// the real syscall against the kernel, and stages the results.
+func (a *AppRuntime) ServeOcall(vcpu int) error {
+	sysno, err := a.du64(dSysno)
+	if err != nil {
+		return err
+	}
+	nargs, err := a.du64(dNArgs)
+	if err != nil {
+		return err
+	}
+	if nargs > maxOcallArgs {
+		return kernel.ErrInval
+	}
+	args := make([]ocallArg, nargs)
+	for i := range args {
+		base := uint64(dArgs + i*24)
+		if args[i].val, err = a.du64(base); err != nil {
+			return err
+		}
+		if args[i].stage, err = a.du64(base + 8); err != nil {
+			return err
+		}
+		if args[i].length, err = a.du64(base + 16); err != nil {
+			return err
+		}
+	}
+	ret, errno := a.dispatch(sysno, args)
+	if err := a.wu64(dRet, ret); err != nil {
+		return err
+	}
+	return a.wu64(dErrno, errno)
+}
+
+// dispatch maps descriptor syscalls onto kernel operations. Unsupported
+// numbers return ENOSYS (38); the enclave side then kills the enclave, the
+// paper's documented policy for unported syscalls.
+func (a *AppRuntime) dispatch(sysno uint64, args []ocallArg) (uint64, uint64) {
+	k, p := a.C.K, a.P
+	fail := func(err error) (uint64, uint64) { return ^uint64(0), errnoFor(err) }
+	okv := func(v uint64) (uint64, uint64) { return v, 0 }
+
+	stagePath := func(i int) (string, bool) {
+		b, err := a.readStage(args[i].stage, args[i].length)
+		if err != nil || len(b) == 0 {
+			return "", false
+		}
+		return string(b[:len(b)-1]), true // strip NUL
+	}
+
+	switch sysno {
+	case sysPageIn: // collaborative demand paging (§6.2)
+		if len(args) < 1 {
+			return ^uint64(0), 22
+		}
+		return 0, a.servePageIn(args[0].val)
+	case sysBatch: // exitless batch flush (§10)
+		if len(args) < 1 {
+			return ^uint64(0), 22
+		}
+		return a.serveBatch(args[0].val)
+	case 0: // read
+		buf := make([]byte, args[2].val)
+		n, err := k.Read(p, int(args[0].val), buf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.writeStage(args[1].stage, buf[:n]); err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 1: // write
+		buf, err := a.readStage(args[1].stage, args[2].val)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := k.Write(p, int(args[0].val), buf)
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 2: // open
+		path, ok := stagePath(0)
+		if !ok {
+			return fail(kernel.ErrInval)
+		}
+		fd, err := k.Open(p, path, int(args[1].val), uint32(args[2].val))
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(fd))
+	case 3: // close
+		if err := k.Close(p, int(args[0].val)); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 4, 5: // stat, fstat
+		var fi kernel.FileInfo
+		var err error
+		if sysno == 4 {
+			path, ok := stagePath(0)
+			if !ok {
+				return fail(kernel.ErrInval)
+			}
+			fi, err = k.Stat(p, path)
+		} else {
+			fi, err = k.Fstat(p, int(args[0].val))
+		}
+		if err != nil {
+			return fail(err)
+		}
+		sb := make([]byte, args[1].length)
+		if len(sb) >= 24 {
+			binary.LittleEndian.PutUint64(sb[0:], uint64(fi.Size))
+			binary.LittleEndian.PutUint32(sb[8:], fi.Mode)
+			if fi.Dir {
+				sb[12] = 1
+			}
+			binary.LittleEndian.PutUint32(sb[16:], uint32(fi.Nlink))
+		}
+		if err := a.writeStage(args[1].stage, sb); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 8: // lseek
+		off, err := k.Lseek(p, int(args[0].val), int64(args[1].val), int(args[2].val))
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(off))
+	case 9: // mmap
+		addr, err := k.Mmap(p, args[1].val, args[2].val)
+		if err != nil {
+			return fail(err)
+		}
+		return okv(addr)
+	case 10: // mprotect
+		if err := k.Mprotect(p, args[0].val, args[1].val, args[2].val); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 11: // munmap
+		if err := k.Munmap(p, args[0].val); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 17: // pread64
+		buf := make([]byte, args[2].val)
+		n, err := k.Pread(p, int(args[0].val), buf, int64(args[3].val))
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.writeStage(args[1].stage, buf[:n]); err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 18: // pwrite64
+		buf, err := a.readStage(args[1].stage, args[2].val)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := k.Pwrite(p, int(args[0].val), buf, int64(args[3].val))
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 24: // sched_yield
+		k.SchedYield(p)
+		return okv(0)
+	case 39: // getpid
+		return okv(uint64(k.Getpid(p)))
+	case 41: // socket
+		fd, err := k.Socket(p, int(args[0].val), int(args[1].val))
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(fd))
+	case 42: // connect (port in the staged sockaddr's first 8 bytes)
+		sa, err := a.readStage(args[1].stage, args[1].length)
+		if err != nil || len(sa) < 8 {
+			return fail(kernel.ErrInval)
+		}
+		port := int(binary.LittleEndian.Uint64(sa))
+		if err := k.Connect(p, int(args[0].val), port); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 43: // accept
+		fd, err := k.Accept(p, int(args[0].val))
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(fd))
+	case 44: // sendto
+		buf, err := a.readStage(args[1].stage, args[2].val)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := k.Sendto(p, int(args[0].val), buf)
+		if err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 45: // recvfrom
+		buf := make([]byte, args[2].val)
+		n, err := k.Recvfrom(p, int(args[0].val), buf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.writeStage(args[1].stage, buf[:n]); err != nil {
+			return fail(err)
+		}
+		return okv(uint64(n))
+	case 49: // bind (port in the staged sockaddr)
+		sa, err := a.readStage(args[1].stage, args[1].length)
+		if err != nil || len(sa) < 8 {
+			return fail(kernel.ErrInval)
+		}
+		port := int(binary.LittleEndian.Uint64(sa))
+		if err := k.Bind(p, int(args[0].val), port); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 50: // listen
+		if err := k.Listen(p, int(args[0].val), int(args[1].val)); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 76: // truncate
+		path, ok := stagePath(0)
+		if !ok {
+			return fail(kernel.ErrInval)
+		}
+		if err := k.Truncate(p, path, int64(args[1].val)); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 77: // ftruncate
+		if err := k.Ftruncate(p, int(args[0].val), int64(args[1].val)); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 82: // rename
+		oldp, ok1 := stagePath(0)
+		newp, ok2 := stagePath(1)
+		if !ok1 || !ok2 {
+			return fail(kernel.ErrInval)
+		}
+		if err := k.Rename(p, oldp, newp); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 83: // mkdir
+		path, ok := stagePath(0)
+		if !ok {
+			return fail(kernel.ErrInval)
+		}
+		if err := k.Mkdir(p, path, uint32(args[1].val)); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 87: // unlink
+		path, ok := stagePath(0)
+		if !ok {
+			return fail(kernel.ErrInval)
+		}
+		if err := k.Unlink(p, path); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	case 96: // gettimeofday
+		ns := k.Gettime(p)
+		tv := make([]byte, 16)
+		binary.LittleEndian.PutUint64(tv[0:], ns/1_000_000_000)
+		binary.LittleEndian.PutUint64(tv[8:], (ns%1_000_000_000)/1000)
+		if err := a.writeStage(args[0].stage, tv); err != nil {
+			return fail(err)
+		}
+		return okv(0)
+	}
+	return ^uint64(0), 38 // ENOSYS
+}

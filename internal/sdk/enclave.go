@@ -1,0 +1,572 @@
+package sdk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/hv"
+	"veil/internal/kernel"
+	"veil/internal/sdk/sanitizer"
+	"veil/internal/services/enc"
+	"veil/internal/snp"
+)
+
+// EnclaveRuntime is the trusted half of the SDK: the code standing in for
+// the enclave binary. It runs in Dom-ENC (VMPL2+CPL3) behind the protected
+// page-table clone, provides the in-enclave libc, and performs the
+// spec-driven deep copies of every redirected syscall (§6.2, §7).
+type EnclaveRuntime struct {
+	c    *cvm.CVM
+	view enc.View
+	prog Program
+
+	shared uint64 // shared region base (virtual, same in both table trees)
+	heap   *Heap
+
+	tickEvery uint64
+	// st holds the mutable enclave-wide state, shared by every thread
+	// runtime of the same enclave (§7 multi-threading: one logical
+	// enclave, one VMSA per VCPU).
+	st *encState
+}
+
+// encState is the per-enclave (not per-thread) mutable state.
+type encState struct {
+	exits uint64
+	calls uint64
+	dead  bool
+}
+
+var _ hv.Context = (*EnclaveRuntime)(nil)
+var _ Libc = (*EnclaveRuntime)(nil)
+
+func newEnclaveRuntime(c *cvm.CVM, view enc.View, prog Program, shared uint64, tickEvery uint64) *EnclaveRuntime {
+	// The heap occupies the tail half of the enclave region.
+	heapBase := view.Base + view.Length/2
+	return &EnclaveRuntime{
+		c: c, view: view, prog: prog, shared: shared,
+		heap:      NewHeap(heapBase, view.Base+view.Length-heapBase),
+		tickEvery: tickEvery,
+		st:        &encState{},
+	}
+}
+
+// forThread derives a thread runtime for another VCPU: same program, heap,
+// shared region and enclave state, but entering/exiting through the
+// thread's own VMSA and per-thread GHCB (§7).
+func (e *EnclaveRuntime) forThread(vcpu int, ghcb uint64) *EnclaveRuntime {
+	th := *e
+	th.view.VCPU = vcpu
+	th.view.GHCB = ghcb
+	return &th
+}
+
+// View returns the enclave's protected view (tests).
+func (e *EnclaveRuntime) View() enc.View { return e.view }
+
+// Heap returns the in-enclave allocator.
+func (e *EnclaveRuntime) Heap() *Heap { return e.heap }
+
+// Exits returns the number of enclave exits taken so far.
+func (e *EnclaveRuntime) Exits() uint64 { return e.st.exits }
+
+// Calls returns the number of redirected syscalls marshalled so far.
+func (e *EnclaveRuntime) Calls() uint64 { return e.st.calls }
+
+// Dead reports whether the enclave was killed.
+func (e *EnclaveRuntime) Dead() bool { return e.st.dead }
+
+// Invoke is the Dom-ENC VMSA entry.
+func (e *EnclaveRuntime) Invoke(r hv.Reason) error {
+	if r == hv.ReasonInterrupt {
+		// Hostile hypervisor refused to relay the interrupt to Dom-UNT
+		// (§6.2, Table 2): the OS interrupt handler is unmapped in the
+		// protected tables and the enclave cannot run supervisor code, so
+		// delivery faults over and over and the CVM halts.
+		const osHandlerVirt = 0x0000_7FFF_FF00_0000
+		ferr := e.view.Mem.FetchCheck(osHandlerVirt)
+		f := &snp.Fault{
+			Kind: snp.FaultNPF, VMPL: snp.VMPL2, CPL: snp.CPL3,
+			Access: snp.AccessExec, Virt: osHandlerVirt,
+			Why: fmt.Sprintf("interrupt vector unreachable from enclave (%v)", ferr),
+		}
+		return e.c.M.Halt(f)
+	}
+	if e.st.dead {
+		_ = e.wu64(eStatus, 1)
+		return nil
+	}
+	cmd, err := e.du64(eCmd)
+	if err != nil {
+		return err
+	}
+	if cmd != cmdRun {
+		return fmt.Errorf("sdk: unknown enclave command %d", cmd)
+	}
+	args, err := e.readArgs()
+	if err != nil {
+		return err
+	}
+	rc := e.prog.Main(e, args)
+	status := uint64(0)
+	if e.st.dead {
+		status = 1
+	}
+	if err := e.wu64(eStatus, status); err != nil {
+		return err
+	}
+	return e.wu64(eExit, uint64(int64(rc)))
+}
+
+func (e *EnclaveRuntime) readArgs() ([]string, error) {
+	n, err := e.du64(eArgLen)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	raw := make([]byte, n)
+	if err := e.read(e.shared+eArgs, raw); err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, nil
+	}
+	cnt := binary.LittleEndian.Uint32(raw)
+	off := 4
+	out := make([]string, 0, cnt)
+	for i := uint32(0); i < cnt && off+4 <= len(raw); i++ {
+		l := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+l > len(raw) {
+			break
+		}
+		out = append(out, string(raw[off:off+l]))
+		off += l
+	}
+	return out, nil
+}
+
+// CyclesMarshalFixed is the per-redirected-call fixed cost of the
+// sanitizer: descriptor construction, spec checks and stage management.
+const CyclesMarshalFixed = 1200
+
+// marshalCopyFactor scales the plain memcpy cost for the deep-copy path:
+// grammar-driven copying with validation runs ~4× slower than memcpy
+// (≈0.7 cycles/byte), which is what the Fig. 5 "Syscall-Redirect" share
+// measures.
+const marshalCopyFactor = 4
+
+// Guest-memory helpers through the enclave's protected view, with copy-cost
+// accounting (these crossings are the "Syscall-Redirect" bars of Fig. 5).
+func (e *EnclaveRuntime) chargeCopy(n int) {
+	if n > 0 {
+		e.c.M.Clock().Charge(snp.CostPageCopy,
+			uint64(n)*snp.CyclesPageCopy4K*marshalCopyFactor/snp.PageSize+1)
+	}
+}
+
+func (e *EnclaveRuntime) read(virt uint64, buf []byte) error {
+	e.chargeCopy(len(buf))
+	return e.view.Mem.Read(virt, buf)
+}
+
+func (e *EnclaveRuntime) write(virt uint64, buf []byte) error {
+	e.chargeCopy(len(buf))
+	return e.view.Mem.Write(virt, buf)
+}
+
+func (e *EnclaveRuntime) du64(off uint64) (uint64, error) { return e.view.Mem.ReadU64(e.shared + off) }
+func (e *EnclaveRuntime) wu64(off uint64, v uint64) error {
+	return e.view.Mem.WriteU64(e.shared+off, v)
+}
+
+// exitForSyscall performs the Dom-ENC → Dom-UNT → Dom-ENC round trip
+// through the user GHCB.
+func (e *EnclaveRuntime) exitForSyscall() error {
+	e.st.exits++
+	e.c.ENC.ChargeEnclaveExit()
+	if e.tickEvery > 0 && e.st.exits%e.tickEvery == 0 {
+		if err := e.c.HV.InjectInterrupt(e.view.VCPU); err != nil {
+			return err
+		}
+	}
+	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: core.DomUNT}
+	return e.c.HV.GuestCall(e.view.VCPU, snp.VMPL2, snp.CPL3, e.view.GHCB, g)
+}
+
+// call is the redirection engine: validate against the call specification,
+// deep-copy inputs into the staging area, exit to the application, then
+// copy outputs back and apply the IAGO return check.
+func (e *EnclaveRuntime) call(num int, args []sanitizer.Arg) (uint64, error) {
+	if e.st.dead {
+		return 0, ErrEnclaveDead
+	}
+	spec, ok := sanitizer.Spec(num)
+	if !ok {
+		// Unsupported syscall: the SDK kills the enclave (§7).
+		e.st.dead = true
+		return 0, sanitizer.ErrUnsupported
+	}
+	if err := spec.Validate(args); err != nil {
+		return 0, err
+	}
+	if spec.CopyInBytes(args)+spec.CopyOutBytes(args) > stageLimit {
+		return 0, fmt.Errorf("sdk: %s transfers exceed staging capacity", spec.Name)
+	}
+	e.st.calls++
+	e.c.M.Clock().Charge(snp.CostCompute, CyclesMarshalFixed)
+
+	// Stage buffers and build the descriptor.
+	type slot struct{ val, stage, length uint64 }
+	slots := make([]slot, len(args))
+	off := uint64(stageOff)
+	place := func(n uint64) uint64 {
+		p := off
+		off = (off + n + 7) &^ 7
+		return p
+	}
+	for i, as := range spec.Args {
+		a := args[i]
+		switch as.Kind {
+		case sanitizer.Scalar:
+			slots[i] = slot{val: a.Val}
+		case sanitizer.Path:
+			b := append(append([]byte{}, a.Buf...), 0)
+			s := place(uint64(len(b)))
+			if err := e.write(e.shared+s, b); err != nil {
+				return 0, err
+			}
+			slots[i] = slot{stage: s, length: uint64(len(b))}
+		case sanitizer.Buffer, sanitizer.StructPtr, sanitizer.IOVec:
+			n := uint64(0)
+			switch {
+			case as.Kind == sanitizer.StructPtr && a.Buf == nil:
+				slots[i] = slot{} // NULL pointer
+				continue
+			case as.Kind == sanitizer.Buffer && as.LenArg >= 0:
+				n = args[as.LenArg].Val
+			case as.Kind == sanitizer.IOVec:
+				for _, v := range a.Vec {
+					n += uint64(len(v))
+				}
+			default:
+				n = uint64(len(a.Buf))
+			}
+			s := place(n)
+			if as.Dir == sanitizer.In || as.Dir == sanitizer.InOut {
+				var data []byte
+				if as.Kind == sanitizer.IOVec {
+					for _, v := range a.Vec {
+						data = append(data, v...)
+					}
+				} else {
+					data = a.Buf[:n]
+				}
+				if err := e.write(e.shared+s, data); err != nil {
+					return 0, err
+				}
+			}
+			slots[i] = slot{val: a.Val, stage: s, length: n}
+		}
+	}
+	if err := e.wu64(dSysno, uint64(num)); err != nil {
+		return 0, err
+	}
+	if err := e.wu64(dNArgs, uint64(len(args))); err != nil {
+		return 0, err
+	}
+	for i, s := range slots {
+		base := uint64(dArgs + i*24)
+		if err := e.wu64(base, s.val); err != nil {
+			return 0, err
+		}
+		if err := e.wu64(base+8, s.stage); err != nil {
+			return 0, err
+		}
+		if err := e.wu64(base+16, s.length); err != nil {
+			return 0, err
+		}
+	}
+
+	// Exit to the untrusted application; it performs the real syscall.
+	if err := e.exitForSyscall(); err != nil {
+		return 0, err
+	}
+
+	ret, err := e.du64(dRet)
+	if err != nil {
+		return 0, err
+	}
+	errno, err := e.du64(dErrno)
+	if err != nil {
+		return 0, err
+	}
+	if errno == 38 { // ENOSYS from the application side
+		e.st.dead = true
+		return 0, sanitizer.ErrUnsupported
+	}
+	if errno == 0 {
+		// Copy outputs back into enclave memory.
+		for _, i := range spec.OutArgs() {
+			a := args[i]
+			if a.Buf == nil {
+				continue
+			}
+			n := slots[i].length
+			if spec.Args[i].Kind == sanitizer.Buffer && ret < n {
+				n = ret // read-style calls fill only ret bytes
+			}
+			if n > uint64(len(a.Buf)) {
+				n = uint64(len(a.Buf))
+			}
+			if n == 0 {
+				continue
+			}
+			if err := e.read(e.shared+slots[i].stage, a.Buf[:n]); err != nil {
+				return 0, err
+			}
+		}
+		// IAGO defence: pointer returns must be outside the enclave.
+		if err := spec.CheckRet(ret, e.view.Base, e.view.Length); err != nil {
+			e.st.dead = true
+			return 0, err
+		}
+	}
+	return ret, errFor(errno)
+}
+
+// --- Libc over the redirection engine ---
+
+func s(v uint64) sanitizer.Arg   { return sanitizer.Arg{Val: v} }
+func b(buf []byte) sanitizer.Arg { return sanitizer.Arg{Buf: buf} }
+func bp(p string) sanitizer.Arg  { return sanitizer.Arg{Buf: []byte(p)} }
+
+// Open implements Libc.
+func (e *EnclaveRuntime) Open(path string, flags int, mode uint32) (int, error) {
+	ret, err := e.call(2, []sanitizer.Arg{bp(path), s(uint64(flags)), s(uint64(mode))})
+	return int(int64(ret)), err
+}
+
+// Close implements Libc.
+func (e *EnclaveRuntime) Close(fd int) error {
+	_, err := e.call(3, []sanitizer.Arg{s(uint64(fd))})
+	return err
+}
+
+// chunked splits large transfers to fit the staging area.
+func (e *EnclaveRuntime) chunked(buf []byte, fn func(chunk []byte) (int, error)) (int, error) {
+	const max = stageLimit - 64
+	total := 0
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > max {
+			n = max
+		}
+		did, err := fn(buf[:n])
+		total += did
+		if err != nil {
+			return total, err
+		}
+		if did < n {
+			break
+		}
+		buf = buf[n:]
+	}
+	return total, nil
+}
+
+// Read implements Libc.
+func (e *EnclaveRuntime) Read(fd int, buf []byte) (int, error) {
+	return e.chunked(buf, func(c []byte) (int, error) {
+		ret, err := e.call(0, []sanitizer.Arg{s(uint64(fd)), b(c), s(uint64(len(c)))})
+		return int(int64(ret)), err
+	})
+}
+
+// Write implements Libc.
+func (e *EnclaveRuntime) Write(fd int, buf []byte) (int, error) {
+	return e.chunked(buf, func(c []byte) (int, error) {
+		ret, err := e.call(1, []sanitizer.Arg{s(uint64(fd)), b(c), s(uint64(len(c)))})
+		return int(int64(ret)), err
+	})
+}
+
+// Pread implements Libc.
+func (e *EnclaveRuntime) Pread(fd int, buf []byte, off int64) (int, error) {
+	ret, err := e.call(17, []sanitizer.Arg{s(uint64(fd)), b(buf), s(uint64(len(buf))), s(uint64(off))})
+	return int(int64(ret)), err
+}
+
+// Pwrite implements Libc.
+func (e *EnclaveRuntime) Pwrite(fd int, buf []byte, off int64) (int, error) {
+	ret, err := e.call(18, []sanitizer.Arg{s(uint64(fd)), b(buf), s(uint64(len(buf))), s(uint64(off))})
+	return int(int64(ret)), err
+}
+
+// Lseek implements Libc.
+func (e *EnclaveRuntime) Lseek(fd int, off int64, whence int) (int64, error) {
+	ret, err := e.call(8, []sanitizer.Arg{s(uint64(fd)), s(uint64(off)), s(uint64(whence))})
+	return int64(ret), err
+}
+
+func decodeStat(sb []byte) kernel.FileInfo {
+	var fi kernel.FileInfo
+	fi.Size = int64(binary.LittleEndian.Uint64(sb[0:]))
+	fi.Mode = binary.LittleEndian.Uint32(sb[8:])
+	fi.Dir = sb[12] == 1
+	fi.Nlink = int(binary.LittleEndian.Uint32(sb[16:]))
+	return fi
+}
+
+// Stat implements Libc.
+func (e *EnclaveRuntime) Stat(path string) (kernel.FileInfo, error) {
+	sb := make([]byte, 144)
+	_, err := e.call(4, []sanitizer.Arg{bp(path), b(sb)})
+	if err != nil {
+		return kernel.FileInfo{}, err
+	}
+	return decodeStat(sb), nil
+}
+
+// Fstat implements Libc.
+func (e *EnclaveRuntime) Fstat(fd int) (kernel.FileInfo, error) {
+	sb := make([]byte, 144)
+	_, err := e.call(5, []sanitizer.Arg{s(uint64(fd)), b(sb)})
+	if err != nil {
+		return kernel.FileInfo{}, err
+	}
+	return decodeStat(sb), nil
+}
+
+// Unlink implements Libc.
+func (e *EnclaveRuntime) Unlink(path string) error {
+	_, err := e.call(87, []sanitizer.Arg{bp(path)})
+	return err
+}
+
+// Rename implements Libc.
+func (e *EnclaveRuntime) Rename(oldp, newp string) error {
+	_, err := e.call(82, []sanitizer.Arg{bp(oldp), bp(newp)})
+	return err
+}
+
+// Mkdir implements Libc.
+func (e *EnclaveRuntime) Mkdir(path string, mode uint32) error {
+	_, err := e.call(83, []sanitizer.Arg{bp(path), s(uint64(mode))})
+	return err
+}
+
+// Truncate implements Libc.
+func (e *EnclaveRuntime) Truncate(path string, size int64) error {
+	_, err := e.call(76, []sanitizer.Arg{bp(path), s(uint64(size))})
+	return err
+}
+
+// Ftruncate implements Libc.
+func (e *EnclaveRuntime) Ftruncate(fd int, size int64) error {
+	_, err := e.call(77, []sanitizer.Arg{s(uint64(fd)), s(uint64(size))})
+	return err
+}
+
+// Mmap implements Libc. The returned region is *untrusted* memory (outside
+// the enclave): that is the SGX OCALL semantic, and the IAGO check enforces
+// it.
+func (e *EnclaveRuntime) Mmap(length uint64, prot uint64) (uint64, error) {
+	return e.call(9, []sanitizer.Arg{s(0), s(length), s(prot), s(0), s(^uint64(0)), s(0)})
+}
+
+// Munmap implements Libc.
+func (e *EnclaveRuntime) Munmap(addr uint64) error {
+	_, err := e.call(11, []sanitizer.Arg{s(addr), s(0)})
+	return err
+}
+
+// Mprotect implements Libc: for enclave addresses the request goes to
+// VeilS-Enc (the OS may not change enclave permissions); for untrusted
+// addresses it is redirected like any other syscall.
+func (e *EnclaveRuntime) Mprotect(addr, length uint64, prot uint64) error {
+	if addr >= e.view.Base && addr < e.view.Base+e.view.Length {
+		return e.c.ENC.EnclaveProtect(e.view.ID, addr, length, prot)
+	}
+	_, err := e.call(10, []sanitizer.Arg{s(addr), s(length), s(prot)})
+	return err
+}
+
+func sockaddr(port int) []byte {
+	sa := make([]byte, 16)
+	binary.LittleEndian.PutUint64(sa, uint64(port))
+	return sa
+}
+
+// Socket implements Libc.
+func (e *EnclaveRuntime) Socket(domain, typ int) (int, error) {
+	ret, err := e.call(41, []sanitizer.Arg{s(uint64(domain)), s(uint64(typ)), s(0)})
+	return int(int64(ret)), err
+}
+
+// Bind implements Libc.
+func (e *EnclaveRuntime) Bind(fd, port int) error {
+	_, err := e.call(49, []sanitizer.Arg{s(uint64(fd)), b(sockaddr(port)), s(16)})
+	return err
+}
+
+// Listen implements Libc.
+func (e *EnclaveRuntime) Listen(fd, backlog int) error {
+	_, err := e.call(50, []sanitizer.Arg{s(uint64(fd)), s(uint64(backlog))})
+	return err
+}
+
+// Accept implements Libc.
+func (e *EnclaveRuntime) Accept(fd int) (int, error) {
+	addr := make([]byte, 16)
+	alen := make([]byte, 4)
+	ret, err := e.call(43, []sanitizer.Arg{s(uint64(fd)), b(addr), b(alen)})
+	return int(int64(ret)), err
+}
+
+// Connect implements Libc.
+func (e *EnclaveRuntime) Connect(fd, port int) error {
+	_, err := e.call(42, []sanitizer.Arg{s(uint64(fd)), b(sockaddr(port)), s(16)})
+	return err
+}
+
+// Send implements Libc.
+func (e *EnclaveRuntime) Send(fd int, buf []byte) (int, error) {
+	return e.chunked(buf, func(c []byte) (int, error) {
+		ret, err := e.call(44, []sanitizer.Arg{
+			s(uint64(fd)), b(c), s(uint64(len(c))), s(0), {Buf: nil}, s(0)})
+		return int(int64(ret)), err
+	})
+}
+
+// Recv implements Libc.
+func (e *EnclaveRuntime) Recv(fd int, buf []byte) (int, error) {
+	addr := make([]byte, 16)
+	alen := make([]byte, 4)
+	ret, err := e.call(45, []sanitizer.Arg{
+		s(uint64(fd)), b(buf), s(uint64(len(buf))), s(0), b(addr), b(alen)})
+	return int(int64(ret)), err
+}
+
+// Getpid implements Libc.
+func (e *EnclaveRuntime) Getpid() int {
+	ret, _ := e.call(39, nil)
+	return int(int64(ret))
+}
+
+// Yield implements Libc.
+func (e *EnclaveRuntime) Yield() { _, _ = e.call(24, nil) }
+
+// Print implements Libc.
+func (e *EnclaveRuntime) Print(msg string) error {
+	_, err := e.Write(1, []byte(msg))
+	return err
+}
+
+// Burn implements Libc: in-enclave compute runs at native speed (VMPL
+// isolation adds no per-instruction cost — the paper's key advantage over
+// software monitors).
+func (e *EnclaveRuntime) Burn(cycles uint64) {
+	e.c.M.Clock().Charge(snp.CostCompute, cycles)
+}

@@ -1,0 +1,348 @@
+package sdk
+
+// The SDK conformance suite, after §7's LTP-based evaluation: syscall
+// robustness cases (bad descriptors, bad paths, bad arguments must return
+// the right errno through the whole redirection pipeline) and system
+// functionality cases (multi-step file/socket scenarios). Every case runs
+// twice — natively and inside an enclave — and must behave identically.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"veil/internal/kernel"
+	"veil/internal/snp"
+)
+
+type ltpCase struct {
+	name string
+	run  func(lc Libc) error
+	want error // nil means the case must succeed
+}
+
+// robustnessCases exercises error paths syscall by syscall.
+func robustnessCases() []ltpCase {
+	return []ltpCase{
+		{"read-bad-fd", func(lc Libc) error { _, err := lc.Read(99, make([]byte, 4)); return err }, kernel.ErrBadFD},
+		{"write-bad-fd", func(lc Libc) error { _, err := lc.Write(99, []byte("x")); return err }, kernel.ErrBadFD},
+		{"pread-bad-fd", func(lc Libc) error { _, err := lc.Pread(99, make([]byte, 4), 0); return err }, kernel.ErrBadFD},
+		{"pwrite-bad-fd", func(lc Libc) error { _, err := lc.Pwrite(99, []byte("x"), 0); return err }, kernel.ErrBadFD},
+		{"close-bad-fd", func(lc Libc) error { return lc.Close(99) }, kernel.ErrBadFD},
+		{"fstat-bad-fd", func(lc Libc) error { _, err := lc.Fstat(99); return err }, kernel.ErrBadFD},
+		{"ftruncate-bad-fd", func(lc Libc) error { return lc.Ftruncate(99, 10) }, kernel.ErrBadFD},
+		{"lseek-bad-fd", func(lc Libc) error { _, err := lc.Lseek(99, 0, kernel.SeekSet); return err }, kernel.ErrBadFD},
+		{"open-missing", func(lc Libc) error { _, err := lc.Open("/no/such/file", kernel.ORdonly, 0); return err }, kernel.ErrNotExist},
+		{"open-creat-excl-existing", func(lc Libc) error {
+			lc.Open("/tmp/ltp-excl", kernel.OCreat, 0o644)
+			_, err := lc.Open("/tmp/ltp-excl", kernel.OCreat|kernel.OExcl, 0o644)
+			return err
+		}, kernel.ErrExist},
+		{"stat-missing", func(lc Libc) error { _, err := lc.Stat("/no/such"); return err }, kernel.ErrNotExist},
+		{"unlink-missing", func(lc Libc) error { return lc.Unlink("/no/such") }, kernel.ErrNotExist},
+		{"rename-missing", func(lc Libc) error { return lc.Rename("/no/such", "/tmp/x") }, kernel.ErrNotExist},
+		{"mkdir-existing", func(lc Libc) error { lc.Mkdir("/tmp/ltp-dir", 0o755); return lc.Mkdir("/tmp/ltp-dir", 0o755) }, kernel.ErrExist},
+		{"truncate-missing", func(lc Libc) error { return lc.Truncate("/no/such", 0) }, kernel.ErrNotExist},
+		{"truncate-negative", func(lc Libc) error {
+			lc.Open("/tmp/ltp-t", kernel.OCreat, 0o644)
+			return lc.Truncate("/tmp/ltp-t", -1)
+		}, kernel.ErrInval},
+		{"mmap-zero", func(lc Libc) error { _, err := lc.Mmap(0, kernel.ProtRead); return err }, kernel.ErrInval},
+		{"munmap-unmapped", func(lc Libc) error { return lc.Munmap(0xDEAD000) }, kernel.ErrInval},
+		{"socket-bad-domain", func(lc Libc) error { _, err := lc.Socket(99, kernel.SockStream); return err }, kernel.ErrInval},
+		{"bind-bad-fd", func(lc Libc) error { return lc.Bind(99, 1234) }, kernel.ErrBadFD},
+		{"listen-bad-fd", func(lc Libc) error { return lc.Listen(99, 1) }, kernel.ErrBadFD},
+		{"connect-refused", func(lc Libc) error {
+			fd, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			return lc.Connect(fd, 59999)
+		}, kernel.ErrRefused},
+		{"accept-would-block", func(lc Libc) error {
+			fd, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			if err := lc.Bind(fd, 58999); err != nil {
+				return err
+			}
+			if err := lc.Listen(fd, 4); err != nil {
+				return err
+			}
+			_, err = lc.Accept(fd)
+			return err
+		}, kernel.ErrWouldBlock},
+		{"recv-not-connected", func(lc Libc) error {
+			fd, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			_, err = lc.Recv(fd, make([]byte, 4))
+			return err
+		}, kernel.ErrNotConnected},
+		{"send-not-connected", func(lc Libc) error {
+			fd, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			_, err = lc.Send(fd, []byte("x"))
+			return err
+		}, kernel.ErrNotConnected},
+		{"bind-port-in-use", func(lc Libc) error {
+			a, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(a)
+			if err := lc.Bind(a, 57999); err != nil {
+				return err
+			}
+			if err := lc.Listen(a, 1); err != nil {
+				return err
+			}
+			b, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(b)
+			if err := lc.Bind(b, 57999); err != nil {
+				return err
+			}
+			return lc.Listen(b, 1)
+		}, kernel.ErrInUse},
+	}
+}
+
+// functionalityCases exercises multi-step good-path behaviour.
+func functionalityCases() []ltpCase {
+	return []ltpCase{
+		{"file-write-read-roundtrip", func(lc Libc) error {
+			fd, err := lc.Open("/tmp/ltp-rw", kernel.OCreat|kernel.ORdwr|kernel.OTrunc, 0o644)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			if _, err := lc.Write(fd, []byte("abcdef")); err != nil {
+				return err
+			}
+			if _, err := lc.Lseek(fd, 2, kernel.SeekSet); err != nil {
+				return err
+			}
+			buf := make([]byte, 4)
+			n, err := lc.Read(fd, buf)
+			if err != nil {
+				return err
+			}
+			if string(buf[:n]) != "cdef" {
+				return fmt.Errorf("read %q", buf[:n])
+			}
+			return nil
+		}, nil},
+		{"pread-pwrite-offsets", func(lc Libc) error {
+			fd, err := lc.Open("/tmp/ltp-po", kernel.OCreat|kernel.ORdwr|kernel.OTrunc, 0o644)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			if _, err := lc.Pwrite(fd, []byte("world"), 5); err != nil {
+				return err
+			}
+			if _, err := lc.Pwrite(fd, []byte("hello"), 0); err != nil {
+				return err
+			}
+			buf := make([]byte, 10)
+			if _, err := lc.Pread(fd, buf, 0); err != nil {
+				return err
+			}
+			if string(buf) != "helloworld" {
+				return fmt.Errorf("got %q", buf)
+			}
+			return nil
+		}, nil},
+		{"append-mode", func(lc Libc) error {
+			fd, err := lc.Open("/tmp/ltp-app", kernel.OCreat|kernel.OWronly|kernel.OAppend|kernel.OTrunc, 0o644)
+			if err != nil {
+				return err
+			}
+			lc.Write(fd, []byte("aa"))
+			lc.Write(fd, []byte("bb"))
+			lc.Close(fd)
+			st, err := lc.Stat("/tmp/ltp-app")
+			if err != nil {
+				return err
+			}
+			if st.Size != 4 {
+				return fmt.Errorf("size %d", st.Size)
+			}
+			return nil
+		}, nil},
+		{"truncate-grow-shrink", func(lc Libc) error {
+			fd, err := lc.Open("/tmp/ltp-tr", kernel.OCreat|kernel.ORdwr|kernel.OTrunc, 0o644)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(fd)
+			if err := lc.Ftruncate(fd, 100); err != nil {
+				return err
+			}
+			st, _ := lc.Fstat(fd)
+			if st.Size != 100 {
+				return fmt.Errorf("grow: %d", st.Size)
+			}
+			if err := lc.Ftruncate(fd, 10); err != nil {
+				return err
+			}
+			st, _ = lc.Fstat(fd)
+			if st.Size != 10 {
+				return fmt.Errorf("shrink: %d", st.Size)
+			}
+			return nil
+		}, nil},
+		{"rename-then-stat", func(lc Libc) error {
+			if _, err := lc.Open("/tmp/ltp-old", kernel.OCreat, 0o644); err != nil {
+				return err
+			}
+			if err := lc.Rename("/tmp/ltp-old", "/tmp/ltp-new"); err != nil {
+				return err
+			}
+			if _, err := lc.Stat("/tmp/ltp-old"); !errors.Is(err, kernel.ErrNotExist) {
+				return fmt.Errorf("old still there: %v", err)
+			}
+			_, err := lc.Stat("/tmp/ltp-new")
+			return err
+		}, nil},
+		{"mkdir-unlink-cycle", func(lc Libc) error {
+			if err := lc.Mkdir("/tmp/ltp-cyc", 0o755); err != nil {
+				return err
+			}
+			if _, err := lc.Open("/tmp/ltp-cyc/f", kernel.OCreat, 0o644); err != nil {
+				return err
+			}
+			if err := lc.Unlink("/tmp/ltp-cyc/f"); err != nil {
+				return err
+			}
+			return nil
+		}, nil},
+		{"mmap-munmap-cycle", func(lc Libc) error {
+			addr, err := lc.Mmap(3*snp.PageSize, kernel.ProtRead|kernel.ProtWrite)
+			if err != nil {
+				return err
+			}
+			return lc.Munmap(addr)
+		}, nil},
+		{"socket-echo", func(lc Libc) error {
+			srv, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(srv)
+			if err := lc.Bind(srv, 56999); err != nil {
+				return err
+			}
+			if err := lc.Listen(srv, 4); err != nil {
+				return err
+			}
+			cli, err := lc.Socket(kernel.AFInet, kernel.SockStream)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(cli)
+			if err := lc.Connect(cli, 56999); err != nil {
+				return err
+			}
+			conn, err := lc.Accept(srv)
+			if err != nil {
+				return err
+			}
+			defer lc.Close(conn)
+			if _, err := lc.Send(cli, []byte("ping")); err != nil {
+				return err
+			}
+			buf := make([]byte, 8)
+			n, err := lc.Recv(conn, buf)
+			if err != nil || string(buf[:n]) != "ping" {
+				return fmt.Errorf("echo: %q %v", buf[:n], err)
+			}
+			return nil
+		}, nil},
+		{"getpid-stable", func(lc Libc) error {
+			if lc.Getpid() != lc.Getpid() {
+				return fmt.Errorf("pid changed")
+			}
+			return nil
+		}, nil},
+		{"print-to-console", func(lc Libc) error { return lc.Print("ltp ok\n") }, nil},
+	}
+}
+
+// runSuite executes the cases against a libc and returns pass/fail counts.
+func runSuite(t *testing.T, lc Libc, label string, cases []ltpCase) (passed, failed int) {
+	t.Helper()
+	for _, c := range cases {
+		err := c.run(lc)
+		ok := (c.want == nil && err == nil) || (c.want != nil && errors.Is(err, c.want))
+		if ok {
+			passed++
+		} else {
+			failed++
+			t.Errorf("[%s] %s: got %v, want %v", label, c.name, err, c.want)
+		}
+	}
+	return passed, failed
+}
+
+func TestLTPNative(t *testing.T) {
+	c := bootVeil(t)
+	p := c.K.Spawn("ltp-native")
+	lc := &DirectLibc{K: c.K, P: p}
+	cases := append(robustnessCases(), functionalityCases()...)
+	passed, failed := runSuite(t, lc, "native", cases)
+	t.Logf("native: %d/%d cases passed", passed, passed+failed)
+	if failed != 0 {
+		t.Fatalf("%d native cases failed", failed)
+	}
+}
+
+func TestLTPEnclave(t *testing.T) {
+	c := bootVeil(t)
+	cases := append(robustnessCases(), functionalityCases()...)
+	var passed, failed int
+	prog := ProgramFunc(func(lc Libc, args []string) int {
+		passed, failed = runSuite(t, lc, "enclave", cases)
+		return failed
+	})
+	host := c.K.Spawn("ltp-host")
+	app, err := LaunchEnclave(c, host, prog, EnclaveConfig{RegionPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := app.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("enclave: %d/%d cases passed (syscalls redirected through the sanitizer)", passed, passed+failed)
+	if rc != 0 {
+		t.Fatalf("%d enclave cases failed", rc)
+	}
+	// Redirection really happened: every syscall in the battery exited.
+	if app.Enclave().Exits() < uint64(len(cases)) {
+		t.Fatalf("only %d exits for %d cases", app.Enclave().Exits(), len(cases))
+	}
+}
+
+func TestLTPCoverageSummary(t *testing.T) {
+	// The §7 coverage statement for this SDK: a spec exists for 96
+	// syscalls; the Libc surface drives 27 of them end to end; the rest
+	// are validated at the specification layer (sanitizer tests) and kill
+	// the enclave if invoked without an application-side handler — the
+	// paper's documented policy.
+	cases := append(robustnessCases(), functionalityCases()...)
+	if len(cases) < 35 {
+		t.Fatalf("conformance battery shrank: %d cases", len(cases))
+	}
+}

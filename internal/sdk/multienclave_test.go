@@ -1,0 +1,57 @@
+package sdk
+
+import (
+	"testing"
+
+	"veil/internal/kernel"
+)
+
+// TestTwoEnclavesInterleaveWithoutOcallCrosstalk regresses the per-VCPU
+// OCALL routing: two enclaves entered alternately must each reach their
+// own application stub — the earlier last-writer-wins registration would
+// have routed enclave A's syscalls through enclave B's shared region.
+func TestTwoEnclavesInterleaveWithoutOcallCrosstalk(t *testing.T) {
+	c := bootVeil(t)
+	mk := func(tag string) Program {
+		return ProgramFunc(func(lc Libc, args []string) int {
+			fd, err := lc.Open("/tmp/inter-"+tag, kernel.OCreat|kernel.OWronly|kernel.OAppend, 0o644)
+			if err != nil {
+				return 1
+			}
+			if _, err := lc.Write(fd, []byte(tag+";")); err != nil {
+				return 2
+			}
+			if err := lc.Close(fd); err != nil {
+				return 3
+			}
+			return 0
+		})
+	}
+	pa := c.K.Spawn("app-a")
+	a, err := LaunchEnclave(c, pa, mk("A"), EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := c.K.Spawn("app-b")
+	b, err := LaunchEnclave(c, pb, mk("B"), EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave entries: A, B, A, B.
+	for i := 0; i < 2; i++ {
+		if rc, err := a.Enter(); err != nil || rc != 0 {
+			t.Fatalf("A round %d: rc=%d err=%v", i, rc, err)
+		}
+		if rc, err := b.Enter(); err != nil || rc != 0 {
+			t.Fatalf("B round %d: rc=%d err=%v", i, rc, err)
+		}
+	}
+	ia, err := c.K.VFS().Lookup("/tmp/inter-A")
+	if err != nil || string(ia.Data) != "A;A;" {
+		t.Fatalf("A file = %q, %v", ia.Data, err)
+	}
+	ib, err := c.K.VFS().Lookup("/tmp/inter-B")
+	if err != nil || string(ib.Data) != "B;B;" {
+		t.Fatalf("B file = %q, %v", ib.Data, err)
+	}
+}

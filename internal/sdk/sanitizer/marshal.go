@@ -1,0 +1,159 @@
+package sanitizer
+
+import "fmt"
+
+// Arg is one concrete argument for a specified call. Scalars carry Val;
+// buffer-like arguments carry Buf (the enclave-side backing store); IOVec
+// arguments carry Vec.
+type Arg struct {
+	Val uint64
+	Buf []byte
+	Vec [][]byte
+}
+
+// Validate checks concrete arguments against the specification: arity,
+// argument shapes, and the length-constraint relationships of the type
+// specification (e.g. write's third argument bounds its second).
+func (cs CallSpec) Validate(args []Arg) error {
+	if len(args) != len(cs.Args) {
+		return fmt.Errorf("%w: %s takes %d args, got %d", ErrBadArgs, cs.Name, len(cs.Args), len(args))
+	}
+	for i, as := range cs.Args {
+		a := args[i]
+		switch as.Kind {
+		case Scalar:
+			if a.Buf != nil || a.Vec != nil {
+				return fmt.Errorf("%w: %s arg %s is scalar", ErrBadArgs, cs.Name, as.Name)
+			}
+		case Buffer:
+			if a.Vec != nil {
+				return fmt.Errorf("%w: %s arg %s is a buffer", ErrBadArgs, cs.Name, as.Name)
+			}
+			if as.LenArg >= 0 {
+				if as.LenArg >= len(args) {
+					return fmt.Errorf("%w: %s arg %s length index out of range", ErrBadArgs, cs.Name, as.Name)
+				}
+				if args[as.LenArg].Val > uint64(len(a.Buf)) {
+					return fmt.Errorf("%w: %s arg %s: declared length %d exceeds buffer %d",
+						ErrBadArgs, cs.Name, as.Name, args[as.LenArg].Val, len(a.Buf))
+				}
+			}
+		case Path:
+			if a.Buf == nil || len(a.Buf) == 0 || len(a.Buf) > 4096 {
+				return fmt.Errorf("%w: %s arg %s: bad path", ErrBadArgs, cs.Name, as.Name)
+			}
+		case StructPtr:
+			// A nil Buf models a NULL pointer (allowed: optional structs).
+			if a.Buf != nil && len(a.Buf) != as.FixedSize {
+				return fmt.Errorf("%w: %s arg %s: struct size %d, want %d",
+					ErrBadArgs, cs.Name, as.Name, len(a.Buf), as.FixedSize)
+			}
+		case IOVec:
+			if a.Vec == nil {
+				return fmt.Errorf("%w: %s arg %s: missing iovec", ErrBadArgs, cs.Name, as.Name)
+			}
+			if i+1 < len(cs.Args) && cs.Args[i+1].Kind == Scalar &&
+				args[i+1].Val != uint64(len(a.Vec)) {
+				return fmt.Errorf("%w: %s arg %s: iovcnt %d != %d vectors",
+					ErrBadArgs, cs.Name, as.Name, args[i+1].Val, len(a.Vec))
+			}
+		}
+	}
+	return nil
+}
+
+// effectiveLen is the number of bytes a buffer argument actually transfers.
+func (cs CallSpec) effectiveLen(i int, args []Arg) int {
+	as := cs.Args[i]
+	a := args[i]
+	switch as.Kind {
+	case Buffer:
+		if as.LenArg >= 0 {
+			return int(args[as.LenArg].Val)
+		}
+		return len(a.Buf)
+	case Path:
+		return len(a.Buf) + 1 // NUL terminator crosses too
+	case StructPtr:
+		if a.Buf == nil {
+			return 0
+		}
+		return as.FixedSize
+	case IOVec:
+		total := 16 * len(a.Vec) // the iovec array itself
+		for _, v := range a.Vec {
+			total += len(v)
+		}
+		return total
+	}
+	return 0
+}
+
+// CopyInBytes is the number of bytes that must be deep-copied out of the
+// enclave into shared memory before the call.
+func (cs CallSpec) CopyInBytes(args []Arg) int {
+	total := 0
+	for i, as := range cs.Args {
+		crosses := as.Kind == Path ||
+			((as.Kind == Buffer || as.Kind == StructPtr || as.Kind == IOVec) &&
+				(as.Dir == In || as.Dir == InOut))
+		if crosses {
+			total += cs.effectiveLen(i, args)
+		}
+	}
+	return total
+}
+
+// CopyOutBytes is the capacity of output buffers that may be copied back
+// into the enclave after the call.
+func (cs CallSpec) CopyOutBytes(args []Arg) int {
+	total := 0
+	for i, as := range cs.Args {
+		if as.Kind == Path {
+			continue
+		}
+		if as.Dir == Out || as.Dir == InOut {
+			total += cs.effectiveLen(i, args)
+		}
+	}
+	return total
+}
+
+// InArgs returns the indices of arguments copied out of the enclave.
+func (cs CallSpec) InArgs() []int {
+	var out []int
+	for i, as := range cs.Args {
+		if as.Kind == Path || ((as.Kind == Buffer || as.Kind == StructPtr || as.Kind == IOVec) &&
+			(as.Dir == In || as.Dir == InOut)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OutArgs returns the indices of arguments copied back into the enclave.
+func (cs CallSpec) OutArgs() []int {
+	var out []int
+	for i, as := range cs.Args {
+		if as.Kind != Path && (as.Dir == Out || as.Dir == InOut) &&
+			(as.Kind == Buffer || as.Kind == StructPtr || as.Kind == IOVec) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CheckRet applies the IAGO return check for the call: pointer-returning
+// syscalls must never point into enclave memory, or a dereference would let
+// the OS trick the enclave into reading or clobbering its own secrets
+// ([37] in the paper).
+func (cs CallSpec) CheckRet(ret uint64, enclaveBase, enclaveLen uint64) error {
+	if cs.Ret != RetPointer {
+		return nil
+	}
+	if ret >= enclaveBase && ret < enclaveBase+enclaveLen {
+		return fmt.Errorf("%w: %s returned %#x inside [%#x,%#x)",
+			ErrIago, cs.Name, ret, enclaveBase, enclaveBase+enclaveLen)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package sanitizer
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactly96SyscallsSpecified(t *testing.T) {
+	// The paper's SDK prototype supports 96 system calls (§7).
+	if got := Supported(); got != 96 {
+		t.Fatalf("Supported() = %d, want 96", got)
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	cs, ok := Spec(1)
+	if !ok || cs.Name != "write" {
+		t.Fatalf("Spec(1) = %+v, %v", cs, ok)
+	}
+	if _, ok := Spec(999); ok {
+		t.Fatal("Spec(999) should not exist")
+	}
+	names := Names()
+	if names["read"] != 0 || names["mmap"] != 9 {
+		t.Fatal("Names mapping wrong")
+	}
+}
+
+func TestWriteSpecLengthConstraint(t *testing.T) {
+	cs, _ := Spec(1) // write(fd, buf, count)
+	buf := make([]byte, 10)
+	good := []Arg{{Val: 3}, {Buf: buf}, {Val: 10}}
+	if err := cs.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	// count exceeding the buffer violates the length-constraint
+	// relationship between args 1 and 2.
+	bad := []Arg{{Val: 3}, {Buf: buf}, {Val: 11}}
+	if err := cs.Validate(bad); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("oversized count = %v, want ErrBadArgs", err)
+	}
+	// Partial counts are fine.
+	partial := []Arg{{Val: 3}, {Buf: buf}, {Val: 4}}
+	if err := cs.Validate(partial); err != nil {
+		t.Fatal(err)
+	}
+	if cs.CopyInBytes(partial) != 4 {
+		t.Fatalf("CopyInBytes = %d, want 4", cs.CopyInBytes(partial))
+	}
+	if cs.CopyOutBytes(partial) != 0 {
+		t.Fatal("write has no output buffers")
+	}
+}
+
+func TestReadSpecDirections(t *testing.T) {
+	cs, _ := Spec(0) // read(fd, buf, count)
+	buf := make([]byte, 100)
+	args := []Arg{{Val: 3}, {Buf: buf}, {Val: 100}}
+	if err := cs.Validate(args); err != nil {
+		t.Fatal(err)
+	}
+	if cs.CopyInBytes(args) != 0 {
+		t.Fatal("read copies nothing in")
+	}
+	if cs.CopyOutBytes(args) != 100 {
+		t.Fatalf("CopyOutBytes = %d", cs.CopyOutBytes(args))
+	}
+	if in := cs.InArgs(); len(in) != 0 {
+		t.Fatalf("InArgs = %v", in)
+	}
+	if out := cs.OutArgs(); len(out) != 1 || out[0] != 1 {
+		t.Fatalf("OutArgs = %v", out)
+	}
+}
+
+func TestPathArgs(t *testing.T) {
+	cs, _ := Spec(2) // open
+	args := []Arg{{Buf: []byte("/tmp/x")}, {Val: 0}, {Val: 0}}
+	if err := cs.Validate(args); err != nil {
+		t.Fatal(err)
+	}
+	// Paths cross with their NUL terminator.
+	if cs.CopyInBytes(args) != 7 {
+		t.Fatalf("CopyInBytes = %d, want 7", cs.CopyInBytes(args))
+	}
+	// Empty and oversized paths are rejected.
+	if err := cs.Validate([]Arg{{Buf: nil}, {Val: 0}, {Val: 0}}); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("empty path accepted")
+	}
+	if err := cs.Validate([]Arg{{Buf: make([]byte, 5000)}, {Val: 0}, {Val: 0}}); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("oversized path accepted")
+	}
+}
+
+func TestArityChecked(t *testing.T) {
+	cs, _ := Spec(3) // close(fd)
+	if err := cs.Validate(nil); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("missing args accepted")
+	}
+	if err := cs.Validate([]Arg{{Val: 1}, {Val: 2}}); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("extra args accepted")
+	}
+}
+
+func TestStructPtrValidation(t *testing.T) {
+	cs, _ := Spec(5) // fstat(fd, statbuf)
+	if err := cs.Validate([]Arg{{Val: 3}, {Buf: make([]byte, 144)}}); err != nil {
+		t.Fatal(err)
+	}
+	// NULL struct pointers are allowed.
+	if err := cs.Validate([]Arg{{Val: 3}, {Buf: nil}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-sized structs are not.
+	if err := cs.Validate([]Arg{{Val: 3}, {Buf: make([]byte, 10)}}); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("short statbuf accepted")
+	}
+}
+
+func TestIOVecValidation(t *testing.T) {
+	cs, _ := Spec(20) // writev(fd, iov, iovcnt)
+	vec := [][]byte{[]byte("aa"), []byte("bbbb")}
+	good := []Arg{{Val: 1}, {Vec: vec}, {Val: 2}}
+	if err := cs.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	// iovcnt must match the vector count.
+	bad := []Arg{{Val: 1}, {Vec: vec}, {Val: 3}}
+	if err := cs.Validate(bad); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("iovcnt mismatch accepted")
+	}
+	// 2 + 4 data bytes + 2×16 iovec array entries.
+	if got := cs.CopyInBytes(good); got != 6+32 {
+		t.Fatalf("CopyInBytes = %d", got)
+	}
+}
+
+func TestIagoCheck(t *testing.T) {
+	mm, _ := Spec(9) // mmap returns a pointer
+	const base, length = 0x400000, 0x10000
+	if err := mm.CheckRet(base+0x1000, base, length); !errors.Is(err, ErrIago) {
+		t.Fatal("pointer into enclave accepted")
+	}
+	if err := mm.CheckRet(base+length, base, length); err != nil {
+		t.Fatalf("pointer just past the enclave rejected: %v", err)
+	}
+	if err := mm.CheckRet(0x20000000, base, length); err != nil {
+		t.Fatalf("outside pointer rejected: %v", err)
+	}
+	// Scalar returns never trip the pointer check.
+	rd, _ := Spec(0)
+	if err := rd.CheckRet(base+1, base, length); err != nil {
+		t.Fatal("scalar return IAGO-checked")
+	}
+}
+
+func TestEverySpecIsInternallyConsistent(t *testing.T) {
+	for num := 0; num < 1024; num++ {
+		cs, ok := Spec(num)
+		if !ok {
+			continue
+		}
+		if cs.Num != num || cs.Name == "" {
+			t.Fatalf("spec %d malformed: %+v", num, cs)
+		}
+		for i, as := range cs.Args {
+			if as.Kind == Buffer && as.LenArg >= len(cs.Args) {
+				t.Fatalf("%s arg %d LenArg out of range", cs.Name, i)
+			}
+			if as.Kind == Buffer && as.LenArg >= 0 && cs.Args[as.LenArg].Kind != Scalar {
+				t.Fatalf("%s arg %d length arg is not scalar", cs.Name, i)
+			}
+			if as.Kind == StructPtr && as.FixedSize <= 0 {
+				t.Fatalf("%s arg %d struct without size", cs.Name, i)
+			}
+		}
+	}
+}
+
+// Property: for any buffer size and declared count within it, CopyInBytes
+// of write equals the declared count, and validation accepts it.
+func TestWriteCopyBytesProperty(t *testing.T) {
+	cs, _ := Spec(1)
+	f := func(size uint16, declared uint16) bool {
+		buf := make([]byte, size)
+		d := uint64(declared)
+		args := []Arg{{Val: 1}, {Buf: buf}, {Val: d}}
+		err := cs.Validate(args)
+		if d > uint64(size) {
+			return errors.Is(err, ErrBadArgs)
+		}
+		return err == nil && cs.CopyInBytes(args) == int(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndDirStrings(t *testing.T) {
+	if Scalar.String() != "scalar" || Buffer.String() != "buffer" || Path.String() != "path" ||
+		IOVec.String() != "iovec" || StructPtr.String() != "struct" {
+		t.Fatal("kind strings")
+	}
+	if In.String() != "in" || Out.String() != "out" || InOut.String() != "inout" {
+		t.Fatal("dir strings")
+	}
+}

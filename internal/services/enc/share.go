@@ -1,0 +1,156 @@
+package enc
+
+import (
+	"fmt"
+
+	"veil/internal/snp"
+)
+
+// Enclave memory sharing (§10): unlike SGX, VeilS-Enc controls enclave page
+// tables directly, so it can map a region of one enclave into another for
+// mutually-trusting enclave pairs — the efficient alternative to Chancel's
+// compiler-based SFI the paper describes. Sharing is consensual and
+// two-step: the owner offers a region, the peer accepts the offer. Both
+// steps are enclave-initiated requests (charged domain switches); the OS is
+// never able to forge either side.
+
+// ShareToken identifies a pending or active share.
+type ShareToken uint32
+
+type share struct {
+	token    ShareToken
+	owner    uint32
+	peer     uint32 // 0 until accepted
+	virt     uint64 // owner-side virtual base
+	peerVirt uint64 // peer-side mapping base (set at accept)
+	length   uint64
+	accepted bool
+}
+
+// OfferShare lets enclave owner offer [virt, virt+length) of its own memory
+// to a future peer. The region must be wholly inside the enclave and
+// resident (no evicted pages).
+func (s *Service) OfferShare(owner uint32, virt, length uint64) (ShareToken, error) {
+	e, ok := s.Enclave(owner)
+	if !ok {
+		return 0, fmt.Errorf("enc: no enclave %d", owner)
+	}
+	s.mon.ChargeServiceSwitch()
+	if virt%snp.PageSize != 0 || length == 0 || length%snp.PageSize != 0 {
+		return 0, errDenied
+	}
+	if !containedIn(virt, length, e.base, e.length) {
+		return 0, errDenied
+	}
+	for off := uint64(0); off < length; off += snp.PageSize {
+		st, ok := e.pages[virt+off]
+		if !ok || !st.present {
+			return 0, fmt.Errorf("enc: share region page %#x not resident", virt+off)
+		}
+	}
+	s.nextShare++
+	sh := &share{token: ShareToken(s.nextShare), owner: owner, virt: virt, length: length}
+	s.shares = append(s.shares, sh)
+	return sh.token, nil
+}
+
+// AcceptShare maps an offered region into the peer enclave's protected
+// tables at atVirt, a page-aligned address the peer chooses from its free
+// virtual space (enclaves typically reserve a window for incoming shares).
+// Afterwards both enclaves access the same physical pages; the OS still
+// has no access to any of them.
+func (s *Service) AcceptShare(peer uint32, token ShareToken, atVirt uint64) error {
+	pe, ok := s.Enclave(peer)
+	if !ok {
+		return fmt.Errorf("enc: no enclave %d", peer)
+	}
+	s.mon.ChargeServiceSwitch()
+	var sh *share
+	for _, cand := range s.shares {
+		if cand.token == token && !cand.accepted {
+			sh = cand
+			break
+		}
+	}
+	if sh == nil {
+		return fmt.Errorf("enc: no pending share %d", token)
+	}
+	if sh.owner == peer {
+		return errDenied // self-sharing is meaningless
+	}
+	oe, ok := s.Enclave(sh.owner)
+	if !ok {
+		return fmt.Errorf("enc: share owner gone")
+	}
+	if atVirt%snp.PageSize != 0 {
+		return errDenied
+	}
+	// The chosen addresses must be free in the peer's tree.
+	for off := uint64(0); off < sh.length; off += snp.PageSize {
+		if _, _, err := pe.clone.Lookup(atVirt + off); err == nil {
+			return errDenied
+		}
+	}
+	for off := uint64(0); off < sh.length; off += snp.PageSize {
+		phys := oe.frames[sh.virt+off]
+		if err := pe.clone.Map(atVirt+off, phys, snp.PTEWrite|snp.PTEUser|snp.PTENX); err != nil {
+			return err
+		}
+	}
+	sh.peer = peer
+	sh.peerVirt = atVirt
+	sh.accepted = true
+	return nil
+}
+
+// RevokeShare unmaps an accepted share from the peer (owner-initiated).
+func (s *Service) RevokeShare(owner uint32, token ShareToken) error {
+	s.mon.ChargeServiceSwitch()
+	for i, sh := range s.shares {
+		if sh.token != token || sh.owner != owner {
+			continue
+		}
+		if sh.accepted {
+			if pe, ok := s.Enclave(sh.peer); ok {
+				for off := uint64(0); off < sh.length; off += snp.PageSize {
+					if _, err := pe.clone.Unmap(sh.peerVirt + off); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s.shares = append(s.shares[:i], s.shares[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("enc: no share %d owned by %d", token, owner)
+}
+
+// dropSharesFor tears down every share an enclave participates in; called
+// on destroy so a departing owner never leaves peers mapped onto frames
+// that are about to be scrubbed and released.
+func (s *Service) dropSharesFor(id uint32) error {
+	kept := s.shares[:0]
+	for _, sh := range s.shares {
+		if sh.owner != id && sh.peer != id {
+			kept = append(kept, sh)
+			continue
+		}
+		if sh.accepted {
+			peerID := sh.peer
+			if sh.peer == id {
+				peerID = 0 // the departing enclave is the peer; its clone dies anyway
+			}
+			if peerID != 0 {
+				if pe, ok := s.Enclave(peerID); ok {
+					for off := uint64(0); off < sh.length; off += snp.PageSize {
+						if _, err := pe.clone.Unmap(sh.peerVirt + off); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	s.shares = kept
+	return nil
+}

@@ -1,0 +1,171 @@
+package enc_test
+
+import (
+	"testing"
+
+	"veil/internal/kernel"
+	"veil/internal/sdk"
+	"veil/internal/services/enc"
+	"veil/internal/snp"
+)
+
+// shareWindow is the free virtual window peers map incoming shares at.
+const shareWindow = 0x0000_6000_0000
+
+func TestShareRegionBetweenConsentingEnclaves(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p1 := c.K.Spawn("owner")
+	a, err := sdk.LaunchEnclave(c, p1, prog, sdk.EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := c.K.Spawn("peer")
+	b, err := sdk.LaunchEnclave(c, p2, prog, sdk.EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shareVirt := a.Enclave().View().Base + 2*snp.PageSize
+	tok, err := c.ENC.OfferShare(a.ID, shareVirt, snp.PageSize)
+	if err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	// Before acceptance, the peer cannot see the page.
+	if err := b.Enclave().View().Mem.Read(shareWindow, make([]byte, 8)); !snp.IsPF(err) {
+		t.Fatalf("pre-accept read = %v, want #PF", err)
+	}
+	if err := c.ENC.AcceptShare(b.ID, tok, shareWindow); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+
+	// The owner writes; the peer reads the same bytes at its own window.
+	msg := []byte("shared secret between mutually-trusting enclaves")
+	if err := a.Enclave().View().Mem.Write(shareVirt, msg); err != nil {
+		t.Fatalf("owner write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := b.Enclave().View().Mem.Read(shareWindow, got); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("peer read %q", got)
+	}
+
+	// The OS still cannot touch the shared frame.
+	frames, _ := p1.RegionFrames(kernel.UserBinBase)
+	if err := c.K.ReadPhys(frames[2], make([]byte, 8)); !snp.IsNPF(err) {
+		t.Fatalf("OS read of shared frame = %v, want #NPF", err)
+	}
+}
+
+func TestShareRejectsBadGeometryAndSelf(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p1 := c.K.Spawn("owner")
+	a, err := sdk.LaunchEnclave(c, p1, prog, sdk.EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := a.Enclave().View().Base
+	// Outside the enclave.
+	if _, err := c.ENC.OfferShare(a.ID, base+64*snp.PageSize, snp.PageSize); err == nil {
+		t.Fatal("out-of-range offer accepted")
+	}
+	// Unaligned.
+	if _, err := c.ENC.OfferShare(a.ID, base+100, snp.PageSize); err == nil {
+		t.Fatal("unaligned offer accepted")
+	}
+	// Self-acceptance.
+	tok, err := c.ENC.OfferShare(a.ID, base, snp.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ENC.AcceptShare(a.ID, tok, shareWindow); err == nil {
+		t.Fatal("self-share accepted")
+	}
+	// Unknown token.
+	if err := c.ENC.AcceptShare(a.ID, enc.ShareToken(999), shareWindow); err == nil {
+		t.Fatal("bogus token accepted")
+	}
+	// Accepting over an occupied address is refused.
+	p2 := c.K.Spawn("peer2")
+	b2, err := sdk.LaunchEnclave(c, p2, sdkNopProgram(), sdk.EnclaveConfig{RegionPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ENC.AcceptShare(b2.ID, tok, b2.Enclave().View().Base); err == nil {
+		t.Fatal("share over occupied addresses accepted")
+	}
+}
+
+func TestShareRevocationUnmapsPeer(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p1 := c.K.Spawn("owner")
+	a, _ := sdk.LaunchEnclave(c, p1, prog, sdk.EnclaveConfig{RegionPages: 8})
+	p2 := c.K.Spawn("peer")
+	b, _ := sdk.LaunchEnclave(c, p2, prog, sdk.EnclaveConfig{RegionPages: 8})
+
+	virt := a.Enclave().View().Base + snp.PageSize
+	tok, err := c.ENC.OfferShare(a.ID, virt, snp.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ENC.AcceptShare(b.ID, tok, shareWindow); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ENC.RevokeShare(a.ID, tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enclave().View().Mem.Read(shareWindow, make([]byte, 8)); !snp.IsPF(err) {
+		t.Fatalf("post-revoke read = %v, want #PF", err)
+	}
+	// Revoking twice fails cleanly.
+	if err := c.ENC.RevokeShare(a.ID, tok); err == nil {
+		t.Fatal("double revoke accepted")
+	}
+}
+
+func TestOwnerDestroyDropsShares(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p1 := c.K.Spawn("owner")
+	a, _ := sdk.LaunchEnclave(c, p1, prog, sdk.EnclaveConfig{RegionPages: 8})
+	p2 := c.K.Spawn("peer")
+	b, _ := sdk.LaunchEnclave(c, p2, prog, sdk.EnclaveConfig{RegionPages: 8})
+
+	virt := a.Enclave().View().Base + snp.PageSize
+	tok, _ := c.ENC.OfferShare(a.ID, virt, snp.PageSize)
+	if err := c.ENC.AcceptShare(b.ID, tok, shareWindow); err != nil {
+		t.Fatal(err)
+	}
+	// Owner goes away: the peer must lose the mapping before the frames
+	// are scrubbed and handed back to the OS.
+	if err := c.ENC.Destroy(a.ID); err != nil {
+		t.Fatalf("destroy: %v", err)
+	}
+	if err := b.Enclave().View().Mem.Read(shareWindow, make([]byte, 8)); !snp.IsPF(err) {
+		t.Fatalf("post-destroy read = %v, want #PF", err)
+	}
+}
+
+func TestThirdEnclaveCannotSeeShare(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p1 := c.K.Spawn("owner")
+	a, _ := sdk.LaunchEnclave(c, p1, prog, sdk.EnclaveConfig{RegionPages: 8})
+	p2 := c.K.Spawn("peer")
+	b, _ := sdk.LaunchEnclave(c, p2, prog, sdk.EnclaveConfig{RegionPages: 8})
+	p3 := c.K.Spawn("outsider")
+	x, _ := sdk.LaunchEnclave(c, p3, prog, sdk.EnclaveConfig{RegionPages: 8})
+
+	virt := a.Enclave().View().Base + snp.PageSize
+	tok, _ := c.ENC.OfferShare(a.ID, virt, snp.PageSize)
+	if err := c.ENC.AcceptShare(b.ID, tok, shareWindow); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Enclave().View().Mem.Read(shareWindow, make([]byte, 8)); !snp.IsPF(err) {
+		t.Fatalf("outsider read = %v, want #PF", err)
+	}
+}

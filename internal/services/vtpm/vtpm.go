@@ -1,0 +1,222 @@
+// Package vtpm is a fourth protected service built purely on the Veil
+// framework API — the paper's §6 claim is that *any* service can leverage
+// VeilMon's protection, and §11 points at AMD's SVSM, whose flagship
+// service is a virtual TPM. This service provides a minimal measured-boot
+// TPM: a bank of PCRs in Dom-SRV memory that the OS may only *extend*
+// (hash-chain, never rewrite), plus signed quotes minted by VeilMon's
+// attestation identity and retrieved over the secure channel.
+//
+// The security argument mirrors VeilS-Log's: extends are one-way and land
+// in memory the kernel cannot touch, so a compromised OS can neither
+// rewrite its measurement history nor forge a quote.
+package vtpm
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"veil/internal/core"
+	"veil/internal/snp"
+)
+
+// NumPCRs is the size of the PCR bank (TPM 2.0's standard 24).
+const NumPCRs = 24
+
+// SvcTPM is the service identifier on the IDCB and secure-channel wire.
+// It extends the core protocol's service space (0–3 are the paper's).
+const SvcTPM uint8 = 4
+
+// Operations.
+const (
+	// OpExtend extends a PCR (payload: index u32, 32-byte digest).
+	OpExtend uint8 = 1
+	// OpRead returns a PCR value (payload: index u32).
+	OpRead uint8 = 2
+)
+
+// CyclesExtend models the hash-chain update.
+const CyclesExtend = 4_000
+
+// Service is a VeilS-Tpm instance.
+type Service struct {
+	mon *core.Monitor
+
+	// bank lives in a Dom-SRV-granted frame; the Go-side array mirrors it
+	// for convenience, but the authoritative copy is the protected page
+	// (attack tests aim at the frame).
+	frame   uint64
+	bank    [NumPCRs][32]byte
+	extends uint64
+
+	quoteKey ed25519.PrivateKey
+}
+
+// New creates the service and registers it with VeilMon.
+func New(mon *core.Monitor, quoteKey ed25519.PrivateKey) *Service {
+	s := &Service{mon: mon, quoteKey: quoteKey}
+	mon.RegisterService(SvcTPM, s.handle)
+	mon.RegisterSecureService(SvcTPM, s.secure)
+	mon.OnBoot(s.init)
+	return s
+}
+
+// init reserves the protected PCR page during monitor boot.
+func (s *Service) init() error {
+	f, err := s.mon.AllocServiceFrame()
+	if err != nil {
+		return fmt.Errorf("vtpm: PCR frame: %w", err)
+	}
+	s.frame = f
+	return s.mon.ProtectPages([]uint64{f}, "veils-tpm")
+}
+
+// Frame exposes the protected PCR page (attack tests).
+func (s *Service) Frame() uint64 { return s.frame }
+
+// Extends returns how many extend operations have been performed.
+func (s *Service) Extends() uint64 { return s.extends }
+
+func (s *Service) handle(vcpu int, op uint8, payload []byte) (uint32, []byte) {
+	switch op {
+	case OpExtend:
+		if len(payload) != 4+32 {
+			return core.StatusError, nil
+		}
+		idx := binary.LittleEndian.Uint32(payload)
+		var d [32]byte
+		copy(d[:], payload[4:])
+		if err := s.Extend(idx, d); err != nil {
+			return core.StatusDenied, nil
+		}
+		return core.StatusOK, nil
+	case OpRead:
+		if len(payload) != 4 {
+			return core.StatusError, nil
+		}
+		idx := binary.LittleEndian.Uint32(payload)
+		v, err := s.Read(idx)
+		if err != nil {
+			return core.StatusDenied, nil
+		}
+		return core.StatusOK, v[:]
+	}
+	return core.StatusError, nil
+}
+
+// Extend folds a digest into PCR idx: pcr = SHA-256(pcr || digest). This
+// is the only mutation the OS can cause — history is append-only by
+// construction.
+func (s *Service) Extend(idx uint32, digest [32]byte) error {
+	if idx >= NumPCRs {
+		return fmt.Errorf("vtpm: PCR %d out of range", idx)
+	}
+	m := s.mon.Machine()
+	h := sha256.New()
+	h.Write(s.bank[idx][:])
+	h.Write(digest[:])
+	copy(s.bank[idx][:], h.Sum(nil))
+	// Mirror into the protected page (the enforcement target).
+	if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, s.bank[idx][:]); err != nil {
+		return err
+	}
+	m.Clock().Charge(snp.CostCompute, CyclesExtend)
+	s.extends++
+	return nil
+}
+
+// Read returns the current value of PCR idx.
+func (s *Service) Read(idx uint32) ([32]byte, error) {
+	if idx >= NumPCRs {
+		return [32]byte{}, fmt.Errorf("vtpm: PCR %d out of range", idx)
+	}
+	var out [32]byte
+	err := s.mon.Machine().GuestReadPhys(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, out[:])
+	return out, err
+}
+
+// Quote signs the selected PCRs together with caller-provided freshness
+// data (a nonce from the remote verifier).
+func (s *Service) Quote(indices []uint32, nonce []byte) ([]byte, error) {
+	body := []byte("veil-vtpm-quote-v1")
+	var idxb [4]byte
+	for _, idx := range indices {
+		v, err := s.Read(idx)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(idxb[:], idx)
+		body = append(body, idxb[:]...)
+		body = append(body, v[:]...)
+	}
+	body = append(body, nonce...)
+	sig := ed25519.Sign(s.quoteKey, body)
+	return append(body, sig...), nil
+}
+
+// VerifyQuote checks a quote against the service public key and returns
+// the (index, value) pairs it attests.
+func VerifyQuote(pub ed25519.PublicKey, quote, nonce []byte) (map[uint32][32]byte, error) {
+	if len(quote) < ed25519.SignatureSize {
+		return nil, fmt.Errorf("vtpm: short quote")
+	}
+	body := quote[:len(quote)-ed25519.SignatureSize]
+	sig := quote[len(quote)-ed25519.SignatureSize:]
+	if !ed25519.Verify(pub, body, sig) {
+		return nil, fmt.Errorf("vtpm: bad quote signature")
+	}
+	const hdr = len("veil-vtpm-quote-v1")
+	if len(body) < hdr+len(nonce) {
+		return nil, fmt.Errorf("vtpm: malformed quote")
+	}
+	if string(body[len(body)-len(nonce):]) != string(nonce) {
+		return nil, fmt.Errorf("vtpm: nonce mismatch (replay?)")
+	}
+	rest := body[hdr : len(body)-len(nonce)]
+	if len(rest)%36 != 0 {
+		return nil, fmt.Errorf("vtpm: malformed PCR list")
+	}
+	out := make(map[uint32][32]byte, len(rest)/36)
+	for off := 0; off < len(rest); off += 36 {
+		idx := binary.LittleEndian.Uint32(rest[off:])
+		var v [32]byte
+		copy(v[:], rest[off+4:off+36])
+		out[idx] = v
+	}
+	return out, nil
+}
+
+// secure serves channel commands: "QUOTE" + count u32 + indices + nonce
+// (16 bytes).
+func (s *Service) secure(msg []byte) ([]byte, error) {
+	if len(msg) < 5+4 || string(msg[:5]) != "QUOTE" {
+		return nil, fmt.Errorf("vtpm: unknown command")
+	}
+	n := binary.LittleEndian.Uint32(msg[5:])
+	if n > NumPCRs || len(msg) != 9+int(n)*4+16 {
+		return nil, fmt.Errorf("vtpm: malformed QUOTE")
+	}
+	indices := make([]uint32, n)
+	for i := range indices {
+		indices[i] = binary.LittleEndian.Uint32(msg[9+4*i:])
+	}
+	nonce := msg[9+4*int(n):]
+	return s.Quote(indices, nonce)
+}
+
+// ExtendViaStub is the OS-side helper (the kernel hook a measured-boot
+// flow would call on module/binary load).
+func ExtendViaStub(stub *core.OSStub, idx uint32, digest [32]byte) error {
+	payload := make([]byte, 36)
+	binary.LittleEndian.PutUint32(payload, idx)
+	copy(payload[4:], digest[:])
+	resp, err := stub.CallSrv(core.Request{Svc: SvcTPM, Op: OpExtend, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if resp.Status != core.StatusOK {
+		return fmt.Errorf("vtpm: extend refused (status %d)", resp.Status)
+	}
+	return nil
+}

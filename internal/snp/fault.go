@@ -1,0 +1,87 @@
+package snp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultKind classifies the architectural faults the model can raise.
+type FaultKind int
+
+const (
+	// FaultNPF is a nested page fault: an access violated the RMP
+	// permissions for the accessing VMPL, or targeted an unvalidated or
+	// hypervisor-owned page. In the configurations Veil uses, an #NPF on
+	// a permission violation is not recoverable by the guest and the CVM
+	// halts with continuous #NPFs (§5.1, §8.3).
+	FaultNPF FaultKind = iota
+	// FaultPF is a classical page fault from the guest page tables
+	// (not-present or CPL/permission violation at the PTE level). These
+	// are recoverable: the kernel (or, for enclaves, the collaborative
+	// paging path) handles them.
+	FaultPF
+	// FaultGP is a general-protection-style fault: an architecturally
+	// disallowed instruction, e.g. PVALIDATE outside VMPL0, RMPADJUST
+	// targeting an equal-or-higher VMPL, or a privileged MSR write at
+	// CPL3.
+	FaultGP
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNPF:
+		return "#NPF"
+	case FaultPF:
+		return "#PF"
+	case FaultGP:
+		return "#GP"
+	}
+	return "#??"
+}
+
+// Fault describes an architectural fault. It implements error so simulator
+// layers can propagate it without losing the architectural detail.
+type Fault struct {
+	Kind   FaultKind
+	VMPL   VMPL   // privilege level of the faulting access
+	CPL    CPL    // ring of the faulting access
+	Access Access // what was attempted
+	Virt   uint64 // virtual address, if translation was involved
+	Phys   uint64 // physical address, if known
+	Why    string // human-readable cause
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s: %s %s at virt=%#x phys=%#x (%s, %s): %s",
+		f.Kind, f.Access, "violation", f.Virt, f.Phys, f.VMPL, f.CPL, f.Why)
+}
+
+// ErrHalted is returned by machine operations after the CVM has halted.
+var ErrHalted = errors.New("snp: CVM halted")
+
+// AsFault extracts a *Fault from an error chain, if present.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// IsNPF reports whether err is (or wraps) a nested page fault.
+func IsNPF(err error) bool {
+	f, ok := AsFault(err)
+	return ok && f.Kind == FaultNPF
+}
+
+// IsPF reports whether err is (or wraps) a guest page fault.
+func IsPF(err error) bool {
+	f, ok := AsFault(err)
+	return ok && f.Kind == FaultPF
+}
+
+// IsGP reports whether err is (or wraps) a general-protection fault.
+func IsGP(err error) bool {
+	f, ok := AsFault(err)
+	return ok && f.Kind == FaultGP
+}

@@ -1,0 +1,242 @@
+package snp
+
+import (
+	"fmt"
+)
+
+// PageSize is the architectural page granule tracked by the RMP.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Config describes the guest-visible machine.
+type Config struct {
+	// MemBytes is the guest physical memory size. It is rounded up to a
+	// whole number of pages. The paper's testbed CVM has 2 GB.
+	MemBytes uint64
+	// VCPUs is the number of hardware-accelerated VCPUs (the paper's CVM
+	// has 4).
+	VCPUs int
+}
+
+// DefaultConfig mirrors the paper's evaluation CVM (§9): 2 GB of memory and
+// 4 VCPUs. Tests use smaller machines for speed.
+func DefaultConfig() Config {
+	return Config{MemBytes: 2 << 30, VCPUs: 4}
+}
+
+// Machine is the simulated SEV-SNP guest context: physical memory, the RMP,
+// VMSAs, GHCB MSRs and the virtual cycle clock. A single Machine underlies
+// one CVM plus the hypervisor's view of it.
+//
+// Machine is not safe for concurrent use: the simulation is synchronous and
+// deterministic by design.
+type Machine struct {
+	cfg   Config
+	mem   []byte
+	rmp   []RMPEntry
+	vmsas map[uint64]*VMSA // keyed by physical page address
+
+	// ghcbMSR holds the per-VCPU GHCB physical address, written by the
+	// guest via a (privileged) MSR write and read by the hypervisor.
+	ghcbMSR map[int]uint64
+
+	clock  Clock
+	trace  Trace
+	halted *Fault
+}
+
+// NewMachine creates a machine with all pages hypervisor-owned (shared),
+// exactly as at CVM launch before the boot image is measured in.
+func NewMachine(cfg Config) *Machine {
+	if cfg.MemBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.VCPUs <= 0 {
+		cfg.VCPUs = 1
+	}
+	pages := (cfg.MemBytes + PageSize - 1) / PageSize
+	cfg.MemBytes = pages * PageSize
+	return &Machine{
+		cfg:     cfg,
+		mem:     make([]byte, cfg.MemBytes),
+		rmp:     make([]RMPEntry, pages),
+		vmsas:   make(map[uint64]*VMSA),
+		ghcbMSR: make(map[int]uint64),
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumPages returns the number of guest physical pages.
+func (m *Machine) NumPages() uint64 { return uint64(len(m.rmp)) }
+
+// Clock exposes the virtual cycle counter.
+func (m *Machine) Clock() *Clock { return &m.clock }
+
+// Trace exposes the architectural event trace counters.
+func (m *Machine) Trace() *Trace { return &m.trace }
+
+// Halt transitions the CVM into the halted state, recording the fault. On
+// real SNP hardware the class of #NPF that Veil's protections produce leads
+// to a system halt with continuous faults (§5.1); the model captures that as
+// a terminal state. Halt returns the fault for convenient propagation.
+func (m *Machine) Halt(f *Fault) error {
+	if m.halted == nil {
+		m.halted = f
+	}
+	return m.halted
+}
+
+// Halted returns the fault that halted the CVM, or nil if it is running.
+func (m *Machine) Halted() *Fault { return m.halted }
+
+// checkRunning returns ErrHalted if the machine has already halted.
+func (m *Machine) checkRunning() error {
+	if m.halted != nil {
+		return ErrHalted
+	}
+	return nil
+}
+
+// pageIndex validates a physical address and returns its page number.
+func (m *Machine) pageIndex(phys uint64) (uint64, error) {
+	if phys >= m.cfg.MemBytes {
+		return 0, fmt.Errorf("snp: physical address %#x outside guest memory (%d bytes)", phys, m.cfg.MemBytes)
+	}
+	return phys >> PageShift, nil
+}
+
+// PageBase returns the base address of the page containing phys.
+func PageBase(phys uint64) uint64 { return phys &^ (PageSize - 1) }
+
+// PageOffset returns the offset of phys within its page.
+func PageOffset(phys uint64) uint64 { return phys & (PageSize - 1) }
+
+// physRange checks that [phys, phys+n) lies within a single page and inside
+// guest memory, returning the page index.
+func (m *Machine) physRange(phys uint64, n int) (uint64, error) {
+	pi, err := m.pageIndex(phys)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || PageOffset(phys)+uint64(n) > PageSize {
+		return 0, fmt.Errorf("snp: physical access %#x+%d crosses a page boundary", phys, n)
+	}
+	return pi, nil
+}
+
+// guestAccessPhys performs the RMP check for a guest access at the given
+// VMPL/CPL and returns the backing slice on success. A permission violation
+// raises #NPF and halts the machine.
+func (m *Machine) guestAccessPhys(vmpl VMPL, cpl CPL, phys uint64, n int, a Access, virt uint64) ([]byte, error) {
+	if err := m.checkRunning(); err != nil {
+		return nil, err
+	}
+	pi, err := m.physRange(phys, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.rmp[pi].checkGuestAccess(vmpl, cpl, a); err != nil {
+		f := err.(*Fault)
+		f.Virt, f.Phys = virt, phys
+		m.Halt(f)
+		return nil, f
+	}
+	return m.mem[phys : phys+uint64(n)], nil
+}
+
+// GuestReadPhys reads n bytes at a guest physical address, subject to RMP
+// checks for the given VMPL/CPL. It is the primitive under AccessContext and
+// is also used directly by layers that operate on physical addresses (e.g.
+// VeilMon walking untrusted structures after sanitization).
+func (m *Machine) GuestReadPhys(vmpl VMPL, cpl CPL, phys uint64, buf []byte) error {
+	src, err := m.guestAccessPhys(vmpl, cpl, phys, len(buf), AccessRead, 0)
+	if err != nil {
+		return err
+	}
+	copy(buf, src)
+	return nil
+}
+
+// GuestWritePhys writes buf at a guest physical address, subject to RMP
+// checks for the given VMPL/CPL.
+func (m *Machine) GuestWritePhys(vmpl VMPL, cpl CPL, phys uint64, buf []byte) error {
+	dst, err := m.guestAccessPhys(vmpl, cpl, phys, len(buf), AccessWrite, 0)
+	if err != nil {
+		return err
+	}
+	copy(dst, buf)
+	return nil
+}
+
+// GuestExecCheckPhys models an instruction fetch from a physical page: it
+// performs the RMP execute check for the VMPL/CPL without transferring data.
+func (m *Machine) GuestExecCheckPhys(vmpl VMPL, cpl CPL, phys uint64) error {
+	_, err := m.guestAccessPhys(vmpl, cpl, phys, 1, AccessExec, 0)
+	return err
+}
+
+// rawPage returns the backing bytes of a page without any checks. It is for
+// hardware-internal paths only (page-table walker, launch measurement) and
+// is deliberately unexported.
+func (m *Machine) rawPage(pi uint64) []byte {
+	base := pi << PageShift
+	return m.mem[base : base+PageSize]
+}
+
+// HVReadPhys models a hypervisor (or device) read. SEV-SNP forbids outside
+// software from reading guest-assigned pages; only shared pages succeed.
+func (m *Machine) HVReadPhys(phys uint64, buf []byte) error {
+	pi, err := m.physRange(phys, len(buf))
+	if err != nil {
+		return err
+	}
+	if m.rmp[pi].Assigned {
+		// Reads of encrypted guest memory return ciphertext garbage on
+		// real hardware; the model returns an error so tests can assert
+		// the leak did not happen.
+		return fmt.Errorf("snp: hypervisor read of guest-assigned page %#x blocked", PageBase(phys))
+	}
+	copy(buf, m.mem[phys:phys+uint64(len(buf))])
+	return nil
+}
+
+// HVWritePhys models a hypervisor write; writes to guest-assigned pages are
+// blocked (integrity protection) while shared pages succeed.
+func (m *Machine) HVWritePhys(phys uint64, buf []byte) error {
+	pi, err := m.physRange(phys, len(buf))
+	if err != nil {
+		return err
+	}
+	if m.rmp[pi].Assigned {
+		return fmt.Errorf("snp: hypervisor write to guest-assigned page %#x blocked", PageBase(phys))
+	}
+	copy(m.mem[phys:phys+uint64(len(buf))], buf)
+	return nil
+}
+
+// WriteGHCBMSR records the GHCB physical address for a VCPU. The MSR write
+// is privileged: it requires CPL0 (§6.2 discusses why enclaves cannot do
+// this themselves and rely on the OS to set it before scheduling them).
+func (m *Machine) WriteGHCBMSR(vcpuID int, cpl CPL, phys uint64) error {
+	if err := m.checkRunning(); err != nil {
+		return err
+	}
+	if cpl != CPL0 {
+		return &Fault{Kind: FaultGP, CPL: cpl, Why: "wrmsr GHCB requires CPL0"}
+	}
+	if _, err := m.pageIndex(phys); err != nil {
+		return err
+	}
+	m.ghcbMSR[vcpuID] = phys
+	return nil
+}
+
+// ReadGHCBMSR returns the GHCB physical address for a VCPU (hypervisor side).
+func (m *Machine) ReadGHCBMSR(vcpuID int) (uint64, bool) {
+	p, ok := m.ghcbMSR[vcpuID]
+	return p, ok
+}

@@ -1,0 +1,223 @@
+package snp
+
+import "fmt"
+
+// Guest page tables use a 4-level x86-64-style format with 48-bit virtual
+// addresses. Entries are 64-bit words stored in guest physical pages:
+//
+//	bit 0      present
+//	bit 1      writable
+//	bit 2      user-accessible
+//	bits 12-51 physical frame address
+//	bit 63     no-execute
+//
+// The hardware page-table walker reads table pages directly (it is not a
+// software access and is not subject to RMP permission vectors); RMP
+// protection of page-table pages matters for *software* reads and writes of
+// the tables, which is exactly the attack §8.3 validates against.
+const (
+	PTEPresent  uint64 = 1 << 0
+	PTEWrite    uint64 = 1 << 1
+	PTEUser     uint64 = 1 << 2
+	PTENX       uint64 = 1 << 63
+	PTEAddrMask uint64 = 0x000F_FFFF_FFFF_F000
+)
+
+// PTLevels is the number of page-table levels.
+const PTLevels = 4
+
+// ptIndexBits is the number of virtual-address bits consumed per level.
+const ptIndexBits = 9
+
+// VirtBits is the implemented virtual address width.
+const VirtBits = PTLevels*ptIndexBits + PageShift // 48
+
+// MakePTE builds a leaf (or intermediate) entry pointing at phys.
+func MakePTE(phys uint64, flags uint64) uint64 {
+	return (phys & PTEAddrMask) | flags
+}
+
+// PTEAddr extracts the physical address from an entry.
+func PTEAddr(pte uint64) uint64 { return pte & PTEAddrMask }
+
+// ptIndex returns the table index for virt at the given level
+// (level 3 = root, level 0 = leaf).
+func ptIndex(virt uint64, level int) uint64 {
+	return (virt >> (PageShift + ptIndexBits*level)) & ((1 << ptIndexBits) - 1)
+}
+
+// AccessContext is a software execution context's view of memory: a VMPL, a
+// ring, and a page-table root. All simulated software uses it for loads,
+// stores and fetch checks, so both the PTE checks (CPL view) and the RMP
+// checks (VMPL view) are enforced on every access.
+type AccessContext struct {
+	M    *Machine
+	VMPL VMPL
+	CPL  CPL
+	CR3  uint64 // physical address of the root table page
+}
+
+func (a AccessContext) String() string {
+	return fmt.Sprintf("ctx(%s,%s,cr3=%#x)", a.VMPL, a.CPL, a.CR3)
+}
+
+// readPTE performs the hardware walker's read of a table entry.
+func (a AccessContext) readPTE(tablePhys uint64, idx uint64) (uint64, error) {
+	pi, err := a.M.pageIndex(tablePhys)
+	if err != nil {
+		return 0, fmt.Errorf("snp: page-table page out of range: %w", err)
+	}
+	page := a.M.rawPage(pi)
+	off := idx * 8
+	var pte uint64
+	for i := 0; i < 8; i++ {
+		pte |= uint64(page[off+uint64(i)]) << (8 * i)
+	}
+	return pte, nil
+}
+
+// Translate walks the page tables for virt and returns the physical address,
+// enforcing PTE-level permissions for the context's ring. It does not
+// perform the RMP check (that happens on the actual access) but it does
+// produce the recoverable #PF faults the paging paths rely on.
+func (a AccessContext) Translate(virt uint64, acc Access) (uint64, error) {
+	if a.CR3 == 0 {
+		return 0, &Fault{Kind: FaultGP, VMPL: a.VMPL, CPL: a.CPL, Virt: virt, Why: "null CR3"}
+	}
+	if virt>>VirtBits != 0 {
+		return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "non-canonical address"}
+	}
+	table := PageBase(a.CR3)
+	// Accumulate permissions across levels like x86: an access needs the
+	// relevant bit at every level.
+	eff := PTEWrite | PTEUser
+	effNX := false
+	var pte uint64
+	for level := PTLevels - 1; level >= 0; level-- {
+		var err error
+		pte, err = a.readPTE(table, ptIndex(virt, level))
+		if err != nil {
+			return 0, err
+		}
+		if pte&PTEPresent == 0 {
+			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "not present"}
+		}
+		eff &= pte
+		effNX = effNX || pte&PTENX != 0
+		table = PTEAddr(pte)
+	}
+	phys := table | PageOffset(virt)
+	if a.CPL == CPL3 && eff&PTEUser == 0 {
+		return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "supervisor page at CPL3"}
+	}
+	switch acc {
+	case AccessWrite:
+		// Supervisor writes honour the write bit too (CR0.WP set, as
+		// commodity kernels run).
+		if eff&PTEWrite == 0 {
+			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "write to read-only page"}
+		}
+	case AccessExec:
+		if effNX {
+			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "execute from NX page"}
+		}
+	}
+	return phys, nil
+}
+
+// access performs a chunked virtual access, splitting on page boundaries.
+func (a AccessContext) access(virt uint64, buf []byte, acc Access) error {
+	off := 0
+	for off < len(buf) {
+		chunk := int(PageSize - PageOffset(virt+uint64(off)))
+		if rem := len(buf) - off; chunk > rem {
+			chunk = rem
+		}
+		phys, err := a.Translate(virt+uint64(off), acc)
+		if err != nil {
+			return err
+		}
+		var derr error
+		switch acc {
+		case AccessRead:
+			derr = a.M.GuestReadPhys(a.VMPL, a.CPL, phys, buf[off:off+chunk])
+		case AccessWrite:
+			derr = a.M.GuestWritePhys(a.VMPL, a.CPL, phys, buf[off:off+chunk])
+		}
+		if derr != nil {
+			if f, ok := AsFault(derr); ok {
+				f.Virt = virt + uint64(off)
+			}
+			return derr
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes from virtual memory into buf.
+func (a AccessContext) Read(virt uint64, buf []byte) error {
+	return a.access(virt, buf, AccessRead)
+}
+
+// Write copies buf into virtual memory at virt.
+func (a AccessContext) Write(virt uint64, buf []byte) error {
+	return a.access(virt, buf, AccessWrite)
+}
+
+// ReadU64 loads a little-endian 64-bit word.
+func (a AccessContext) ReadU64(virt uint64) (uint64, error) {
+	var b [8]byte
+	if err := a.Read(virt, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteU64 stores a little-endian 64-bit word.
+func (a AccessContext) WriteU64(virt uint64, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return a.Write(virt, b[:])
+}
+
+// FetchCheck models an instruction fetch at virt: PTE execute check plus the
+// RMP user/supervisor-execute check for the context's VMPL and ring.
+func (a AccessContext) FetchCheck(virt uint64) error {
+	phys, err := a.Translate(virt, AccessExec)
+	if err != nil {
+		return err
+	}
+	return a.M.GuestExecCheckPhys(a.VMPL, a.CPL, phys)
+}
+
+// WritePTE stores a page-table entry *as a software write*, i.e. subject to
+// the full PTE+RMP checks of this context. Kernels build their tables this
+// way; an OS attempting to edit a Veil-protected table page faults here
+// (§8.3 attack 1).
+func (a AccessContext) WritePTE(tablePhys uint64, idx uint64, pte uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(pte >> (8 * i))
+	}
+	return a.M.GuestWritePhys(a.VMPL, a.CPL, tablePhys+idx*8, b[:])
+}
+
+// ReadPTE loads a page-table entry as a software read under this context.
+func (a AccessContext) ReadPTE(tablePhys uint64, idx uint64) (uint64, error) {
+	var b [8]byte
+	if err := a.M.GuestReadPhys(a.VMPL, a.CPL, tablePhys+idx*8, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}

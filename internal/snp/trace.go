@@ -1,0 +1,38 @@
+package snp
+
+// Trace counts architectural events. The evaluation harness reads these to
+// compute exit rates (Figs 5 and 6 report enclave-exit and log rates per
+// second of simulated time).
+type Trace struct {
+	VMGExits       uint64 // non-automatic exits via VMGEXIT
+	AutomaticExits uint64 // automatic exits (interrupts etc.)
+	VMEnters       uint64 // VMENTER resumes
+	VMCalls        uint64 // plain VMCALL exits (non-SNP comparison path)
+	DomainSwitches uint64 // completed hypervisor-relayed domain switches
+	RMPAdjusts     uint64
+	PValidates     uint64
+	Interrupts     uint64
+	Syscalls       uint64 // guest kernel syscalls
+	EnclaveExits   uint64 // enclave → untrusted world transitions
+	AuditRecords   uint64 // kaudit records emitted
+}
+
+// Snapshot returns a copy for differential measurement.
+func (t *Trace) Snapshot() Trace { return *t }
+
+// Since returns the per-field difference t - prev.
+func (t *Trace) Since(prev Trace) Trace {
+	return Trace{
+		VMGExits:       t.VMGExits - prev.VMGExits,
+		AutomaticExits: t.AutomaticExits - prev.AutomaticExits,
+		VMEnters:       t.VMEnters - prev.VMEnters,
+		VMCalls:        t.VMCalls - prev.VMCalls,
+		DomainSwitches: t.DomainSwitches - prev.DomainSwitches,
+		RMPAdjusts:     t.RMPAdjusts - prev.RMPAdjusts,
+		PValidates:     t.PValidates - prev.PValidates,
+		Interrupts:     t.Interrupts - prev.Interrupts,
+		Syscalls:       t.Syscalls - prev.Syscalls,
+		EnclaveExits:   t.EnclaveExits - prev.EnclaveExits,
+		AuditRecords:   t.AuditRecords - prev.AuditRecords,
+	}
+}

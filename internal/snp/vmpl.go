@@ -1,0 +1,124 @@
+package snp
+
+import "fmt"
+
+// VMPL is a virtual machine privilege level. SEV-SNP provides four levels,
+// VMPL0 through VMPL3; lower numbered levels are more privileged (like CPL).
+// A VCPU instance is permanently assigned a VMPL when its VMSA is created.
+type VMPL uint8
+
+const (
+	VMPL0 VMPL = iota // most privileged; Veil's monitor (Dom-MON)
+	VMPL1             // protected services (Dom-SRV)
+	VMPL2             // enclaves (Dom-ENC)
+	VMPL3             // least privileged; the operating system (Dom-UNT)
+
+	// NumVMPLs is the number of architectural privilege levels.
+	NumVMPLs = 4
+)
+
+func (v VMPL) String() string {
+	if v < NumVMPLs {
+		return fmt.Sprintf("VMPL%d", uint8(v))
+	}
+	return fmt.Sprintf("VMPL(%d)", uint8(v))
+}
+
+// Valid reports whether v is an architecturally valid privilege level.
+func (v VMPL) Valid() bool { return v < NumVMPLs }
+
+// MorePrivilegedThan reports whether v outranks o (numerically lower).
+func (v VMPL) MorePrivilegedThan(o VMPL) bool { return v < o }
+
+// CPL is an x86 protection ring. Only ring 0 (supervisor) and ring 3 (user)
+// matter for Veil's domain model.
+type CPL uint8
+
+const (
+	CPL0 CPL = 0 // supervisor
+	CPL3 CPL = 3 // user
+)
+
+func (c CPL) String() string { return fmt.Sprintf("CPL%d", uint8(c)) }
+
+// Perm is a set of RMP access permissions. SEV-SNP tracks an expressive set
+// per VMPL: read, write, user-execute, and supervisor-execute (§3).
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermUserExec
+	PermSupervisorExec
+
+	// PermAll grants every access kind. VMPL0 always holds PermAll on
+	// assigned pages; RMPADJUST cannot revoke VMPL0 permissions.
+	PermAll       = PermRead | PermWrite | PermUserExec | PermSupervisorExec
+	PermNone Perm = 0
+	// PermRX is read plus both execute kinds.
+	PermRX = PermRead | PermUserExec | PermSupervisorExec
+	// PermRW is read/write without execute.
+	PermRW = PermRead | PermWrite
+)
+
+// Has reports whether p includes all permissions in q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+func (p Perm) String() string {
+	if p == PermNone {
+		return "----"
+	}
+	b := []byte("----")
+	if p.Has(PermRead) {
+		b[0] = 'r'
+	}
+	if p.Has(PermWrite) {
+		b[1] = 'w'
+	}
+	if p.Has(PermUserExec) {
+		b[2] = 'u'
+	}
+	if p.Has(PermSupervisorExec) {
+		b[3] = 's'
+	}
+	return string(b)
+}
+
+// Access is a single memory access kind, checked against both the page
+// tables (CPL view) and the RMP (VMPL view).
+type Access uint8
+
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return fmt.Sprintf("access(%d)", uint8(a))
+}
+
+// permFor maps an access at a given ring onto the RMP permission bit that
+// must be present for the access to proceed.
+func permFor(a Access, cpl CPL) Perm {
+	switch a {
+	case AccessRead:
+		return PermRead
+	case AccessWrite:
+		return PermWrite
+	case AccessExec:
+		if cpl == CPL0 {
+			return PermSupervisorExec
+		}
+		return PermUserExec
+	}
+	return PermNone
+}

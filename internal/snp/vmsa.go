@@ -1,0 +1,145 @@
+package snp
+
+import "fmt"
+
+// VMSA is a virtual machine save area: the protected register state of one
+// VCPU instance. Under Veil a physical VCPU has one VMSA replica per domain
+// (§5.2); each replica is pinned to its VMPL for its whole lifetime.
+type VMSA struct {
+	VCPUID int  // which physical VCPU this instance belongs to
+	VMPL   VMPL // fixed at creation
+	CPL    CPL  // current ring of the saved context
+
+	// RIP is the saved instruction pointer. Software layers in the model
+	// are Go handlers, so RIP is a symbolic entry token: the hypervisor
+	// and machine use it only for bookkeeping and attack tests (e.g. a
+	// hypervisor attempting to corrupt a saved rip).
+	RIP uint64
+	RSP uint64
+	CR3 uint64 // page-table root of the saved context
+
+	GPR [16]uint64 // general-purpose registers
+
+	// Runnable marks the instance as eligible for VMENTER.
+	Runnable bool
+}
+
+// CreateVMSA models RMPADJUST with the VMSA attribute: it turns the page at
+// phys into a save area containing state, runnable at state.VMPL.
+//
+// Only VMPL0 software may create VMSAs. This single architectural rule is
+// what lets VeilMon retain exclusive control over VCPU (and hence domain)
+// creation: the OS at VMPL3 cannot mint itself a privileged VCPU (§8.1,
+// Table 1 "Create VCPU at Dom-MON/Dom-SRV").
+func (m *Machine) CreateVMSA(callerVMPL VMPL, phys uint64, state VMSA) error {
+	if err := m.checkRunning(); err != nil {
+		return err
+	}
+	pi, err := m.pageIndex(phys)
+	if err != nil {
+		return err
+	}
+	if PageOffset(phys) != 0 {
+		return fmt.Errorf("snp: VMSA must be page aligned, got %#x", phys)
+	}
+	if callerVMPL != VMPL0 {
+		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "RMPADJUST(VMSA) requires VMPL0"}
+	}
+	if !state.VMPL.Valid() {
+		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA with invalid target VMPL"}
+	}
+	e := &m.rmp[pi]
+	if !e.Assigned || !e.Validated {
+		f := &Fault{Kind: FaultNPF, VMPL: callerVMPL, Phys: phys, Why: "VMSA page not assigned+validated"}
+		m.Halt(f)
+		return f
+	}
+	if e.VMSA {
+		return fmt.Errorf("snp: page %#x already holds a VMSA", phys)
+	}
+	e.VMSA = true
+	e.VMSATargetVMPL = state.VMPL
+	v := state
+	m.vmsas[phys] = &v
+	m.clock.Charge(CostRMPADJUST, CyclesRMPADJUST)
+	m.trace.RMPAdjusts++
+	return nil
+}
+
+// HVCreateBootVMSA is the launch-time path: the hypervisor creates the boot
+// VCPU's save area, which the architecture pins at VMPL0 (§3: "the boot
+// VCPU instance ... is always created by the hypervisor at VMPL-0"). Under
+// Veil this is the VMSA VeilMon itself boots on.
+func (m *Machine) HVCreateBootVMSA(phys uint64, state VMSA) error {
+	pi, err := m.pageIndex(phys)
+	if err != nil {
+		return err
+	}
+	if state.VMPL != VMPL0 {
+		return fmt.Errorf("snp: boot VMSA is always VMPL0")
+	}
+	e := &m.rmp[pi]
+	if e.Assigned || e.VMSA {
+		return fmt.Errorf("snp: boot VMSA page %#x already in use", phys)
+	}
+	*e = RMPEntry{Assigned: true, Validated: true, VMSA: true, VMSATargetVMPL: VMPL0,
+		Perms: [NumVMPLs]Perm{VMPL0: PermAll}}
+	v := state
+	v.Runnable = true
+	m.vmsas[phys] = &v
+	return nil
+}
+
+// VMSAAt returns the save area stored at phys, for the machine/hypervisor
+// VMENTER path. The content is protected guest state: the hypervisor may
+// schedule it but the model gives it no mutating access (SEV-SNP keeps
+// VMSAs inside the CVM; see Table 2 "Violate saved state ... from
+// hypervisor").
+func (m *Machine) VMSAAt(phys uint64) (*VMSA, error) {
+	v, ok := m.vmsas[phys]
+	if !ok {
+		return nil, fmt.Errorf("snp: no VMSA at %#x", phys)
+	}
+	return v, nil
+}
+
+// UpdateVMSA lets VMPL0 software (VeilMon) mutate a saved instance — e.g.
+// setting the entry point and page-table root of a fresh domain replica, or
+// synchronizing an enclave thread's state. Lower VMPLs take a #GP.
+func (m *Machine) UpdateVMSA(callerVMPL VMPL, phys uint64, mutate func(*VMSA)) error {
+	if err := m.checkRunning(); err != nil {
+		return err
+	}
+	if callerVMPL != VMPL0 {
+		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA update requires VMPL0"}
+	}
+	v, err := m.VMSAAt(phys)
+	if err != nil {
+		return err
+	}
+	mutate(v)
+	return nil
+}
+
+// DestroyVMSA releases a save area (VMPL0 only), returning the page to
+// normal guest-private use.
+func (m *Machine) DestroyVMSA(callerVMPL VMPL, phys uint64) error {
+	if err := m.checkRunning(); err != nil {
+		return err
+	}
+	if callerVMPL != VMPL0 {
+		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA destroy requires VMPL0"}
+	}
+	pi, err := m.pageIndex(phys)
+	if err != nil {
+		return err
+	}
+	if _, ok := m.vmsas[phys]; !ok {
+		return fmt.Errorf("snp: no VMSA at %#x", phys)
+	}
+	delete(m.vmsas, phys)
+	e := &m.rmp[pi]
+	e.VMSA = false
+	e.Perms = [NumVMPLs]Perm{VMPL0: PermAll}
+	return nil
+}

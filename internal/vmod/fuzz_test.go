@@ -1,0 +1,65 @@
+package vmod
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the module parser: it must never
+// panic and must never "succeed" on input that then fails to re-encode to
+// an equivalent module. Run with `go test -fuzz FuzzParse ./internal/vmod`
+// for continuous fuzzing; the seed corpus runs in normal test mode.
+func FuzzParse(f *testing.F) {
+	priv := testKey(9)
+	good := sampleModule().Sign(priv)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("VMOD1\x00"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300))
+	trunc := bytes.Clone(good[:len(good)/2])
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip through sign/parse.
+		re := m.Sign(priv)
+		m2, err := Parse(re)
+		if err != nil {
+			t.Fatalf("re-encoded module failed to parse: %v", err)
+		}
+		if m2.Name != m.Name || !bytes.Equal(m2.Text, m.Text) ||
+			!bytes.Equal(m2.Data, m.Data) || m2.BSS != m.BSS {
+			t.Fatal("parse/encode round trip diverged")
+		}
+		// Relocations stay inside the text.
+		for _, r := range m2.Relocs {
+			if int(r.Offset)+8 > len(m2.Text) {
+				t.Fatalf("parser admitted out-of-text reloc %d", r.Offset)
+			}
+		}
+	})
+}
+
+// FuzzVerify must never panic and never validate random bytes.
+func FuzzVerify(f *testing.F) {
+	priv := testKey(10)
+	pub := priv.Public().(ed25519.PublicKey)
+	good := sampleModule().Sign(priv)
+	f.Add(good, true)
+	f.Add([]byte("short"), false)
+
+	f.Fuzz(func(t *testing.T, raw []byte, flip bool) {
+		if flip && len(raw) > 0 {
+			raw = bytes.Clone(raw)
+			raw[len(raw)/2] ^= 1
+		}
+		err := Verify(pub, raw)
+		if err == nil && !bytes.Equal(raw, good) {
+			t.Fatal("verifier accepted forged bytes")
+		}
+	})
+}

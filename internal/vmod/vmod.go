@@ -1,0 +1,198 @@
+// Package vmod defines the signed loadable kernel module format used by
+// VeilS-Kci (§6.1). A module image carries text, initialized data, a BSS
+// size, relocations against kernel symbols, and an ed25519 signature over
+// the whole body. The loader (in-kernel natively; VeilS-Kci under Veil)
+// verifies the signature, copies the sections into kernel frames, patches
+// relocations using a *protected* symbol table, and write-protects the
+// installed text.
+package vmod
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies a VMOD image.
+var Magic = []byte("VMOD1\x00")
+
+// Reloc patches the 8 bytes at text[Offset:] with the address of a kernel
+// symbol.
+type Reloc struct {
+	Offset uint32
+	Symbol string
+}
+
+// Module is a parsed module image.
+type Module struct {
+	Name   string
+	Text   []byte
+	Data   []byte
+	BSS    uint32 // zero-initialized bytes appended after data when installed
+	Relocs []Reloc
+}
+
+// Common errors.
+var (
+	ErrFormat    = errors.New("vmod: malformed image")
+	ErrSignature = errors.New("vmod: bad signature")
+	ErrSymbol    = errors.New("vmod: unresolved symbol")
+)
+
+func putBytes(w *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	w.Write(n[:])
+	w.Write(b)
+}
+
+// encodeBody serializes everything except the signature.
+func (m *Module) encodeBody() []byte {
+	var w bytes.Buffer
+	w.Write(Magic)
+	putBytes(&w, []byte(m.Name))
+	putBytes(&w, m.Text)
+	putBytes(&w, m.Data)
+	var bss [4]byte
+	binary.LittleEndian.PutUint32(bss[:], m.BSS)
+	w.Write(bss[:])
+	var rc [4]byte
+	binary.LittleEndian.PutUint32(rc[:], uint32(len(m.Relocs)))
+	w.Write(rc[:])
+	for _, r := range m.Relocs {
+		var off [4]byte
+		binary.LittleEndian.PutUint32(off[:], r.Offset)
+		w.Write(off[:])
+		putBytes(&w, []byte(r.Symbol))
+	}
+	return w.Bytes()
+}
+
+// Sign produces a signed module image.
+func (m *Module) Sign(priv ed25519.PrivateKey) []byte {
+	body := m.encodeBody()
+	return append(body, ed25519.Sign(priv, body)...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+4 > len(r.b) {
+		r.err = ErrFormat
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = ErrFormat
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = ErrFormat
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// Parse decodes a signed image without verifying the signature (callers
+// must Verify separately — parsing untrusted data is safe, acting on it is
+// not).
+func Parse(raw []byte) (*Module, error) {
+	if len(raw) < len(Magic)+ed25519.SignatureSize || !bytes.Equal(raw[:len(Magic)], Magic) {
+		return nil, ErrFormat
+	}
+	body := raw[:len(raw)-ed25519.SignatureSize]
+	r := &reader{b: body, off: len(Magic)}
+	m := &Module{}
+	m.Name = string(r.bytes())
+	m.Text = bytes.Clone(r.bytes())
+	m.Data = bytes.Clone(r.bytes())
+	m.BSS = r.u32()
+	relocs := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if relocs > 1<<16 {
+		return nil, ErrFormat
+	}
+	for i := uint32(0); i < relocs; i++ {
+		off := r.u32()
+		sym := string(r.bytes())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if int(off)+8 > len(m.Text) {
+			return nil, fmt.Errorf("%w: reloc %d outside text", ErrFormat, i)
+		}
+		m.Relocs = append(m.Relocs, Reloc{Offset: off, Symbol: sym})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrFormat)
+	}
+	return m, nil
+}
+
+// Verify checks the image signature against the module-signing key.
+func Verify(pub ed25519.PublicKey, raw []byte) error {
+	if len(raw) < ed25519.SignatureSize {
+		return ErrFormat
+	}
+	body, sig := raw[:len(raw)-ed25519.SignatureSize], raw[len(raw)-ed25519.SignatureSize:]
+	if !ed25519.Verify(pub, body, sig) {
+		return ErrSignature
+	}
+	return nil
+}
+
+// Relocate patches text in place using the protected kernel symbol table.
+// Every referenced symbol must resolve.
+func Relocate(text []byte, relocs []Reloc, symtab map[string]uint64) error {
+	for _, r := range relocs {
+		addr, ok := symtab[r.Symbol]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrSymbol, r.Symbol)
+		}
+		if int(r.Offset)+8 > len(text) {
+			return fmt.Errorf("%w: reloc at %d outside text", ErrFormat, r.Offset)
+		}
+		binary.LittleEndian.PutUint64(text[r.Offset:], addr)
+	}
+	return nil
+}
+
+// InstalledSize is the in-memory footprint of the module once loaded:
+// text + data + BSS, each section page aligned (4 KiB).
+func (m *Module) InstalledSize() int {
+	const page = 4096
+	align := func(n int) int { return (n + page - 1) &^ (page - 1) }
+	return align(len(m.Text)) + align(len(m.Data)+int(m.BSS))
+}
+
+// TextPages returns how many 4 KiB pages the text section occupies.
+func (m *Module) TextPages() int {
+	const page = 4096
+	return (len(m.Text) + page - 1) / page
+}

@@ -1,0 +1,157 @@
+package vmod
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(seed byte) ed25519.PrivateKey {
+	s := make([]byte, ed25519.SeedSize)
+	for i := range s {
+		s[i] = seed + byte(i)
+	}
+	return ed25519.NewKeyFromSeed(s)
+}
+
+func sampleModule() *Module {
+	return &Module{
+		Name: "veil_test",
+		Text: bytes.Repeat([]byte{0x90}, 3000),
+		Data: bytes.Repeat([]byte{0x01}, 800),
+		BSS:  16 * 1024,
+		Relocs: []Reloc{
+			{Offset: 16, Symbol: "printk"},
+			{Offset: 256, Symbol: "kmalloc"},
+		},
+	}
+}
+
+func TestSignParseVerifyRoundTrip(t *testing.T) {
+	priv := testKey(1)
+	raw := sampleModule().Sign(priv)
+	if err := Verify(priv.Public().(ed25519.PublicKey), raw); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "veil_test" || len(m.Text) != 3000 || len(m.Data) != 800 || m.BSS != 16*1024 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if len(m.Relocs) != 2 || m.Relocs[1].Symbol != "kmalloc" {
+		t.Fatalf("relocs %v", m.Relocs)
+	}
+}
+
+func TestVerifyRejectsAnyBitFlip(t *testing.T) {
+	priv := testKey(2)
+	raw := sampleModule().Sign(priv)
+	pub := priv.Public().(ed25519.PublicKey)
+	for _, idx := range []int{0, 10, 100, len(raw) - ed25519.SignatureSize - 1, len(raw) - 1} {
+		mut := bytes.Clone(raw)
+		mut[idx] ^= 0x80
+		if Verify(pub, mut) == nil {
+			t.Fatalf("flip at %d accepted", idx)
+		}
+	}
+}
+
+func TestVerifyWrongKey(t *testing.T) {
+	raw := sampleModule().Sign(testKey(3))
+	other := testKey(4).Public().(ed25519.PublicKey)
+	if err := Verify(other, raw); !errors.Is(err, ErrSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0xFF}, 200),
+		append([]byte("VMOD1\x00"), bytes.Repeat([]byte{0xFF}, 100)...),
+	}
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Fatalf("case %d parsed", i)
+		}
+	}
+}
+
+func TestParseRejectsRelocOutsideText(t *testing.T) {
+	m := sampleModule()
+	m.Relocs = []Reloc{{Offset: uint32(len(m.Text) - 4), Symbol: "printk"}}
+	raw := m.Sign(testKey(5))
+	if _, err := Parse(raw); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsTrailingBytes(t *testing.T) {
+	raw := sampleModule().Sign(testKey(6))
+	// Insert a byte before the signature.
+	mut := append(bytes.Clone(raw[:len(raw)-ed25519.SignatureSize]), 0x00)
+	mut = append(mut, raw[len(raw)-ed25519.SignatureSize:]...)
+	if _, err := Parse(mut); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestRelocatePatchesSymbols(t *testing.T) {
+	m := sampleModule()
+	symtab := map[string]uint64{"printk": 0x1111, "kmalloc": 0x2222}
+	text := bytes.Clone(m.Text)
+	if err := Relocate(text, m.Relocs, symtab); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(text[16:]); got != 0x1111 {
+		t.Fatalf("reloc 0 = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint64(text[256:]); got != 0x2222 {
+		t.Fatalf("reloc 1 = %#x", got)
+	}
+}
+
+func TestRelocateUnresolvedSymbol(t *testing.T) {
+	m := sampleModule()
+	err := Relocate(bytes.Clone(m.Text), m.Relocs, map[string]uint64{"printk": 1})
+	if !errors.Is(err, ErrSymbol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstalledSizeMatchesCS1Module(t *testing.T) {
+	// The paper's CS1 module: 4728-byte binary, 24 KiB installed.
+	m := &Module{Name: "cs1", Text: make([]byte, 3000), Data: make([]byte, 1000), BSS: 16 * 1024}
+	if got := m.InstalledSize(); got != 24*1024 {
+		t.Fatalf("installed size = %d, want 24576", got)
+	}
+	if m.TextPages() != 1 {
+		t.Fatalf("text pages = %d", m.TextPages())
+	}
+}
+
+// Property: sign → parse round-trips arbitrary section contents exactly.
+func TestRoundTripProperty(t *testing.T) {
+	priv := testKey(7)
+	f := func(name string, text, data []byte, bss uint16) bool {
+		if len(name) > 200 {
+			name = name[:200]
+		}
+		m := &Module{Name: name, Text: text, Data: data, BSS: uint32(bss)}
+		got, err := Parse(m.Sign(priv))
+		if err != nil {
+			return false
+		}
+		return got.Name == name && bytes.Equal(got.Text, text) &&
+			bytes.Equal(got.Data, data) && got.BSS == uint32(bss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
