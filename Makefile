@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench attacks demo experiments boot-full examples clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace clean
 
 all: vet test
 
@@ -14,6 +14,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # The full table/figure regeneration (Fig. 4/5/6 + §9.1 micro + ablations).
 experiments:
@@ -30,6 +33,12 @@ attacks:
 # End-to-end demo of all protected services.
 demo:
 	$(GO) run ./cmd/veil-sim
+
+# Capture a Chrome trace_event timeline of the full demo and sanity-check
+# it (see docs/OBSERVABILITY.md; open the JSON in Perfetto).
+trace:
+	$(GO) run ./cmd/veil-sim -trace /tmp/veil-trace.json
+	$(GO) run ./cmd/veil-trace-check /tmp/veil-trace.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,11 +6,14 @@
 //	veil-bench -experiment all
 //	veil-bench -experiment fig4 -iters 10000
 //	veil-bench -experiment boot -mem 2048   # MiB, the paper's testbed
+//	veil-bench -experiment fig5 -json -     # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"veil/internal/bench"
@@ -21,7 +24,15 @@ func main() {
 		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|monitors|ablation|all")
 	iters := flag.Int("iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	memMB := flag.Uint64("mem", 2048, "guest memory (MiB) for the boot experiment")
+	jsonOut := flag.String("json", "",
+		"emit machine-readable per-experiment results as JSON to this path ('-' = stdout) instead of text reports")
 	flag.Parse()
+
+	// results collects every experiment's machine-readable form, keyed by
+	// experiment name; the text report and the JSON object are built from
+	// the same rows (and the same obs metrics registry underneath).
+	results := map[string]any{}
+	text := *jsonOut == ""
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -31,7 +42,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "veil-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		if text {
+			fmt.Println()
+		}
 	}
 
 	run("boot", func() error {
@@ -39,7 +52,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportBoot(os.Stdout, r)
+		results["boot"] = r
+		if text {
+			bench.ReportBoot(os.Stdout, r)
+		}
 		return nil
 	})
 	run("switch", func() error {
@@ -47,7 +63,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportSwitch(os.Stdout, r)
+		results["switch"] = r
+		if text {
+			bench.ReportSwitch(os.Stdout, r)
+		}
 		return nil
 	})
 	run("background", func() error {
@@ -55,7 +74,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportBackground(os.Stdout, rows)
+		results["background"] = rows
+		if text {
+			bench.ReportBackground(os.Stdout, rows)
+		}
 		return nil
 	})
 	run("cs1", func() error {
@@ -67,15 +89,22 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportCS1(os.Stdout, r)
+		results["cs1"] = r
+		if text {
+			bench.ReportCS1(os.Stdout, r)
+		}
 		return nil
 	})
 	run("fig4", func() error {
-		rows, err := bench.Fig4(*iters)
+		rows, attr, err := bench.Fig4Attr(*iters)
 		if err != nil {
 			return err
 		}
-		bench.ReportFig4(os.Stdout, rows)
+		results["fig4"] = map[string]any{"rows": rows, "attribution": attr}
+		if text {
+			bench.ReportFig4(os.Stdout, rows)
+			bench.ReportAttribution(os.Stdout, "enclave side", attr)
+		}
 		return nil
 	})
 	run("fig5", func() error {
@@ -83,7 +112,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportFig5(os.Stdout, rows)
+		results["fig5"] = rows
+		if text {
+			bench.ReportFig5(os.Stdout, rows)
+		}
 		return nil
 	})
 	run("fig6", func() error {
@@ -91,11 +123,16 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportFig6(os.Stdout, rows)
+		results["fig6"] = rows
+		if text {
+			bench.ReportFig6(os.Stdout, rows)
+		}
 		return nil
 	})
 	run("monitors", func() error {
-		bench.ReportMonitors(os.Stdout)
+		if text {
+			bench.ReportMonitors(os.Stdout)
+		}
 		return nil
 	})
 	run("ablation", func() error {
@@ -103,7 +140,29 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.ReportAblation(os.Stdout, rows)
+		results["ablation"] = rows
+		if text {
+			bench.ReportAblation(os.Stdout, rows)
+		}
 		return nil
 	})
+
+	if !text {
+		var w io.Writer = os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"veil/internal/core"
 	"veil/internal/cvm"
 	"veil/internal/kernel"
+	"veil/internal/obs"
 	"veil/internal/sdk"
 	"veil/internal/snp"
 	"veil/internal/vmod"
@@ -23,15 +24,49 @@ import (
 func main() {
 	memMB := flag.Uint64("mem", 64, "guest memory (MiB)")
 	vcpus := flag.Int("vcpus", 2, "VCPUs")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path")
+	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics on exit")
 	flag.Parse()
-	if err := run(*memMB<<20, *vcpus); err != nil {
+
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics {
+		rec = obs.NewRecorder(obs.DefaultCapacity)
+	}
+	if err := run(*memMB<<20, *vcpus, rec); err != nil {
 		log.Fatalf("veil-sim: %v", err)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			log.Fatalf("veil-sim: %v", err)
+		}
+		fmt.Printf("Trace timeline written to %s (%d events, %d dropped) — open in Perfetto or chrome://tracing\n",
+			*traceOut, rec.Len(), rec.Dropped())
+	}
+	if *metrics {
+		fmt.Println()
+		obs.WritePrometheus(os.Stdout, rec)
 	}
 }
 
-func run(mem uint64, vcpus int) error {
+// writeTrace exports the recorder as Chrome trace_event JSON, with
+// timestamps on the simulated 1.9 GHz clock and syscall numbers resolved
+// to names.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteChromeTrace(f, rec, obs.ChromeOptions{
+		ProcessName:          "veil-sim",
+		CyclesPerMicrosecond: float64(snp.SimClockHz) / 1e6,
+		SyscallName:          func(n uint64) string { return kernel.SysNo(n).Name() },
+	})
+}
+
+func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	fmt.Printf("Booting Veil CVM: %d MiB, %d VCPUs...\n", mem>>20, vcpus)
-	c, err := cvm.Boot(cvm.Options{MemBytes: mem, VCPUs: vcpus, Veil: true, LogPages: 64})
+	c, err := cvm.Boot(cvm.Options{MemBytes: mem, VCPUs: vcpus, Veil: true, LogPages: 64, Recorder: rec})
 	if err != nil {
 		return err
 	}

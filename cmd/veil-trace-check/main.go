@@ -1,0 +1,79 @@
+// Command veil-trace-check validates a Chrome trace_event JSON file
+// produced by veil-sim -trace (or any obs.WriteChromeTrace export): it must
+// parse, carry a non-empty traceEvents array, and contain the event classes
+// a full Veil demo run is expected to emit. The Makefile `trace` target
+// uses it as a CI sanity check.
+//
+// Usage:
+//
+//	veil-trace-check /tmp/veil.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Pid  *int   `json:"pid"`
+		Tid  *int   `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// required are the event classes every full veil-sim run must produce.
+var required = []string{
+	"vmgexit", "vmenter", "vmgexit-roundtrip", "domain-switch",
+	"rmpadjust", "pvalidate", "syscall", "audit-emit",
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: veil-trace-check <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+	seen := map[string]int{}
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			fail("event %d has no name", i)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			fail("event %d (%s) lacks pid/tid track placement", i, e.Name)
+		}
+		switch e.Ph {
+		case "M", "X", "i":
+		default:
+			fail("event %d (%s) has unexpected phase %q", i, e.Name, e.Ph)
+		}
+		seen[e.Name]++
+	}
+	for _, name := range required {
+		if seen[name] == 0 {
+			fail("no %q events in trace", name)
+		}
+	}
+	fmt.Printf("veil-trace-check: OK — %d events", len(tf.TraceEvents))
+	for _, name := range required {
+		fmt.Printf(", %d %s", seen[name], name)
+	}
+	fmt.Println()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "veil-trace-check: "+format+"\n", args...)
+	os.Exit(1)
+}

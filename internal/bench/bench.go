@@ -11,6 +11,7 @@ import (
 
 	"veil/internal/cvm"
 	"veil/internal/kernel"
+	"veil/internal/obs"
 	"veil/internal/sdk"
 	"veil/internal/snp"
 	"veil/internal/workloads"
@@ -45,6 +46,9 @@ type Measurement struct {
 	CopyCycles   uint64
 	MarshalCalls uint64
 	ExitCode     int
+	// Attr decomposes Cycles per CostKind, sourced from the obs metrics
+	// registry of the recorder every bench CVM boots with.
+	Attr snp.Attribution
 }
 
 // Mode selects how a workload runs.
@@ -82,13 +86,20 @@ func (m Mode) String() string {
 	return "mode(?)"
 }
 
-// bootFor boots the right CVM for a mode.
+// benchRingCap keeps bench recorders small: the harness reads only the
+// metrics registry (counters + attribution), which survives ring eviction.
+const benchRingCap = 1 << 12
+
+// bootFor boots the right CVM for a mode. Every bench CVM carries an obs
+// recorder so reports can decompose cycles per CostKind from the metrics
+// registry rather than ad-hoc counters.
 func bootFor(mode Mode, seed int64) (*cvm.CVM, error) {
 	opts := cvm.Options{
 		MemBytes: benchMem,
 		VCPUs:    1,
 		LogPages: 2048, // 8 MiB store: enough for every bench run
 		Rand:     rng(seed),
+		Recorder: obs.NewRecorder(benchRingCap),
 	}
 	switch mode {
 	case ModeNative, ModeKaudit:
@@ -132,6 +143,7 @@ func Run(w workloads.Workload, mode Mode) (Measurement, error) {
 
 	clk := c.M.Clock().Snapshot()
 	tr := c.M.Trace().Snapshot()
+	attrBefore := attrSnapshot(c)
 	rc, err := run()
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench: run %s/%s: %w", w.Name, mode, err)
@@ -154,7 +166,14 @@ func Run(w workloads.Workload, mode Mode) (Measurement, error) {
 		CopyCycles:   c.M.Clock().SinceOf(clk, snp.CostPageCopy),
 		MarshalCalls: marshalCalls(),
 		ExitCode:     rc,
+		Attr:         attrSnapshot(c).Sub(attrBefore),
 	}, nil
+}
+
+// attrSnapshot reads the cycle-attribution table from the CVM's obs metrics
+// registry (zero when no recorder is attached).
+func attrSnapshot(c *cvm.CVM) snp.Attribution {
+	return snp.AttributionOf(c.M.Recorder().Metrics().CyclesByKind())
 }
 
 // Overhead returns (with-service − base)/base as a percentage.

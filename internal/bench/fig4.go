@@ -171,30 +171,38 @@ func measureSyscalls(c *cvm.CVM, lc sdk.Libc, iters int, out map[string]uint64) 
 // Fig4 regenerates Fig. 4 (enclave system call redirection cost, Table 3
 // parameters) with `iters` iterations per call (the paper uses 10,000).
 func Fig4(iters int) ([]Fig4Row, error) {
+	rows, _, err := Fig4Attr(iters)
+	return rows, err
+}
+
+// Fig4Attr is Fig4 plus the per-CostKind cycle attribution of the enclave
+// side of the experiment (everything measured inside app.Enter), sourced
+// from the enclave CVM's obs metrics registry.
+func Fig4Attr(iters int) ([]Fig4Row, snp.Attribution, error) {
 	if iters <= 0 {
 		iters = 10000
 	}
 	// Native side.
 	nc, err := bootFor(ModeNative, 41)
 	if err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
 	if err := fig4Seed(nc); err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
 	nativeRes := map[string]uint64{}
 	p := nc.K.Spawn("fig4-native")
 	if err := measureSyscalls(nc, &sdk.DirectLibc{K: nc.K, P: p}, iters, nativeRes); err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
 
 	// Enclave side.
 	ec, err := bootFor(ModeEnclave, 42)
 	if err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
 	if err := fig4Seed(ec); err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
 	encRes := map[string]uint64{}
 	var progErr error
@@ -208,13 +216,15 @@ func Fig4(iters int) ([]Fig4Row, error) {
 	host := ec.K.Spawn("fig4-host")
 	app, err := sdk.LaunchEnclave(ec, host, prog, sdk.EnclaveConfig{RegionPages: 64})
 	if err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
+	attrBefore := attrSnapshot(ec)
 	if _, err := app.Enter(); err != nil {
-		return nil, err
+		return nil, snp.Attribution{}, err
 	}
+	attr := attrSnapshot(ec).Sub(attrBefore)
 	if progErr != nil {
-		return nil, progErr
+		return nil, snp.Attribution{}, progErr
 	}
 
 	var rows []Fig4Row
@@ -226,7 +236,7 @@ func Fig4(iters int) ([]Fig4Row, error) {
 		}
 		rows = append(rows, r)
 	}
-	return rows, nil
+	return rows, attr, nil
 }
 
 // The measured enclave redirection adds two hypervisor-relayed switches:

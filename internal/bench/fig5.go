@@ -2,6 +2,7 @@ package bench
 
 import (
 	"veil/internal/sdk"
+	"veil/internal/snp"
 	"veil/internal/workloads"
 )
 
@@ -18,6 +19,9 @@ type Fig5Row struct {
 	ExitsPerSecond float64
 	NativeCycles   uint64
 	EnclaveCycles  uint64
+	// Attr decomposes the enclave run's cycles per CostKind (from the obs
+	// metrics registry of the run's recorder).
+	Attr snp.Attribution
 }
 
 // fig5Programs are Table 4's five shielded programs in figure order.
@@ -59,6 +63,7 @@ func Fig5() ([]Fig5Row, error) {
 			ExitsPerSecond: float64(enc.EnclaveExits) / enc.WallSeconds,
 			NativeCycles:   base.Cycles,
 			EnclaveCycles:  enc.Cycles,
+			Attr:           enc.Attr,
 		})
 	}
 	return rows, nil
@@ -73,6 +78,8 @@ type Fig6Row struct {
 	VeilSLogPct   float64
 	LogsPerSecond float64
 	Records       uint64
+	// Attr decomposes the VeilS-Log run's cycles per CostKind.
+	Attr snp.Attribution
 }
 
 // fig6Programs are Table 5's five audited programs in figure order.
@@ -106,6 +113,7 @@ func Fig6() ([]Fig6Row, error) {
 			VeilSLogPct:   Overhead(base, vl),
 			LogsPerSecond: float64(vl.AuditRecords) / vl.WallSeconds,
 			Records:       vl.AuditRecords,
+			Attr:          vl.Attr,
 		})
 	}
 	return rows, nil

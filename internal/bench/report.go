@@ -3,12 +3,39 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"veil/internal/baselines"
 	"veil/internal/snp"
 )
 
 // Report functions print each experiment in the paper's row/series shape.
+
+// ReportAttribution prints a per-CostKind cycle breakdown, largest share
+// first. Zero attributions (e.g. rows built without a recorder) print
+// nothing, so reports stay clean in tests.
+func ReportAttribution(w io.Writer, label string, a snp.Attribution) {
+	total := a.Total()
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %s — cycle attribution (%d cycles total):\n", label, total)
+	type row struct {
+		kind   snp.CostKind
+		cycles uint64
+	}
+	var rows []row
+	for i, v := range a {
+		if v > 0 {
+			rows = append(rows, row{snp.CostKind(i), v})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].cycles > rows[j].cycles })
+	for _, r := range rows {
+		fmt.Fprintf(w, "    %-15s %14d  %5.1f%%\n",
+			r.kind, r.cycles, 100*float64(r.cycles)/float64(total))
+	}
+}
 
 // ReportFig4 prints the Fig. 4 series.
 func ReportFig4(w io.Writer, rows []Fig4Row) {
@@ -23,20 +50,26 @@ func ReportFig4(w io.Writer, rows []Fig4Row) {
 func ReportFig5(w io.Writer, rows []Fig5Row) {
 	fmt.Fprintf(w, "Fig. 5 — Overhead while shielding real-world programs with VeilS-Enc (Table 4 settings)\n")
 	fmt.Fprintf(w, "%-10s  %9s  %16s  %13s  %12s\n", "program", "overhead", "syscall-redirect", "enclave-exit", "exits/sec")
+	var attr snp.Attribution
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s  %8.1f%%  %15.1f%%  %12.1f%%  %12.1f\n",
 			r.Program, r.OverheadPct, r.RedirectPct, r.ExitPct, r.ExitsPerSecond)
+		attr.Add(r.Attr)
 	}
+	ReportAttribution(w, "enclave runs", attr)
 }
 
 // ReportFig6 prints the Fig. 6 bar pairs.
 func ReportFig6(w io.Writer, rows []Fig6Row) {
 	fmt.Fprintf(w, "Fig. 6 — Audit overhead: Kaudit (in-memory) vs VeilS-Log (Table 5 settings)\n")
 	fmt.Fprintf(w, "%-18s  %10s  %10s  %12s\n", "program", "kaudit", "veils-log", "logs/sec")
+	var attr snp.Attribution
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-18s  %9.1f%%  %9.1f%%  %12.1f\n",
 			r.Program, r.KauditPct, r.VeilSLogPct, r.LogsPerSecond)
+		attr.Add(r.Attr)
 	}
+	ReportAttribution(w, "veils-log runs", attr)
 }
 
 // ReportBoot prints the §9.1 initialization measurement.

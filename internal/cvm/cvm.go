@@ -14,6 +14,7 @@ import (
 	"veil/internal/core"
 	"veil/internal/hv"
 	"veil/internal/kernel"
+	"veil/internal/obs"
 	"veil/internal/services/enc"
 	"veil/internal/services/kci"
 	"veil/internal/services/vlog"
@@ -43,6 +44,10 @@ type Options struct {
 	AuditRules []kernel.SysNo
 	// Rand supplies key material (crypto/rand.Reader if nil).
 	Rand io.Reader
+	// Recorder, when non-nil, is attached to the machine before launch so
+	// the trace captures boot (RMPADJUST sweep, replica creation) as well
+	// as the run. Nil keeps the zero-overhead no-op path.
+	Recorder *obs.Recorder
 }
 
 // CVM is a booted machine with all its software layers.
@@ -117,6 +122,9 @@ func monitorImage(pub ed25519.PublicKey) []byte {
 
 func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	if opts.Recorder != nil {
+		m.SetRecorder(opts.Recorder)
+	}
 	psp, err := attest.NewPSP(rng)
 	if err != nil {
 		return nil, err
@@ -237,6 +245,9 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 
 func bootNative(opts Options, rng io.Reader) (*CVM, error) {
 	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	if opts.Recorder != nil {
+		m.SetRecorder(opts.Recorder)
+	}
 	psp, err := attest.NewPSP(rng)
 	if err != nil {
 		return nil, err

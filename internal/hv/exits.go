@@ -9,13 +9,13 @@ import (
 // chargeExit accounts one VMGEXIT (full VMSA state save + host dispatch).
 func (h *Hypervisor) chargeExit() {
 	h.m.Clock().Charge(snp.CostVMGEXIT, snp.CyclesVMGEXITSave)
-	h.m.Trace().VMGExits++
+	h.m.ObserveVMGEXIT()
 }
 
 // chargeEnter accounts one VMENTER (VMSA state restore).
 func (h *Hypervisor) chargeEnter() {
 	h.m.Clock().Charge(snp.CostVMENTER, snp.CyclesVMENTERRestore)
-	h.m.Trace().VMEnters++
+	h.m.ObserveVMENTER()
 }
 
 // VMGEXIT is the guest's non-automatic exit: the exiting VCPU's GHCB (found
@@ -31,6 +31,8 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 	if !ok || !c.started {
 		return fmt.Errorf("hv: VMGEXIT from unknown VCPU %d", vcpuID)
 	}
+	h.m.SetObsVCPU(vcpuID)
+	start := h.m.Clock().Cycles()
 	h.chargeExit()
 	ghcbPhys, ok := h.m.ReadGHCBMSR(vcpuID)
 	if !ok {
@@ -42,34 +44,32 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 		return fmt.Errorf("%w: %v", ErrNoGHCB, err)
 	}
 
+	var err error
 	switch g.ExitCode {
 	case ExitDomainSwitch:
-		return h.serveDomainSwitch(c, ghcbPhys, &g)
+		err = h.serveDomainSwitch(c, ghcbPhys, &g)
 	case ExitRegisterVMSA:
-		err := h.serveRegisterVMSA(&g)
+		err = h.serveRegisterVMSA(&g)
 		h.chargeEnter()
-		return err
 	case ExitStartVCPU:
-		err := h.serveStartVCPU(&g)
+		err = h.serveStartVCPU(&g)
 		h.chargeEnter()
-		return err
 	case ExitPageState:
-		err := h.servePageState(ghcbPhys, &g)
+		err = h.servePageState(ghcbPhys, &g)
 		h.chargeEnter()
-		return err
 	case ExitGuestRequest:
-		err := h.serveGuestRequest(c, ghcbPhys, &g)
+		err = h.serveGuestRequest(c, ghcbPhys, &g)
 		h.chargeEnter()
-		return err
 	case ExitIO:
 		// Device I/O is serviced host-side; contents are opaque to the
 		// model. The exit/enter cost is what matters.
 		h.chargeEnter()
-		return nil
 	default:
+		err = fmt.Errorf("hv: unknown exit code %#x", g.ExitCode)
 		h.chargeEnter()
-		return fmt.Errorf("hv: unknown exit code %#x", g.ExitCode)
 	}
+	h.m.ObserveRoundTrip(g.ExitCode, start)
+	return err
 }
 
 // serveDomainSwitch relays a domain switch (§5.2): resume the same VCPU
@@ -89,17 +89,30 @@ func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB) er
 	}
 	caller := c.currentVMSA
 
+	// The from/to privilege levels label the switch span; a missing VMSA
+	// would have failed the binding lookup already, so errors degrade to
+	// VMPL0 rather than aborting the switch.
+	fromVMPL, toVMPL := snp.VMPL0, snp.VMPL0
+	if v, err := h.m.VMSAAt(caller); err == nil {
+		fromVMPL = v.VMPL
+	}
+	if v, err := h.m.VMSAAt(b.vmsaPhys); err == nil {
+		toVMPL = v.VMPL
+	}
+
+	outStart := h.m.Clock().Cycles() - snp.CyclesVMGEXITSave // span includes the exit half
 	c.currentVMSA = b.vmsaPhys
-	h.m.Trace().DomainSwitches++
 	h.chargeEnter()
+	h.m.ObserveDomainSwitch(fromVMPL, toVMPL, outStart)
 	err := b.ctx.Invoke(ReasonService)
 
 	// Target exits; caller resumes (even on error, so halts propagate
 	// with correct accounting).
+	backStart := h.m.Clock().Cycles()
 	h.chargeExit()
 	c.currentVMSA = caller
-	h.m.Trace().DomainSwitches++
 	h.chargeEnter()
+	h.m.ObserveDomainSwitch(toVMPL, fromVMPL, backStart)
 	return err
 }
 
@@ -140,6 +153,7 @@ func (h *Hypervisor) serveStartVCPU(g *snp.GHCB) error {
 		return fmt.Errorf("hv: VCPU %d already running", v.VCPUID)
 	}
 	h.vcpus[v.VCPUID] = &vcpu{id: v.VCPUID, currentVMSA: vmsaPhys, started: true}
+	h.m.SetObsVCPU(v.VCPUID)
 	h.chargeEnter()
 	err = ctx.Invoke(ReasonBoot)
 	h.chargeExit()
@@ -166,6 +180,7 @@ func (h *Hypervisor) servePageState(ghcbPhys uint64, g *snp.GHCB) error {
 		}
 	}
 	g.SwScratch = failed
+	h.m.ObservePageState(phys, count, assign)
 	return h.m.HVWriteGHCB(ghcbPhys, g)
 }
 
@@ -200,8 +215,9 @@ func (h *Hypervisor) serveGuestRequest(c *vcpu, ghcbPhys uint64, g *snp.GHCB) er
 // VMCall models a plain exit on a non-SNP VM (~1100 cycles on the paper's
 // machine); it exists for the §9.1 comparison benchmark.
 func (h *Hypervisor) VMCall(vcpuID int) {
+	h.m.SetObsVCPU(vcpuID)
 	h.m.Clock().Charge(snp.CostVMCALL, snp.CyclesVMCALL)
-	h.m.Trace().VMCalls++
+	h.m.ObserveVMCall()
 }
 
 // InjectInterrupt delivers a hardware interrupt to the VCPU. This is an
@@ -218,9 +234,9 @@ func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
 	if !ok {
 		return fmt.Errorf("hv: interrupt for unknown VCPU %d", vcpuID)
 	}
+	h.m.SetObsVCPU(vcpuID)
 	h.m.Clock().Charge(snp.CostInterrupt, snp.CyclesInterrupt)
-	h.m.Trace().Interrupts++
-	h.m.Trace().AutomaticExits++
+	h.m.ObserveInterrupt()
 	h.chargeExit()
 	interrupted := c.currentVMSA
 

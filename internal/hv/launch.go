@@ -47,8 +47,9 @@ func (h *Hypervisor) Launch(regions []LaunchRegion, bootVMSAPhys uint64, boot sn
 	h.BindContext(bootVMSAPhys, ctx)
 	h.bindings[boot.VCPUID] = map[DomainTag]binding{bootTag: {vmsaPhys: bootVMSAPhys, ctx: ctx}}
 
+	h.m.SetObsVCPU(boot.VCPUID)
 	h.m.Clock().Charge(snp.CostVMENTER, snp.CyclesVMENTERRestore)
-	h.m.Trace().VMEnters++
+	h.m.ObserveVMENTER()
 	return ctx.Invoke(ReasonBoot)
 }
 

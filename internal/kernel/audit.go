@@ -67,10 +67,10 @@ func (a *Audit) Matches(n SysNo) bool { return a.enabled && a.rules[n] }
 // and only then does the syscall proceed (execute-ahead, §6.3).
 func (a *Audit) emitFor(p *Process, n SysNo, detail string) error {
 	a.k.m.Clock().Charge(snp.CostCompute, CyclesAuditRecord)
-	a.k.m.Trace().AuditRecords++
 	a.records++
 	rec := fmt.Sprintf("audit(%d): pid=%d uid=%d syscall=%s %s",
 		a.k.m.Clock().Cycles(), p.PID, p.UID, n.Name(), detail)
+	a.k.m.ObserveAudit(a.k.cfg.VMPL, uint64(len(rec)))
 	if h := a.k.cfg.Hooks; h != nil {
 		return h.AuditEmit([]byte(rec))
 	}

@@ -139,7 +139,7 @@ func (k *Kernel) RegisterDevice(path string, h IoctlHandler) error {
 func (k *Kernel) enter(p *Process, n SysNo, detail func() string) error {
 	k.m.Clock().Charge(snp.CostSyscall, snp.CyclesSyscall)
 	k.chargeBase(n)
-	k.m.Trace().Syscalls++
+	k.m.ObserveSyscall(k.cfg.VMPL, uint64(n))
 	if k.audit != nil && k.audit.Matches(n) {
 		return k.audit.emitFor(p, n, detail())
 	}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ChromeOptions configures the Chrome trace_event exporter.
+type ChromeOptions struct {
+	// ProcessName labels the single process track ("veil" if empty).
+	ProcessName string
+	// CyclesPerMicrosecond converts virtual cycles to the microsecond
+	// timestamps the trace_event format expects (1000 if zero; pass the
+	// simulated clock rate, e.g. SimClockHz/1e6, for wall-clock-accurate
+	// timelines).
+	CyclesPerMicrosecond float64
+	// SyscallName, when set, resolves syscall numbers to names in event
+	// args (the recorder itself stores only numbers).
+	SyscallName func(sysno uint64) string
+}
+
+// WriteChromeTrace writes the recorder's events as Chrome trace_event JSON
+// (the "JSON Array Format" with one object), loadable in chrome://tracing
+// and Perfetto. Events land on one track per VCPU. The output is fully
+// deterministic: two identical simulations export byte-identical files.
+func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
+	if opts.ProcessName == "" {
+		opts.ProcessName = "veil"
+	}
+	cpm := opts.CyclesPerMicrosecond
+	if cpm <= 0 {
+		cpm = 1000
+	}
+	events := r.Events()
+
+	// One metadata row per observed VCPU, in ascending order, so tracks
+	// are stably named.
+	seen := map[int32]bool{}
+	var vcpus []int32
+	for _, e := range events {
+		if !seen[e.VCPU] {
+			seen[e.VCPU] = true
+			vcpus = append(vcpus, e.VCPU)
+		}
+	}
+	sort.Slice(vcpus, func(i, j int) bool { return vcpus[i] < vcpus[j] })
+
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, r.Dropped())
+	bw.printf("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}", opts.ProcessName)
+	for _, v := range vcpus {
+		bw.printf(",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"vcpu%d\"}}", v, v)
+	}
+	for _, e := range events {
+		bw.printf(",\n")
+		writeChromeEvent(bw, e, cpm, opts.SyscallName)
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+func writeChromeEvent(bw *errWriter, e Event, cpm float64, sysName func(uint64) string) {
+	us := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)/cpm, 'f', 3, 64)
+	}
+	if e.Kind == Span {
+		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s",
+			e.Class, e.VCPU, us(e.Start()), us(e.Dur))
+	} else {
+		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s",
+			e.Class, e.VCPU, us(e.TS))
+	}
+	bw.printf(",\"args\":{\"cycles\":%d", e.TS)
+	if e.VMPL >= 0 {
+		bw.printf(",\"vmpl\":%d", e.VMPL)
+	}
+	switch e.Class {
+	case ClassRoundTrip:
+		bw.printf(",\"exit_code\":\"0x%x\"", e.Arg1)
+	case ClassDomainSwitch:
+		bw.printf(",\"from_vmpl\":%d,\"to_vmpl\":%d", e.Arg1, e.Arg2)
+	case ClassRMPAdjust:
+		bw.printf(",\"page\":\"0x%x\",\"target_vmpl\":%d,\"perms\":\"0x%x\"", e.Arg1, e.Arg2>>8, e.Arg2&0xff)
+	case ClassPValidate:
+		bw.printf(",\"page\":\"0x%x\",\"validate\":%d", e.Arg1, e.Arg2)
+	case ClassSyscall:
+		bw.printf(",\"sysno\":%d", e.Arg1)
+		if sysName != nil {
+			bw.printf(",\"sysname\":%s", strconv.Quote(sysName(e.Arg1)))
+		}
+	case ClassAudit:
+		bw.printf(",\"record_bytes\":%d", e.Arg1)
+	case ClassFault:
+		bw.printf(",\"phys\":\"0x%x\",\"fault_kind\":%d", e.Arg1, e.Arg2)
+	case ClassPageState:
+		bw.printf(",\"first_page\":\"0x%x\",\"pages\":%d,\"assign\":%d", e.Arg1, e.Arg2>>1, e.Arg2&1)
+	}
+	bw.printf("}}")
+}
+
+// errWriter latches the first write error so the exporters stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *errWriter) printf(format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, format, args...)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import "io"
+
+// WritePrometheus writes the metrics registry in the Prometheus text
+// exposition format (version 0.0.4): event counters per class, span
+// duration summaries (p50/p95/p99 over virtual cycles), the per-cost-kind
+// cycle-attribution table, and the trace drop counter. Output order is
+// fixed, so identical runs expose byte-identical pages.
+func WritePrometheus(w io.Writer, r *Recorder) error {
+	bw := &errWriter{w: w}
+	m := r.Metrics()
+
+	bw.printf("# HELP veil_events_total Events recorded per class.\n")
+	bw.printf("# TYPE veil_events_total counter\n")
+	for c := Class(0); c < NumClasses; c++ {
+		bw.printf("veil_events_total{class=%q} %d\n", c.String(), m.Count(c))
+	}
+
+	bw.printf("# HELP veil_span_cycles Span durations in virtual cycles.\n")
+	bw.printf("# TYPE veil_span_cycles summary\n")
+	for c := Class(0); c < NumClasses; c++ {
+		h := m.SpanHist(c)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+			bw.printf("veil_span_cycles{class=%q,quantile=%q} %d\n", c.String(), q.label, h.Quantile(q.q))
+		}
+		bw.printf("veil_span_cycles_sum{class=%q} %d\n", c.String(), h.Sum())
+		bw.printf("veil_span_cycles_count{class=%q} %d\n", c.String(), h.Count())
+	}
+
+	bw.printf("# HELP veil_cycles_total Virtual cycles attributed per cost kind.\n")
+	bw.printf("# TYPE veil_cycles_total counter\n")
+	byKind := m.CyclesByKind()
+	for k := 0; k < m.NumKinds() && k < len(byKind); k++ {
+		bw.printf("veil_cycles_total{kind=%q} %d\n", m.KindName(k), byKind[k])
+	}
+
+	bw.printf("# HELP veil_trace_dropped_total Events evicted from the trace ring.\n")
+	bw.printf("# TYPE veil_trace_dropped_total counter\n")
+	bw.printf("veil_trace_dropped_total %d\n", r.Dropped())
+	return bw.err
+}

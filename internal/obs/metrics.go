@@ -1,0 +1,188 @@
+package obs
+
+import "math/bits"
+
+// numBuckets covers the whole uint64 range: bucket 0 holds the value 0 and
+// bucket b (1 ≤ b ≤ 64) holds values in [2^(b-1), 2^b).
+const numBuckets = 65
+
+// Histogram is a log₂-bucketed distribution of virtual-cycle durations.
+// Observations are exact-count per power-of-two bucket, so two identical
+// runs produce identical histograms.
+type Histogram struct {
+	counts   [numBuckets]uint64
+	n        uint64
+	sum      uint64
+	min, max uint64
+}
+
+// bucketOf returns the bucket index for v: 0 for v == 0, otherwise
+// bits.Len64(v), i.e. floor(log2(v)) + 1.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v)
+}
+
+// BucketLow returns the smallest value bucket b holds.
+func BucketLow(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// BucketHigh returns the largest value bucket b holds.
+func BucketHigh(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<b - 1
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// BucketCount returns the count in bucket b.
+func (h *Histogram) BucketCount(b int) uint64 {
+	if b < 0 || b >= numBuckets {
+		return 0
+	}
+	return h.counts[b]
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1): the
+// inclusive upper edge of the first bucket whose cumulative count reaches
+// q·n, clamped to the observed [min, max] so exact distributions (e.g. a
+// constant cost) report exact values.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < numBuckets; b++ {
+		cum += h.counts[b]
+		if cum >= target {
+			v := BucketHigh(b)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// MaxKinds bounds the attribution table; the snp cost model defines ~a
+// dozen kinds, so 32 leaves ample headroom for future kinds without
+// reallocating on the hot path.
+const MaxKinds = 32
+
+// Metrics is the registry every Recorder carries: per-class event counters,
+// per-class span histograms, and the cycle-attribution table fed by the
+// virtual clock's Charge hook.
+type Metrics struct {
+	counts     [NumClasses]uint64
+	spans      [NumClasses]Histogram
+	kindCycles [MaxKinds]uint64
+	kindNames  []string
+}
+
+func (m *Metrics) observe(e Event) {
+	if e.Class >= NumClasses {
+		return
+	}
+	m.counts[e.Class]++
+	if e.Kind == Span {
+		m.spans[e.Class].Observe(e.Dur)
+	}
+}
+
+// Count returns the number of recorded events of class c.
+func (m *Metrics) Count(c Class) uint64 {
+	if m == nil || c >= NumClasses {
+		return 0
+	}
+	return m.counts[c]
+}
+
+// SpanHist returns the duration histogram of span class c (nil when the
+// registry is nil or c is out of range).
+func (m *Metrics) SpanHist(c Class) *Histogram {
+	if m == nil || c >= NumClasses {
+		return nil
+	}
+	return &m.spans[c]
+}
+
+// CyclesByKind returns a copy of the attribution table (index = the
+// producer's cost-kind value).
+func (m *Metrics) CyclesByKind() []uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make([]uint64, MaxKinds)
+	copy(out, m.kindCycles[:])
+	return out
+}
+
+// KindName returns the display name registered for cost kind k.
+func (m *Metrics) KindName(k int) string {
+	if m == nil || k < 0 || k >= len(m.kindNames) {
+		return ""
+	}
+	return m.kindNames[k]
+}
+
+// NumKinds returns how many cost-kind names are registered.
+func (m *Metrics) NumKinds() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.kindNames)
+}

@@ -1,0 +1,223 @@
+// Package obs is the simulator's observability substrate: a bounded
+// ring-buffer event tracer plus a metrics registry (monotonic counters,
+// log₂-bucketed latency histograms and a per-cost-kind cycle-attribution
+// table), with exporters for Chrome trace_event JSON, Prometheus text
+// exposition and a compact human summary.
+//
+// The package is deliberately zero-dependency within the repository: it
+// knows nothing about SEV-SNP, VMPLs or the cost model. Producers (the snp
+// machine and the layers above it) stamp events with the virtual cycle
+// clock and whatever identifiers they own; consumers (cmd/veil-sim,
+// cmd/veil-bench, tests) pick the exporter they need. Everything is
+// deterministic: identical simulations produce byte-identical exports.
+//
+// A nil *Recorder is a valid recorder that records nothing; every method
+// has a nil fast path that performs no allocation, so the simulator can be
+// instrumented unconditionally and pay nothing when tracing is off.
+package obs
+
+// Class is the event taxonomy: one value per kind of architectural or
+// framework event the simulator emits. The taxonomy mirrors the paper's
+// evaluation (§9): exit/enter pairs, domain switches, RMP instructions,
+// syscalls and audit relays are exactly the events whose rates and costs
+// the figures report.
+type Class uint8
+
+const (
+	// ClassVMGEXIT is a non-automatic guest exit (VMSA state save).
+	ClassVMGEXIT Class = iota
+	// ClassVMENTER is a VMENTER resume (VMSA state restore).
+	ClassVMENTER
+	// ClassVMCALL is a plain exit on a non-SNP VM (comparison path).
+	ClassVMCALL
+	// ClassRoundTrip spans a full VMGEXIT→…→VMENTER service round trip.
+	ClassRoundTrip
+	// ClassDomainSwitch spans one hypervisor-relayed domain switch
+	// (Arg1/Arg2 carry the from/to VMPL).
+	ClassDomainSwitch
+	// ClassRMPAdjust is one RMPADJUST (Arg1 = page, Arg2 = target
+	// VMPL<<8 | permission bits).
+	ClassRMPAdjust
+	// ClassPValidate is one PVALIDATE (Arg1 = page, Arg2 = 1 when
+	// validating, 0 when rescinding).
+	ClassPValidate
+	// ClassSyscall is a guest-kernel syscall entry (Arg1 = syscall
+	// number).
+	ClassSyscall
+	// ClassAudit is one audit-record emission (Arg1 = record bytes).
+	ClassAudit
+	// ClassInterrupt is a hardware-interrupt injection (automatic exit).
+	ClassInterrupt
+	// ClassEnclaveExit is an enclave → untrusted world transition.
+	ClassEnclaveExit
+	// ClassFault is an architectural fault; for the #NPF kind this is the
+	// terminal event of a halted CVM (Arg1 = phys, Arg2 = fault kind).
+	ClassFault
+	// ClassPageState is a hypervisor page-state change batch (Arg1 =
+	// first page, Arg2 = count<<1 | assign bit).
+	ClassPageState
+
+	// NumClasses is the number of defined event classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"vmgexit", "vmenter", "vmcall", "vmgexit-roundtrip", "domain-switch",
+	"rmpadjust", "pvalidate", "syscall", "audit-emit", "interrupt",
+	"enclave-exit", "fault", "page-state",
+}
+
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return "class(?)"
+}
+
+// EventKind distinguishes point-in-time events from duration spans.
+type EventKind uint8
+
+const (
+	// Instant is a point event; Dur is zero.
+	Instant EventKind = iota
+	// Span is a duration event; TS is the *end* timestamp and Dur the
+	// length, both in virtual cycles.
+	Span
+)
+
+// Event is one recorded trace event. The struct is fixed-size and
+// string-free so recording never allocates.
+type Event struct {
+	// TS is the virtual-cycle timestamp. For spans it is the end of the
+	// span (the event is recorded when the operation completes).
+	TS uint64
+	// Dur is the span length in virtual cycles (zero for instants).
+	Dur uint64
+	// Arg1, Arg2 carry class-specific payload (see the Class constants).
+	Arg1, Arg2 uint64
+	// VCPU is the hardware VCPU the event occurred on.
+	VCPU int32
+	// VMPL is the privilege level of the acting context, or -1 when the
+	// producer does not know it.
+	VMPL int16
+	// Class is the event's taxonomy entry.
+	Class Class
+	// Kind says whether the event is an Instant or a Span.
+	Kind EventKind
+}
+
+// Start returns the span's start timestamp (TS for instants).
+func (e Event) Start() uint64 { return e.TS - e.Dur }
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: large enough to hold a full small-machine boot
+// sweep plus a demo run (~48 B/event ⇒ ~12 MiB).
+const DefaultCapacity = 1 << 18
+
+// Recorder is the bounded event ring plus its metrics registry. It is not
+// safe for concurrent use — the simulator is single-threaded by design.
+//
+// A nil *Recorder is valid: Record, Charge and the accessors all no-op.
+type Recorder struct {
+	buf     []Event
+	next    int // next write position
+	full    bool
+	dropped uint64
+	met     Metrics
+}
+
+// NewRecorder creates a recorder whose ring holds capacity events
+// (DefaultCapacity if capacity <= 0). When the ring is full the oldest
+// event is evicted and the drop counter incremented; metrics are never
+// dropped.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, evicting the oldest if the ring is full.
+// Recording on a nil recorder is a no-op.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.met.observe(e)
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Charge adds cycles to the attribution table under the producer-defined
+// cost kind index (see SetKindNames). Nil-safe.
+func (r *Recorder) Charge(kind int, cycles uint64) {
+	if r == nil {
+		return
+	}
+	if kind >= 0 && kind < MaxKinds {
+		r.met.kindCycles[kind] += cycles
+	}
+}
+
+// SetKindNames installs the display names for the attribution table's cost
+// kind indexes. Nil-safe.
+func (r *Recorder) SetKindNames(names []string) {
+	if r == nil {
+		return
+	}
+	r.met.kindNames = names
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events were evicted due to ring overflow.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Metrics returns the registry fed by Record and Charge.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &r.met
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"io"
+	"sort"
+)
+
+// WriteSummary writes a compact human-readable digest of a run: the event
+// counters, span latency percentiles, and the flame-graph-style cycle
+// attribution (sorted by share, largest first).
+func WriteSummary(w io.Writer, r *Recorder) error {
+	bw := &errWriter{w: w}
+	m := r.Metrics()
+
+	bw.printf("observability summary (%d events retained, %d dropped)\n", r.Len(), r.Dropped())
+	bw.printf("  %-18s %12s\n", "event class", "count")
+	for c := Class(0); c < NumClasses; c++ {
+		if n := m.Count(c); n > 0 {
+			bw.printf("  %-18s %12d\n", c.String(), n)
+		}
+	}
+
+	header := false
+	for c := Class(0); c < NumClasses; c++ {
+		h := m.SpanHist(c)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if !header {
+			bw.printf("  %-18s %10s %10s %10s %10s %10s\n",
+				"span (cycles)", "count", "mean", "p50", "p95", "p99")
+			header = true
+		}
+		bw.printf("  %-18s %10d %10.0f %10d %10d %10d\n",
+			c.String(), h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+	}
+
+	byKind := m.CyclesByKind()
+	var total uint64
+	for _, v := range byKind {
+		total += v
+	}
+	if total > 0 {
+		bw.printf("  cycle attribution (%d total):\n", total)
+		type row struct {
+			name   string
+			cycles uint64
+		}
+		var rows []row
+		for k := 0; k < m.NumKinds() && k < len(byKind); k++ {
+			if byKind[k] > 0 {
+				rows = append(rows, row{m.KindName(k), byKind[k]})
+			}
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].cycles > rows[j].cycles })
+		for _, r := range rows {
+			bw.printf("    %-16s %14d  %5.1f%%\n", r.name, r.cycles, 100*float64(r.cycles)/float64(total))
+		}
+	}
+	return bw.err
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"veil/internal/core"
 	"veil/internal/hv"
@@ -263,9 +264,15 @@ func (s *Service) finalize(vcpu int, cr3, base, length, entry, ghcb uint64, fact
 	copy(e.meas[:], h.Sum(nil))
 
 	// Revoke every Dom-UNT permission on enclave memory; Dom-ENC keeps
-	// the rw+user-exec grant from the boot sweep.
-	for _, phys := range e.frames {
-		if err := m.RMPAdjust(snp.VMPL1, phys, snp.VMPL3, snp.PermNone); err != nil {
+	// the rw+user-exec grant from the boot sweep. The sweep walks virtual
+	// addresses ascending so runs are reproducible page-for-page.
+	virts := make([]uint64, 0, len(e.frames))
+	for virt := range e.frames {
+		virts = append(virts, virt)
+	}
+	sort.Slice(virts, func(i, j int) bool { return virts[i] < virts[j] })
+	for _, virt := range virts {
+		if err := m.RMPAdjust(snp.VMPL1, e.frames[virt], snp.VMPL3, snp.PermNone); err != nil {
 			return nil, err
 		}
 	}
@@ -278,9 +285,9 @@ func (s *Service) finalize(vcpu int, cr3, base, length, entry, ghcb uint64, fact
 	// Protect everything in the monitor's registry so sanitizers refuse
 	// OS pointers into it.
 	label := fmt.Sprintf("enclave-%d", e.id)
-	var physList []uint64
-	for _, p := range e.frames {
-		physList = append(physList, p)
+	physList := make([]uint64, 0, len(virts))
+	for _, virt := range virts {
+		physList = append(physList, e.frames[virt])
 	}
 	if err := s.mon.ProtectPages(physList, label); err != nil {
 		return nil, err
@@ -406,5 +413,5 @@ func (s *Service) secure(msg []byte) ([]byte, error) {
 // ChargeEnclaveExit accounts one enclave→untrusted transition in the trace
 // (the exit-rate metric of Fig. 5).
 func (s *Service) ChargeEnclaveExit() {
-	s.mon.Machine().Trace().EnclaveExits++
+	s.mon.Machine().ObserveEnclaveExit()
 }

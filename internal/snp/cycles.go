@@ -1,5 +1,12 @@
 package snp
 
+import (
+	"encoding/json"
+	"fmt"
+
+	"veil/internal/obs"
+)
+
 // This file is the single source of truth for the simulator's cost model.
 // The virtual cycle counter stands in for RDTSC in the paper's evaluation;
 // each constant is either a direct measurement from §9 of the paper or is
@@ -31,10 +38,21 @@ var costKindNames = [...]string{
 }
 
 func (k CostKind) String() string {
-	if int(k) < len(costKindNames) {
+	if k >= 0 && int(k) < len(costKindNames) {
 		return costKindNames[k]
 	}
-	return "cost(?)"
+	return fmt.Sprintf("cost(%d)", int(k))
+}
+
+// NumCostKinds is the number of defined cost kinds.
+const NumCostKinds = int(numCostKinds)
+
+// CostKindNames returns the display names of all cost kinds, indexed by
+// CostKind value (a copy; exporters register it with obs recorders).
+func CostKindNames() []string {
+	out := make([]string, len(costKindNames))
+	copy(out, costKindNames[:])
+	return out
 }
 
 // Cost model constants, in virtual cycles.
@@ -100,14 +118,20 @@ const (
 type Clock struct {
 	total  uint64
 	byKind [numCostKinds]uint64
+
+	// rec mirrors every charge into the attached recorder's attribution
+	// table (nil-safe; set via Machine.SetRecorder). Snapshots copy the
+	// pointer but are never charged, so only the live clock feeds it.
+	rec *obs.Recorder
 }
 
 // Charge advances the clock by n cycles attributed to kind k.
 func (c *Clock) Charge(k CostKind, n uint64) {
 	c.total += n
-	if int(k) < len(c.byKind) {
+	if k >= 0 && int(k) < len(c.byKind) {
 		c.byKind[k] += n
 	}
+	c.rec.Charge(int(k), n)
 }
 
 // Cycles returns the total elapsed virtual cycles.
@@ -136,4 +160,77 @@ func (c *Clock) SinceOf(prev Clock, k CostKind) uint64 {
 		return 0
 	}
 	return c.byKind[k] - prev.byKind[k]
+}
+
+// Attribution is a per-CostKind cycle breakdown: index with a CostKind to
+// read that kind's share. It is the flame-graph-style decomposition the
+// bench reports and the obs exporters print.
+type Attribution [numCostKinds]uint64
+
+// Total returns the sum over all kinds.
+func (a Attribution) Total() uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another attribution into a.
+func (a *Attribution) Add(b Attribution) {
+	for i, v := range b {
+		a[i] += v
+	}
+}
+
+// Sub returns the per-kind difference a - b (for differential measurement
+// against an earlier snapshot).
+func (a Attribution) Sub(b Attribution) Attribution {
+	var out Attribution
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Map returns the non-zero entries keyed by cost-kind name (JSON-friendly:
+// Go marshals map keys in sorted order, so output is deterministic).
+func (a Attribution) Map() map[string]uint64 {
+	out := make(map[string]uint64)
+	for i, v := range a {
+		if v > 0 {
+			out[CostKind(i).String()] = v
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the attribution as a name→cycles object (non-zero
+// entries only). Go marshals map keys sorted, so the output is
+// deterministic.
+func (a Attribution) MarshalJSON() ([]byte, error) { return json.Marshal(a.Map()) }
+
+// Attribution returns the per-kind cycle breakdown accumulated so far.
+func (c *Clock) Attribution() Attribution { return Attribution(c.byKind) }
+
+// AttributionSince returns the per-kind breakdown accumulated since an
+// earlier snapshot.
+func (c *Clock) AttributionSince(prev Clock) Attribution {
+	var out Attribution
+	for i := range c.byKind {
+		out[i] = c.byKind[i] - prev.byKind[i]
+	}
+	return out
+}
+
+// AttributionOf converts a recorder's raw cycles-by-kind table (as returned
+// by obs.Metrics.CyclesByKind) into a typed Attribution.
+func AttributionOf(byKind []uint64) Attribution {
+	var out Attribution
+	for i := range out {
+		if i < len(byKind) {
+			out[i] = byKind[i]
+		}
+	}
+	return out
 }

@@ -2,6 +2,8 @@ package snp
 
 import (
 	"fmt"
+
+	"veil/internal/obs"
 )
 
 // PageSize is the architectural page granule tracked by the RMP.
@@ -45,6 +47,13 @@ type Machine struct {
 	clock  Clock
 	trace  Trace
 	halted *Fault
+
+	// rec, when non-nil, receives a typed event for every architectural
+	// occurrence the trace counters count (see observe.go). obsVCPU is
+	// the hardware VCPU current events are attributed to, maintained by
+	// the hypervisor at its entry points.
+	rec     *obs.Recorder
+	obsVCPU int32
 }
 
 // NewMachine creates a machine with all pages hypervisor-owned (shared),
@@ -86,6 +95,7 @@ func (m *Machine) Trace() *Trace { return &m.trace }
 func (m *Machine) Halt(f *Fault) error {
 	if m.halted == nil {
 		m.halted = f
+		m.ObserveFault(f)
 	}
 	return m.halted
 }

@@ -1,0 +1,138 @@
+package snp
+
+import "veil/internal/obs"
+
+// This file is the machine's observation layer: every architectural event
+// the simulator counts flows through exactly one Observe* helper. Each
+// helper maintains the legacy Trace counter for its event (so Trace stays a
+// thin compatibility view over the same instrumentation) and, when a
+// recorder is attached, records a typed obs event stamped with the virtual
+// cycle clock, the current VCPU and — where the producer knows it — the
+// acting VMPL.
+//
+// With no recorder attached (the default) every helper is a counter bump
+// plus a nil check: the fast path performs no allocation, which
+// TestNilRecorderFastPath pins with testing.AllocsPerRun.
+
+// SetRecorder attaches (or, with nil, detaches) an event recorder. The
+// recorder also receives cycle attribution from the Clock and the cost-kind
+// display names for its exporters.
+func (m *Machine) SetRecorder(r *obs.Recorder) {
+	m.rec = r
+	m.clock.rec = r
+	r.SetKindNames(CostKindNames())
+}
+
+// Recorder returns the attached recorder (nil when tracing is off).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// SetObsVCPU sets the hardware VCPU subsequent events are attributed to.
+// The hypervisor calls this at its entry points (VMGEXIT, interrupt
+// injection, VCPU start); machine-internal events inherit the last value.
+func (m *Machine) SetObsVCPU(v int) { m.obsVCPU = int32(v) }
+
+// emit records one event if a recorder is attached. TS is the current
+// virtual cycle count; spans pass the cycles at which they started.
+func (m *Machine) emit(class obs.Class, kind obs.EventKind, dur uint64, vmpl int16, a1, a2 uint64) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Record(obs.Event{
+		TS: m.clock.total, Dur: dur, Arg1: a1, Arg2: a2,
+		VCPU: m.obsVCPU, VMPL: vmpl, Class: class, Kind: kind,
+	})
+}
+
+// ObserveVMGEXIT counts one non-automatic exit (VMSA state save).
+func (m *Machine) ObserveVMGEXIT() {
+	m.trace.VMGExits++
+	m.emit(obs.ClassVMGEXIT, obs.Instant, 0, -1, 0, 0)
+}
+
+// ObserveVMENTER counts one VMENTER resume (VMSA state restore).
+func (m *Machine) ObserveVMENTER() {
+	m.trace.VMEnters++
+	m.emit(obs.ClassVMENTER, obs.Instant, 0, -1, 0, 0)
+}
+
+// ObserveVMCall counts one plain exit on a non-SNP VM.
+func (m *Machine) ObserveVMCall() {
+	m.trace.VMCalls++
+	m.emit(obs.ClassVMCALL, obs.Instant, 0, -1, 0, 0)
+}
+
+// ObserveRoundTrip records the span of one full VMGEXIT service round trip
+// that began at startCycles, tagged with the GHCB exit code.
+func (m *Machine) ObserveRoundTrip(exitCode uint64, startCycles uint64) {
+	m.emit(obs.ClassRoundTrip, obs.Span, m.clock.total-startCycles, -1, exitCode, 0)
+}
+
+// ObserveDomainSwitch counts one completed hypervisor-relayed domain switch
+// from one VMPL to another, spanning from startCycles to now.
+func (m *Machine) ObserveDomainSwitch(from, to VMPL, startCycles uint64) {
+	m.trace.DomainSwitches++
+	m.emit(obs.ClassDomainSwitch, obs.Span, m.clock.total-startCycles, int16(from), uint64(from), uint64(to))
+}
+
+// observeRMPAdjust counts one RMPADJUST by caller on the page at phys,
+// setting target's permission vector to perms (machine-internal; the
+// architectural mutators call it after their checks pass).
+func (m *Machine) observeRMPAdjust(caller, target VMPL, phys uint64, perms Perm) {
+	m.trace.RMPAdjusts++
+	m.emit(obs.ClassRMPAdjust, obs.Instant, 0, int16(caller), PageBase(phys), uint64(target)<<8|uint64(perms))
+}
+
+// observePValidate counts one PVALIDATE on the page at phys.
+func (m *Machine) observePValidate(caller VMPL, phys uint64, validate bool) {
+	m.trace.PValidates++
+	var v uint64
+	if validate {
+		v = 1
+	}
+	m.emit(obs.ClassPValidate, obs.Instant, 0, int16(caller), PageBase(phys), v)
+}
+
+// ObserveSyscall counts one guest-kernel syscall entry.
+func (m *Machine) ObserveSyscall(vmpl VMPL, sysno uint64) {
+	m.trace.Syscalls++
+	m.emit(obs.ClassSyscall, obs.Instant, 0, int16(vmpl), sysno, 0)
+}
+
+// ObserveAudit counts one emitted audit record of the given size.
+func (m *Machine) ObserveAudit(vmpl VMPL, recordBytes uint64) {
+	m.trace.AuditRecords++
+	m.emit(obs.ClassAudit, obs.Instant, 0, int16(vmpl), recordBytes, 0)
+}
+
+// ObserveInterrupt counts one injected hardware interrupt (an automatic
+// exit: no guest state crosses to the host).
+func (m *Machine) ObserveInterrupt() {
+	m.trace.Interrupts++
+	m.trace.AutomaticExits++
+	m.emit(obs.ClassInterrupt, obs.Instant, 0, -1, 0, 0)
+}
+
+// ObserveEnclaveExit counts one enclave → untrusted world transition.
+func (m *Machine) ObserveEnclaveExit() {
+	m.trace.EnclaveExits++
+	m.emit(obs.ClassEnclaveExit, obs.Instant, 0, int16(VMPL2), 0, 0)
+}
+
+// ObserveFault records an architectural fault event (no trace counter
+// exists for faults; under Veil's protections the first #NPF is terminal).
+func (m *Machine) ObserveFault(f *Fault) {
+	if f == nil {
+		return
+	}
+	m.emit(obs.ClassFault, obs.Instant, 0, int16(f.VMPL), f.Phys, uint64(f.Kind))
+}
+
+// ObservePageState records one hypervisor page-state change batch starting
+// at phys covering count pages (assign donates to the guest).
+func (m *Machine) ObservePageState(phys uint64, count uint64, assign bool) {
+	var a uint64
+	if assign {
+		a = 1
+	}
+	m.emit(obs.ClassPageState, obs.Instant, 0, -1, PageBase(phys), count<<1|a)
+}

@@ -111,7 +111,7 @@ func (m *Machine) RMPAdjust(callerVMPL VMPL, phys uint64, targetVMPL VMPL, perms
 	}
 	e.Perms[targetVMPL] = perms
 	m.clock.Charge(CostRMPADJUST, CyclesRMPADJUST)
-	m.trace.RMPAdjusts++
+	m.observeRMPAdjust(callerVMPL, targetVMPL, phys, perms)
 	return nil
 }
 
@@ -151,7 +151,7 @@ func (m *Machine) PValidate(callerVMPL VMPL, phys uint64, validate bool) error {
 		e.Perms = [NumVMPLs]Perm{}
 	}
 	m.clock.Charge(CostPVALIDATE, CyclesPVALIDATE)
-	m.trace.PValidates++
+	m.observePValidate(callerVMPL, phys, validate)
 	return nil
 }
 

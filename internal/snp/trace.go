@@ -1,8 +1,16 @@
 package snp
 
+import "reflect"
+
 // Trace counts architectural events. The evaluation harness reads these to
 // compute exit rates (Figs 5 and 6 report enclave-exit and log rates per
 // second of simulated time).
+//
+// Trace is a compatibility view over the machine's observation layer: the
+// counters are maintained exclusively by the Observe* helpers in observe.go
+// (the same path that feeds an attached obs.Recorder), never by ad-hoc
+// increments. Every field must be a uint64 counter — Since relies on it,
+// and TestTraceSinceCoversAllFields enforces it.
 type Trace struct {
 	VMGExits       uint64 // non-automatic exits via VMGEXIT
 	AutomaticExits uint64 // automatic exits (interrupts etc.)
@@ -20,19 +28,16 @@ type Trace struct {
 // Snapshot returns a copy for differential measurement.
 func (t *Trace) Snapshot() Trace { return *t }
 
-// Since returns the per-field difference t - prev.
+// Since returns the per-field difference t - prev. It walks the struct by
+// reflection so a newly added counter can never be silently missing from
+// differential measurements.
 func (t *Trace) Since(prev Trace) Trace {
-	return Trace{
-		VMGExits:       t.VMGExits - prev.VMGExits,
-		AutomaticExits: t.AutomaticExits - prev.AutomaticExits,
-		VMEnters:       t.VMEnters - prev.VMEnters,
-		VMCalls:        t.VMCalls - prev.VMCalls,
-		DomainSwitches: t.DomainSwitches - prev.DomainSwitches,
-		RMPAdjusts:     t.RMPAdjusts - prev.RMPAdjusts,
-		PValidates:     t.PValidates - prev.PValidates,
-		Interrupts:     t.Interrupts - prev.Interrupts,
-		Syscalls:       t.Syscalls - prev.Syscalls,
-		EnclaveExits:   t.EnclaveExits - prev.EnclaveExits,
-		AuditRecords:   t.AuditRecords - prev.AuditRecords,
+	var out Trace
+	tv := reflect.ValueOf(*t)
+	pv := reflect.ValueOf(prev)
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < tv.NumField(); i++ {
+		ov.Field(i).SetUint(tv.Field(i).Uint() - pv.Field(i).Uint())
 	}
+	return out
 }

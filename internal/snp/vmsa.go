@@ -62,7 +62,7 @@ func (m *Machine) CreateVMSA(callerVMPL VMPL, phys uint64, state VMSA) error {
 	v := state
 	m.vmsas[phys] = &v
 	m.clock.Charge(CostRMPADJUST, CyclesRMPADJUST)
-	m.trace.RMPAdjusts++
+	m.observeRMPAdjust(callerVMPL, state.VMPL, phys, PermNone)
 	return nil
 }
 
