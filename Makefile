@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check clean
 
 all: vet test
 
@@ -25,6 +25,16 @@ experiments:
 # The paper's full-scale 2 GiB boot experiment (slow: sweeps 524288 pages).
 boot-full:
 	$(GO) run ./cmd/veil-bench -experiment boot -mem 2048
+
+# Byte-compare the deterministic fig4/fig5 JSON against the committed
+# goldens (testdata/goldens). Any drift in the virtual-cycle model — e.g.
+# from a memory-path change that was supposed to be behaviour-preserving —
+# fails this target.
+golden-check:
+	$(GO) run ./cmd/veil-bench -experiment fig4 -iters 500 -json /tmp/veil-golden-fig4.json
+	$(GO) run ./cmd/veil-bench -experiment fig5 -iters 500 -json /tmp/veil-golden-fig5.json
+	cmp testdata/goldens/fig4.json /tmp/veil-golden-fig4.json
+	cmp testdata/goldens/fig5.json /tmp/veil-golden-fig5.json
 
 # Tables 1 & 2 and the §8.3 validation attacks, executed live.
 attacks:

@@ -112,6 +112,26 @@ func BenchmarkFig6Audit(b *testing.B) {
 	}
 }
 
+// BenchmarkMemPath is the fixed page-table-heavy workload guarding the
+// memory-path host speed (see internal/bench/mempath.go and docs/MEMORY.md).
+// The interesting output is ns/op; the deterministic virtual-cycle total is
+// reported alongside to show the refactor never moved simulated results.
+func BenchmarkMemPath(b *testing.B) {
+	mp, err := bench.NewMemPathBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := mp.Run(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Cycles), "sim-cycles")
+		b.ReportMetric(float64(r.Accesses), "accesses")
+	}
+}
+
 // BenchmarkMonitorCostModel is the §9.1 runtime-monitor comparison
 // (C_ds × N_ds) across the monitor designs of §2.
 func BenchmarkMonitorCostModel(b *testing.B) {

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	veil-attack -suite all          # framework + enclave + validation
+//	veil-attack -suite all          # framework + enclave + validation + tlb
 //	veil-attack -suite framework    # Table 1
 //	veil-attack -suite enclave      # Table 2
 //	veil-attack -suite validation   # §8.3
+//	veil-attack -suite tlb          # stale-TLB translations
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|all")
+	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|all")
 	flag.Parse()
 
 	var results []attacks.Result
@@ -44,6 +45,7 @@ func main() {
 	run("framework", attacks.Framework)
 	run("enclave", attacks.Enclave)
 	run("validation", attacks.Validation)
+	run("tlb", attacks.TLB)
 
 	breached := 0
 	for _, r := range results {

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|monitors|ablation|all")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|all")
 	iters := flag.Int("iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	memMB := flag.Uint64("mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
@@ -126,6 +126,24 @@ func main() {
 		results["fig6"] = rows
 		if text {
 			bench.ReportFig6(os.Stdout, rows)
+		}
+		return nil
+	})
+	run("mempath", func() error {
+		// The fixed workload touches ~1200 pages per iteration; cap the
+		// shared -iters default so "all" stays fast while still producing
+		// stable TLB counters (everything but HostSeconds is deterministic).
+		n := *iters
+		if n > 500 {
+			n = 500
+		}
+		r, err := bench.MemPath(n)
+		if err != nil {
+			return err
+		}
+		results["mempath"] = r
+		if text {
+			bench.ReportMemPath(os.Stdout, r)
 		}
 		return nil
 	})

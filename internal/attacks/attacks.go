@@ -14,6 +14,7 @@ import (
 	"veil/internal/core"
 	"veil/internal/cvm"
 	"veil/internal/kernel"
+	"veil/internal/mm"
 	"veil/internal/sdk"
 	"veil/internal/snp"
 )
@@ -435,4 +436,103 @@ func Validation() []Result {
 			},
 		},
 	})
+}
+
+// TLB runs the stale-translation attacks against the simulated hardware
+// TLB. SEV-SNP caches completed nested walks — the guest translation plus
+// the RMP verdict — and the architecture requires RMP mutations and
+// page-table edits to invalidate those caches; a verdict that survives an
+// RMPADJUST would let the OS keep touching a page the monitor just revoked
+// (the classic stale-TLB window). Both attacks warm a translation first so
+// the model's cache demonstrably holds the entry being attacked.
+func TLB() []Result {
+	return execute([]attack{
+		{
+			name:    "Reuse warm TLB translation after RMPADJUST revoke",
+			defence: "RMP-epoch TLB invalidation",
+			run:     func() (bool, string) { return staleTLBRevoke(false) },
+		},
+		{
+			name:    "Reuse warm TLB translation after PTE teardown",
+			defence: "Per-table-page generation invalidation",
+			run:     staleTLBPTEWrite,
+		},
+	})
+}
+
+// tlbFrames adapts the kernel's physical allocator to mm.FrameSource for
+// the attack's scratch address space.
+type tlbFrames struct{ k *kernel.Kernel }
+
+func (f tlbFrames) AllocFrame() (uint64, error) { return f.k.Allocator().Alloc() }
+func (f tlbFrames) FreeFrame(p uint64) error    { return f.k.Allocator().Free(p) }
+
+// warmTranslation maps one OS-owned frame and reads through it, leaving a
+// live translation (and RMP verdict) in the TLB. It returns the context for
+// retries, the address space and the backing frame.
+func warmTranslation(c *cvm.CVM) (snp.AccessContext, *mm.AddressSpace, uint64, error) {
+	as, err := mm.NewAddressSpace(c.M, snp.VMPL3, tlbFrames{c.K})
+	if err != nil {
+		return snp.AccessContext{}, nil, 0, err
+	}
+	frame, err := c.K.Allocator().Alloc()
+	if err != nil {
+		return snp.AccessContext{}, nil, 0, err
+	}
+	const virt = uint64(0x7000_0000)
+	if err := as.Map(virt, frame, snp.PTEWrite|snp.PTEUser); err != nil {
+		return snp.AccessContext{}, nil, 0, err
+	}
+	ctx := as.Context(snp.CPL0)
+	if err := ctx.WriteU64(virt, 0x600D_DA7A); err != nil {
+		return snp.AccessContext{}, nil, 0, err
+	}
+	if _, err := ctx.ReadU64(virt); err != nil {
+		return snp.AccessContext{}, nil, 0, err
+	}
+	return ctx, as, frame, nil
+}
+
+// staleTLBRevoke is the RMPADJUST variant: after the monitor strips every
+// Dom-UNT permission from the frame, a retry through the still-warm
+// translation must re-run the RMP check, #NPF and halt the CVM. With
+// broken=true the machine skips all TLB invalidation, which must make the
+// attack succeed — that is the teeth check for this whole suite.
+func staleTLBRevoke(broken bool) (bool, string) {
+	c, err := freshVeil()
+	if err != nil {
+		return false, err.Error()
+	}
+	ctx, _, frame, err := warmTranslation(c)
+	if err != nil {
+		return false, err.Error()
+	}
+	if broken {
+		c.M.SetBrokenTLBNoInvalidate(true)
+	}
+	if err := c.M.RMPAdjust(snp.VMPL0, frame, snp.VMPL3, snp.PermNone); err != nil {
+		return false, err.Error()
+	}
+	const virt = uint64(0x7000_0000)
+	_, rerr := ctx.ReadU64(virt)
+	return snp.IsNPF(rerr) && c.M.Halted() != nil, fmt.Sprintf("%v", rerr)
+}
+
+// staleTLBPTEWrite is the page-table variant: the mapping is torn down by a
+// software write to the live leaf table, so a retry must re-walk and take a
+// #PF instead of serving the cached leaf.
+func staleTLBPTEWrite() (bool, string) {
+	c, err := freshVeil()
+	if err != nil {
+		return false, err.Error()
+	}
+	ctx, as, _, err := warmTranslation(c)
+	if err != nil {
+		return false, err.Error()
+	}
+	if _, err := as.Unmap(0x7000_0000); err != nil {
+		return false, err.Error()
+	}
+	_, rerr := ctx.ReadU64(0x7000_0000)
+	return snp.IsPF(rerr), fmt.Sprintf("%v", rerr)
 }

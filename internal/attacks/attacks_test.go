@@ -34,3 +34,22 @@ func TestValidationAttacksAllDefended(t *testing.T) {
 	}
 	assertAllDefended(t, results)
 }
+
+func TestStaleTLBAttacksAllDefended(t *testing.T) {
+	results := TLB()
+	if len(results) != 2 {
+		t.Fatalf("tlb suite has %d attacks, want 2", len(results))
+	}
+	assertAllDefended(t, results)
+}
+
+// TestStaleTLBAttackHasTeeth reruns the RMPADJUST-revoke attack against a
+// machine whose TLB deliberately skips every invalidation. The stale RMP
+// verdict must then survive the revoke and the attack must report a breach;
+// if it still reported "defended", the suite above would prove nothing.
+func TestStaleTLBAttackHasTeeth(t *testing.T) {
+	ok, detail := staleTLBRevoke(true)
+	if ok {
+		t.Fatalf("stale-TLB attack reported defended on a no-invalidate TLB (%s)", detail)
+	}
+}

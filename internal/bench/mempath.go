@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"time"
+
+	"veil/internal/mm"
+	"veil/internal/snp"
+)
+
+// The memory-path microbenchmark: a fixed, deterministic, page-table-heavy
+// workload over AccessContext loads and stores. It is the guard for the
+// software-TLB refactor — the virtual-cycle outputs must never move, while
+// the host wall clock is expected to drop sharply once translations are
+// cached.
+const (
+	memPathMem    = 32 << 20
+	memPathPages  = 512                 // mapped data pages
+	memPathGroup  = 64                  // pages per 2 MiB leaf-table group
+	memPathStride = uint64(2 << 20)     // one group per leaf page table
+	memPathBase   = uint64(0x4000_0000) // virtual base of the mapped window
+	memPathLo     = uint64(0x10000)     // frame pool start (keeps CR3 != 0)
+)
+
+// memPathVA spreads page i across eight leaf page tables: 64 pages in each
+// 2 MiB-aligned group. The spread makes the per-table-page invalidation
+// channel observable — a permission churn on one page must only evict the
+// translations sharing its leaf table, not the whole working set.
+func memPathVA(i int) uint64 {
+	return memPathBase + uint64(i/memPathGroup)*memPathStride + uint64(i%memPathGroup)*snp.PageSize
+}
+
+// MemPathResult captures one run of the fixed workload. Everything except
+// HostSeconds is deterministic, including the TLB counters: they are a pure
+// function of the access sequence. Cycles and Mem count the run only, not
+// machine setup.
+type MemPathResult struct {
+	Pages        int
+	Iterations   int
+	Accesses     uint64
+	BytesTouched uint64
+	Cycles       uint64
+	HostSeconds  float64
+	Mem          snp.MemStats
+}
+
+// poolFrames adapts PhysAllocator (over pre-validated memory) to
+// mm.FrameSource.
+type poolFrames struct{ a *mm.PhysAllocator }
+
+func (p poolFrames) AllocFrame() (uint64, error) { return p.a.Alloc() }
+func (p poolFrames) FreeFrame(f uint64) error    { return p.a.Free(f) }
+
+// MemPathBench is the prepared workload: a machine with all memory accepted
+// and 512 pages mapped across eight leaf tables. Setup is expensive (a full
+// assign+PVALIDATE sweep) and unrelated to the memory path under test, so
+// benchmarks build it once and time Run alone.
+type MemPathBench struct {
+	m   *snp.Machine
+	as  *mm.AddressSpace
+	ctx snp.AccessContext
+}
+
+// NewMemPathBench accepts all guest memory, builds the address space and
+// maps the benchmark window.
+func NewMemPathBench() (*MemPathBench, error) {
+	m := snp.NewMachine(snp.Config{MemBytes: memPathMem, VCPUs: 1})
+	// Accept all guest memory so VMPL0 software owns every frame.
+	for p := uint64(0); p < memPathMem; p += snp.PageSize {
+		if err := m.HVAssignPage(p); err != nil {
+			return nil, err
+		}
+		if err := m.PValidate(snp.VMPL0, p, true); err != nil {
+			return nil, err
+		}
+	}
+	alloc, err := mm.NewPhysAllocator(memPathLo, memPathMem)
+	if err != nil {
+		return nil, err
+	}
+	as, err := mm.NewAddressSpace(m, snp.VMPL0, poolFrames{alloc})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < memPathPages; i++ {
+		frame, err := alloc.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		if err := as.Map(memPathVA(i), frame, snp.PTEWrite|snp.PTEUser); err != nil {
+			return nil, err
+		}
+	}
+	return &MemPathBench{m: m, as: as, ctx: as.Context(snp.CPL0)}, nil
+}
+
+// Run performs iters rounds of the fixed memory workload: a sweep of
+// 8-byte loads/stores plus periodic 256-byte reads over the 512 mapped
+// pages, with one mapping-permission churn per round so translations cannot
+// stay valid forever. Cycles and Mem report this run's deltas.
+func (b *MemPathBench) Run(iters int) (MemPathResult, error) {
+	if iters <= 0 {
+		iters = 200
+	}
+	res := MemPathResult{Pages: memPathPages, Iterations: iters}
+	cycles0 := b.m.Clock().Cycles()
+	mem0 := b.m.MemStats()
+	var buf [256]byte
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for i := 0; i < memPathPages; i++ {
+			va := memPathVA(i)
+			v, err := b.ctx.ReadU64(va)
+			if err != nil {
+				return MemPathResult{}, err
+			}
+			if err := b.ctx.WriteU64(va+8, v+1); err != nil {
+				return MemPathResult{}, err
+			}
+			res.Accesses += 2
+			res.BytesTouched += 16
+			if i%8 == 0 {
+				if err := b.ctx.Read(va+1024, buf[:]); err != nil {
+					return MemPathResult{}, err
+				}
+				res.Accesses++
+				res.BytesTouched += uint64(len(buf))
+			}
+		}
+		// Permission churn: revoke and restore write on one page so the
+		// page tables are live, not a build-once structure. Only the 64
+		// translations sharing the churned page's leaf table may go stale.
+		va := memPathVA(it % memPathPages)
+		if err := b.as.Protect(va, snp.PTEUser); err != nil {
+			return MemPathResult{}, err
+		}
+		if err := b.ctx.Read(va, buf[:8]); err != nil {
+			return MemPathResult{}, err
+		}
+		if err := b.as.Protect(va, snp.PTEWrite|snp.PTEUser); err != nil {
+			return MemPathResult{}, err
+		}
+		res.Accesses++
+		res.BytesTouched += 8
+	}
+	res.HostSeconds = time.Since(start).Seconds()
+	res.Cycles = b.m.Clock().Cycles() - cycles0
+	res.Mem = subMemStats(b.m.MemStats(), mem0)
+	return res, nil
+}
+
+func subMemStats(a, b snp.MemStats) snp.MemStats {
+	return snp.MemStats{
+		TLBHits:           a.TLBHits - b.TLBHits,
+		TLBMisses:         a.TLBMisses - b.TLBMisses,
+		TLBFlushes:        a.TLBFlushes - b.TLBFlushes,
+		TLBRMPFlushes:     a.TLBRMPFlushes - b.TLBRMPFlushes,
+		TLBPTInvalidation: a.TLBPTInvalidation - b.TLBPTInvalidation,
+		SpanReads:         a.SpanReads - b.SpanReads,
+		SpanWrites:        a.SpanWrites - b.SpanWrites,
+	}
+}
+
+// MemPath builds the workload and runs it once (the CLI entry point;
+// benchmarks use NewMemPathBench + Run to keep setup out of the timing).
+func MemPath(iters int) (MemPathResult, error) {
+	b, err := NewMemPathBench()
+	if err != nil {
+		return MemPathResult{}, err
+	}
+	return b.Run(iters)
+}

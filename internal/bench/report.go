@@ -108,6 +108,24 @@ func ReportCS1(w io.Writer, r CS1Result) {
 		r.NativeUnloadCycles, r.VeilUnloadCycles, r.UnloadDeltaCycles, r.UnloadPct)
 }
 
+// ReportMemPath prints the memory-path microbenchmark: the TLB refactor's
+// guard workload, with the hit/miss/invalidation counters that veil-sim
+// also exports as aux metrics.
+func ReportMemPath(w io.Writer, r MemPathResult) {
+	fmt.Fprintf(w, "Memory path — software TLB workload (%d pages, %d iterations)\n", r.Pages, r.Iterations)
+	fmt.Fprintf(w, "  accesses: %d (%d bytes), %d virtual cycles, %.3f s host\n",
+		r.Accesses, r.BytesTouched, r.Cycles, r.HostSeconds)
+	total := r.Mem.TLBHits + r.Mem.TLBMisses
+	hitPct := 0.0
+	if total > 0 {
+		hitPct = 100 * float64(r.Mem.TLBHits) / float64(total)
+	}
+	fmt.Fprintf(w, "  tlb: %d hits / %d misses (%.1f%% hit rate)\n", r.Mem.TLBHits, r.Mem.TLBMisses, hitPct)
+	fmt.Fprintf(w, "  invalidations: %d full flushes, %d rmp-epoch, %d pt-page\n",
+		r.Mem.TLBFlushes, r.Mem.TLBRMPFlushes, r.Mem.TLBPTInvalidation)
+	fmt.Fprintf(w, "  spans: %d reads, %d writes (zero-copy page windows)\n", r.Mem.SpanReads, r.Mem.SpanWrites)
+}
+
 // ReportMonitors prints the §9.1 monitor cost-model comparison.
 func ReportMonitors(w io.Writer) {
 	fmt.Fprintf(w, "§9.1 Runtime monitor cost analysis (C_ds × N_ds model)\n")

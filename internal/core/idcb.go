@@ -61,18 +61,22 @@ func WriteIDCBRequest(m *snp.Machine, vmpl snp.VMPL, cpl snp.CPL, page uint64, r
 	if len(req.Payload) > IDCBPayloadMax {
 		return fmt.Errorf("core: IDCB request payload %d exceeds %d", len(req.Payload), IDCBPayloadMax)
 	}
-	buf := make([]byte, idcbHdrLen+len(req.Payload))
-	buf[0] = req.Svc
-	buf[1] = req.Op
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(req.Payload)))
-	copy(buf[idcbHdrLen:], req.Payload)
-	return m.GuestWritePhys(vmpl, cpl, page+idcbReqOff, buf)
+	dst, err := m.Span(vmpl, cpl, page+idcbReqOff, idcbHdrLen+len(req.Payload), snp.AccessWrite)
+	if err != nil {
+		return err
+	}
+	clear(dst[:idcbHdrLen])
+	dst[0] = req.Svc
+	dst[1] = req.Op
+	binary.LittleEndian.PutUint32(dst[4:], uint32(len(req.Payload)))
+	copy(dst[idcbHdrLen:], req.Payload)
+	return nil
 }
 
 // ReadIDCBRequest loads the pending request from an IDCB page.
 func ReadIDCBRequest(m *snp.Machine, vmpl snp.VMPL, page uint64) (Request, error) {
-	hdr := make([]byte, idcbHdrLen)
-	if err := m.GuestReadPhys(vmpl, snp.CPL0, page+idcbReqOff, hdr); err != nil {
+	hdr, err := m.Span(vmpl, snp.CPL0, page+idcbReqOff, idcbHdrLen, snp.AccessRead)
+	if err != nil {
 		return Request{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
@@ -81,9 +85,11 @@ func ReadIDCBRequest(m *snp.Machine, vmpl snp.VMPL, page uint64) (Request, error
 	}
 	req := Request{Svc: hdr[0], Op: hdr[1], Payload: make([]byte, n)}
 	if n > 0 {
-		if err := m.GuestReadPhys(vmpl, snp.CPL0, page+idcbReqOff+idcbHdrLen, req.Payload); err != nil {
+		pay, err := m.Span(vmpl, snp.CPL0, page+idcbReqOff+idcbHdrLen, int(n), snp.AccessRead)
+		if err != nil {
 			return Request{}, err
 		}
+		copy(req.Payload, pay)
 	}
 	return req, nil
 }
@@ -93,17 +99,20 @@ func WriteIDCBResponse(m *snp.Machine, vmpl snp.VMPL, page uint64, resp Response
 	if len(resp.Payload) > IDCBPayloadMax {
 		return fmt.Errorf("core: IDCB response payload %d exceeds %d", len(resp.Payload), IDCBPayloadMax)
 	}
-	buf := make([]byte, idcbHdrLen+len(resp.Payload))
-	binary.LittleEndian.PutUint32(buf[0:], resp.Status)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(resp.Payload)))
-	copy(buf[idcbHdrLen:], resp.Payload)
-	return m.GuestWritePhys(vmpl, snp.CPL0, page+idcbRespOff, buf)
+	dst, err := m.Span(vmpl, snp.CPL0, page+idcbRespOff, idcbHdrLen+len(resp.Payload), snp.AccessWrite)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(dst[0:], resp.Status)
+	binary.LittleEndian.PutUint32(dst[4:], uint32(len(resp.Payload)))
+	copy(dst[idcbHdrLen:], resp.Payload)
+	return nil
 }
 
 // ReadIDCBResponse loads the response frame as software at vmpl/cpl.
 func ReadIDCBResponse(m *snp.Machine, vmpl snp.VMPL, cpl snp.CPL, page uint64) (Response, error) {
-	hdr := make([]byte, idcbHdrLen)
-	if err := m.GuestReadPhys(vmpl, cpl, page+idcbRespOff, hdr); err != nil {
+	hdr, err := m.Span(vmpl, cpl, page+idcbRespOff, idcbHdrLen, snp.AccessRead)
+	if err != nil {
 		return Response{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
@@ -112,9 +121,11 @@ func ReadIDCBResponse(m *snp.Machine, vmpl snp.VMPL, cpl snp.CPL, page uint64) (
 	}
 	resp := Response{Status: binary.LittleEndian.Uint32(hdr[0:]), Payload: make([]byte, n)}
 	if n > 0 {
-		if err := m.GuestReadPhys(vmpl, cpl, page+idcbRespOff+idcbHdrLen, resp.Payload); err != nil {
+		pay, err := m.Span(vmpl, cpl, page+idcbRespOff+idcbHdrLen, int(n), snp.AccessRead)
+		if err != nil {
 			return Response{}, err
 		}
+		copy(resp.Payload, pay)
 	}
 	return resp, nil
 }

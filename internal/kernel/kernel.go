@@ -138,13 +138,46 @@ func (k *Kernel) GHCBPhys(vcpuID int) uint64 {
 
 // ReadPhys / WritePhys are the kernel's direct-map accessors: supervisor
 // software accesses at the kernel's VMPL, RMP-checked like everything else.
+// Both run over the machine's zero-copy span API, chunked per page.
 func (k *Kernel) ReadPhys(phys uint64, buf []byte) error {
-	return k.m.GuestReadPhys(k.cfg.VMPL, snp.CPL0, phys, buf)
+	return k.physChunks(phys, len(buf), snp.AccessRead, func(off int, span []byte) {
+		copy(buf[off:], span)
+	})
 }
 
 // WritePhys writes through the kernel direct map.
 func (k *Kernel) WritePhys(phys uint64, buf []byte) error {
-	return k.m.GuestWritePhys(k.cfg.VMPL, snp.CPL0, phys, buf)
+	return k.physChunks(phys, len(buf), snp.AccessWrite, func(off int, span []byte) {
+		copy(span, buf[off:])
+	})
+}
+
+// WithPhysSpan hands fn a zero-copy, RMP-checked view of [phys, phys+n),
+// which must not cross a page boundary. The span aliases guest memory and
+// must not be retained past fn.
+func (k *Kernel) WithPhysSpan(phys uint64, n int, acc snp.Access, fn func(span []byte) error) error {
+	span, err := k.m.Span(k.cfg.VMPL, snp.CPL0, phys, n, acc)
+	if err != nil {
+		return err
+	}
+	return fn(span)
+}
+
+// physChunks walks [phys, phys+n) one in-page span at a time.
+func (k *Kernel) physChunks(phys uint64, n int, acc snp.Access, fn func(off int, span []byte)) error {
+	for off := 0; off < n; {
+		c := int(snp.PageSize - snp.PageOffset(phys+uint64(off)))
+		if c > n-off {
+			c = n - off
+		}
+		span, err := k.m.Span(k.cfg.VMPL, snp.CPL0, phys+uint64(off), c, acc)
+		if err != nil {
+			return err
+		}
+		fn(off, span)
+		off += c
+	}
+	return nil
 }
 
 // guestCall issues a kernel hypercall through the kernel's own GHCB,

@@ -53,8 +53,12 @@ func (as *AddressSpace) Context(cpl snp.CPL) snp.AccessContext {
 }
 
 func (as *AddressSpace) zeroTable(phys uint64) error {
-	zero := make([]byte, snp.PageSize)
-	return as.ctx.M.GuestWritePhys(as.ctx.VMPL, snp.CPL0, phys, zero)
+	span, err := as.ctx.M.Span(as.ctx.VMPL, snp.CPL0, phys, snp.PageSize, snp.AccessWrite)
+	if err != nil {
+		return err
+	}
+	clear(span)
+	return nil
 }
 
 func ptIndexAt(virt uint64, level int) uint64 {

@@ -41,6 +41,16 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 		bw.printf("veil_cycles_total{kind=%q} %d\n", m.KindName(k), byKind[k])
 	}
 
+	if names, values := r.AuxCounters(); len(names) > 0 {
+		bw.printf("# HELP veil_aux_total Producer-registered auxiliary counters.\n")
+		bw.printf("# TYPE veil_aux_total counter\n")
+		for i, n := range names {
+			if i < len(values) {
+				bw.printf("veil_aux_total{counter=%q} %d\n", n, values[i])
+			}
+		}
+	}
+
 	bw.printf("# HELP veil_trace_dropped_total Events evicted from the trace ring.\n")
 	bw.printf("# TYPE veil_trace_dropped_total counter\n")
 	bw.printf("veil_trace_dropped_total %d\n", r.Dropped())

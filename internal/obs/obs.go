@@ -124,6 +124,11 @@ type Recorder struct {
 	full    bool
 	dropped uint64
 	met     Metrics
+
+	// aux is a pull-based source of producer-owned named counters (e.g.
+	// the snp machine's TLB statistics). Exporters read it at write time,
+	// so producers pay nothing on their hot paths.
+	aux func() (names []string, values []uint64)
 }
 
 // NewRecorder creates a recorder whose ring holds capacity events
@@ -173,6 +178,25 @@ func (r *Recorder) SetKindNames(names []string) {
 		return
 	}
 	r.met.kindNames = names
+}
+
+// SetAuxCounters registers a pull-based source of named monotonic counters
+// that exporters append to their output (pass nil to detach). The source is
+// called at export time only. Nil-safe.
+func (r *Recorder) SetAuxCounters(src func() (names []string, values []uint64)) {
+	if r == nil {
+		return
+	}
+	r.aux = src
+}
+
+// AuxCounters returns the registered source's current counters, or nil
+// slices when no source is attached. Nil-safe.
+func (r *Recorder) AuxCounters() (names []string, values []uint64) {
+	if r == nil || r.aux == nil {
+		return nil, nil
+	}
+	return r.aux()
 }
 
 // Len returns the number of events currently held.

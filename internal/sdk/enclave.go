@@ -232,12 +232,18 @@ func (e *EnclaveRuntime) call(num int, args []sanitizer.Arg) (uint64, error) {
 		case sanitizer.Scalar:
 			slots[i] = slot{val: a.Val}
 		case sanitizer.Path:
-			b := append(append([]byte{}, a.Buf...), 0)
-			s := place(uint64(len(b)))
-			if err := e.write(e.shared+s, b); err != nil {
+			n := uint64(len(a.Buf)) + 1 // staged NUL-terminated
+			s := place(n)
+			// One charge for the whole staged path, then the bytes land
+			// directly in the staging area — no assembly buffer.
+			e.chargeCopy(int(n))
+			if err := e.view.Mem.Write(e.shared+s, a.Buf); err != nil {
 				return 0, err
 			}
-			slots[i] = slot{stage: s, length: uint64(len(b))}
+			if err := e.view.Mem.Write(e.shared+s+n-1, []byte{0}); err != nil {
+				return 0, err
+			}
+			slots[i] = slot{stage: s, length: n}
 		case sanitizer.Buffer, sanitizer.StructPtr, sanitizer.IOVec:
 			n := uint64(0)
 			switch {
@@ -255,15 +261,18 @@ func (e *EnclaveRuntime) call(num int, args []sanitizer.Arg) (uint64, error) {
 			}
 			s := place(n)
 			if as.Dir == sanitizer.In || as.Dir == sanitizer.InOut {
-				var data []byte
 				if as.Kind == sanitizer.IOVec {
+					// Gather the vector straight into the staging area:
+					// one copy charge for the total, no assembly buffer.
+					e.chargeCopy(int(n))
+					seg := e.shared + s
 					for _, v := range a.Vec {
-						data = append(data, v...)
+						if err := e.view.Mem.Write(seg, v); err != nil {
+							return 0, err
+						}
+						seg += uint64(len(v))
 					}
-				} else {
-					data = a.Buf[:n]
-				}
-				if err := e.write(e.shared+s, data); err != nil {
+				} else if err := e.write(e.shared+s, a.Buf[:n]); err != nil {
 					return 0, err
 				}
 			}

@@ -246,19 +246,20 @@ func (s *Service) finalize(vcpu int, cr3, base, length, entry, ghcb uint64, fact
 	}
 	e.clone = clone
 
-	// Measure contents + metadata page by page, in address order.
+	// Measure contents + metadata page by page, in address order. The hash
+	// reads each frame in place through a read span — no staging copy.
 	h := sha256.New()
-	var buf [snp.PageSize]byte
 	for virt := base; virt < base+length; virt += snp.PageSize {
 		phys := e.frames[virt]
-		if err := m.GuestReadPhys(snp.VMPL1, snp.CPL0, phys, buf[:]); err != nil {
+		span, err := m.Span(snp.VMPL1, snp.CPL0, phys, snp.PageSize, snp.AccessRead)
+		if err != nil {
 			return nil, err
 		}
 		var hdr [16]byte
 		binary.LittleEndian.PutUint64(hdr[0:], virt)
 		binary.LittleEndian.PutUint64(hdr[8:], e.pages[virt].flags)
 		h.Write(hdr[:])
-		h.Write(buf[:])
+		h.Write(span)
 		m.Clock().Charge(snp.CostPageHash, snp.CyclesPageHash4K)
 	}
 	copy(e.meas[:], h.Sum(nil))
@@ -349,12 +350,13 @@ func walkUserMappings(m *snp.Machine, cr3 uint64) (map[uint64]mapping, error) {
 	out := make(map[uint64]mapping)
 	var walk func(table uint64, level int, virtBase uint64) error
 	walk = func(table uint64, level int, virtBase uint64) error {
-		var entry [8]byte
+		// One span per table page instead of 512 single-entry copies.
+		tbl, err := m.Span(snp.VMPL1, snp.CPL0, snp.PageBase(table), snp.PageSize, snp.AccessRead)
+		if err != nil {
+			return err
+		}
 		for idx := uint64(0); idx < 512; idx++ {
-			if err := m.GuestReadPhys(snp.VMPL1, snp.CPL0, table+idx*8, entry[:]); err != nil {
-				return err
-			}
-			pte := binary.LittleEndian.Uint64(entry[:])
+			pte := binary.LittleEndian.Uint64(tbl[idx*8:])
 			if pte&snp.PTEPresent == 0 {
 				continue
 			}

@@ -68,8 +68,8 @@ func (s *Service) PageFree(id uint32, virt uint64) ([]byte, error) {
 	m := s.mon.Machine()
 	phys := e.frames[virt]
 
-	var plain [snp.PageSize]byte
-	if err := m.GuestReadPhys(snp.VMPL1, snp.CPL0, phys, plain[:]); err != nil {
+	src, err := m.Span(snp.VMPL1, snp.CPL0, phys, snp.PageSize, snp.AccessRead)
+	if err != nil {
 		return nil, err
 	}
 	aead, err := e.aead()
@@ -77,16 +77,20 @@ func (s *Service) PageFree(id uint32, virt uint64) ([]byte, error) {
 		return nil, err
 	}
 	st.counter++
-	ct := aead.Seal(nil, pageNonce(aead, virt, st.counter), plain[:], idAAD(id))
+	// Seal reads the frame in place: the plaintext never crosses into a
+	// service-side staging buffer.
+	ct := aead.Seal(nil, pageNonce(aead, virt, st.counter), src, idAAD(id))
 	st.hash = sha256.Sum256(ct)
 	st.present = false
 	m.Clock().Charge(snp.CostPageEncrypt, snp.CyclesPageEncrypt4K)
 	m.Clock().Charge(snp.CostPageHash, snp.CyclesPageHash4K)
 
 	// Ciphertext body replaces the plaintext in the frame.
-	if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, phys, ct[:snp.PageSize]); err != nil {
+	dst, err := m.Span(snp.VMPL1, snp.CPL0, phys, snp.PageSize, snp.AccessWrite)
+	if err != nil {
 		return nil, err
 	}
+	copy(dst, ct[:snp.PageSize])
 	m.Clock().Charge(snp.CostPageCopy, snp.CyclesPageCopy4K)
 
 	// Unmap from the protected tables, then release the frame to Dom-UNT.
@@ -144,11 +148,14 @@ func (s *Service) PageRestore(id uint32, virt, frame uint64, tag []byte) error {
 		return errDenied
 	}
 
-	// Reassemble the sealed image from the staged body + tag.
+	// Reassemble the sealed image from the staged body + tag. GCM needs the
+	// ciphertext contiguous, so this one staging copy stays.
 	ct := make([]byte, snp.PageSize+len(tag))
-	if err := m.GuestReadPhys(snp.VMPL1, snp.CPL0, frame, ct[:snp.PageSize]); err != nil {
+	body, err := m.Span(snp.VMPL1, snp.CPL0, frame, snp.PageSize, snp.AccessRead)
+	if err != nil {
 		return err
 	}
+	copy(ct, body)
 	copy(ct[snp.PageSize:], tag)
 	m.Clock().Charge(snp.CostPageCopy, snp.CyclesPageCopy4K)
 
@@ -160,16 +167,18 @@ func (s *Service) PageRestore(id uint32, virt, frame uint64, tag []byte) error {
 	if err != nil {
 		return err
 	}
-	plain, err := aead.Open(nil, pageNonce(aead, virt, st.counter), ct, idAAD(id))
+	dst, err := m.Span(snp.VMPL1, snp.CPL0, frame, snp.PageSize, snp.AccessWrite)
 	if err != nil {
+		return err
+	}
+	// Decrypt straight into the frame. The capped destination (len 0, cap
+	// exactly one page) means GCM can never append past the frame, and the
+	// hash check above already pinned len(ct) to one sealed page image.
+	if _, err := aead.Open(dst[:0:snp.PageSize], pageNonce(aead, virt, st.counter), ct, idAAD(id)); err != nil {
 		return fmt.Errorf("enc: page decrypt failed: %w", err)
 	}
 	m.Clock().Charge(snp.CostPageEncrypt, snp.CyclesPageEncrypt4K)
 	m.Clock().Charge(snp.CostPageHash, snp.CyclesPageHash4K)
-
-	if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, frame, plain); err != nil {
-		return err
-	}
 	if err := m.RMPAdjust(snp.VMPL1, frame, snp.VMPL3, snp.PermNone); err != nil {
 		return err
 	}
@@ -294,12 +303,13 @@ func (s *Service) Destroy(id uint32) error {
 		return err
 	}
 	m := s.mon.Machine()
-	zero := make([]byte, snp.PageSize)
 	for virt, phys := range e.frames {
 		// Scrub before release: enclave secrets never reach the OS.
-		if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, phys, zero); err != nil {
+		span, err := m.Span(snp.VMPL1, snp.CPL0, phys, snp.PageSize, snp.AccessWrite)
+		if err != nil {
 			return err
 		}
+		clear(span)
 		if err := m.RMPAdjust(snp.VMPL1, phys, snp.VMPL3, snp.PermRW|snp.PermUserExec); err != nil {
 			return err
 		}

@@ -189,9 +189,11 @@ func (s *Service) writeFrames(frames []uint64, startFrame int, data []byte) erro
 		if fi >= len(frames) {
 			return fmt.Errorf("kci: section overflows frames")
 		}
-		if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, frames[fi], data[off:end]); err != nil {
+		dst, err := m.Span(snp.VMPL1, snp.CPL0, frames[fi], end-off, snp.AccessWrite)
+		if err != nil {
 			return err
 		}
+		copy(dst, data[off:end])
 		m.Clock().Charge(snp.CostPageCopy, uint64(end-off)*snp.CyclesPageCopy4K/snp.PageSize+1)
 	}
 	return nil
@@ -209,11 +211,12 @@ func (s *Service) serveFree(payload []byte) (uint32, []byte) {
 	}
 	// Scrub the whole installed image before returning the frames to the
 	// kernel, then lift the text protection.
-	zero := make([]byte, snp.PageSize)
 	for _, f := range m.frames {
-		if err := s.mon.Machine().GuestWritePhys(snp.VMPL1, snp.CPL0, f, zero); err != nil {
+		span, err := s.mon.Machine().Span(snp.VMPL1, snp.CPL0, f, snp.PageSize, snp.AccessWrite)
+		if err != nil {
 			return core.StatusError, nil
 		}
+		clear(span)
 		s.mon.Machine().Clock().Charge(snp.CostPageCopy, snp.CyclesPageCopy4K)
 	}
 	for i := 0; i < m.text; i++ {

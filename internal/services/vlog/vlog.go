@@ -100,7 +100,8 @@ func (s *Service) append(rec []byte) bool {
 	return true
 }
 
-// storeWrite writes into the store as Dom-SRV software, page by page.
+// storeWrite writes into the store as Dom-SRV software, page by page,
+// appending straight into the RMP-checked frames through write spans.
 func (s *Service) storeWrite(off uint64, data []byte) error {
 	m := s.mon.Machine()
 	for len(data) > 0 {
@@ -113,36 +114,40 @@ func (s *Service) storeWrite(off uint64, data []byte) error {
 		if n > uint64(len(data)) {
 			n = uint64(len(data))
 		}
-		if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, s.frames[page]+po, data[:n]); err != nil {
+		dst, err := m.Span(snp.VMPL1, snp.CPL0, s.frames[page]+po, int(n), snp.AccessWrite)
+		if err != nil {
 			return err
 		}
+		copy(dst, data[:n])
 		off += n
 		data = data[n:]
 	}
 	return nil
 }
 
-// storeRead reads back from the store as Dom-SRV software.
+// storeRead reads back from the store as Dom-SRV software, directly into
+// one result buffer (no per-page staging).
 func (s *Service) storeRead(off uint64, n uint64) ([]byte, error) {
 	m := s.mon.Machine()
-	out := make([]byte, 0, n)
-	for n > 0 {
+	out := make([]byte, n)
+	pos := uint64(0)
+	for pos < n {
 		page := off / snp.PageSize
 		if page >= uint64(len(s.frames)) {
 			return nil, fmt.Errorf("vlog: read past store end")
 		}
 		po := off % snp.PageSize
 		c := snp.PageSize - po
-		if c > n {
-			c = n
+		if c > n-pos {
+			c = n - pos
 		}
-		buf := make([]byte, c)
-		if err := m.GuestReadPhys(snp.VMPL1, snp.CPL0, s.frames[page]+po, buf); err != nil {
+		src, err := m.Span(snp.VMPL1, snp.CPL0, s.frames[page]+po, int(c), snp.AccessRead)
+		if err != nil {
 			return nil, err
 		}
-		out = append(out, buf...)
+		copy(out[pos:], src)
 		off += c
-		n -= c
+		pos += c
 	}
 	return out, nil
 }

@@ -118,9 +118,11 @@ func (s *Service) Extend(idx uint32, digest [32]byte) error {
 	h.Write(digest[:])
 	copy(s.bank[idx][:], h.Sum(nil))
 	// Mirror into the protected page (the enforcement target).
-	if err := m.GuestWritePhys(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, s.bank[idx][:]); err != nil {
+	dst, err := m.Span(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, 32, snp.AccessWrite)
+	if err != nil {
 		return err
 	}
+	copy(dst, s.bank[idx][:])
 	m.Clock().Charge(snp.CostCompute, CyclesExtend)
 	s.extends++
 	return nil
@@ -132,8 +134,12 @@ func (s *Service) Read(idx uint32) ([32]byte, error) {
 		return [32]byte{}, fmt.Errorf("vtpm: PCR %d out of range", idx)
 	}
 	var out [32]byte
-	err := s.mon.Machine().GuestReadPhys(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, out[:])
-	return out, err
+	src, err := s.mon.Machine().Span(snp.VMPL1, snp.CPL0, s.frame+uint64(idx)*32, 32, snp.AccessRead)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	copy(out[:], src)
+	return out, nil
 }
 
 // Quote signs the selected PCRs together with caller-provided freshness

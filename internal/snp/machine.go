@@ -48,6 +48,20 @@ type Machine struct {
 	trace  Trace
 	halted *Fault
 
+	// Software TLB (see tlb.go): a direct-mapped cache of completed
+	// page-table walks, invalidated by a full-flush epoch, an RMP-verdict
+	// epoch, and per-table-page generations. ptPages is the bitset of
+	// pages the walker has read PTEs from. tlbNoInvalidate is the
+	// deliberately broken test-only mode proving the stale-TLB attack
+	// test has teeth.
+	tlb             []tlbEntry
+	tlbFlushEpoch   uint64
+	tlbRMPEpoch     uint64
+	tlbNoInvalidate bool
+	ptPages         []uint64
+	ptGen           []uint32
+	memStats        MemStats
+
 	// rec, when non-nil, receives a typed event for every architectural
 	// occurrence the trace counters count (see observe.go). obsVCPU is
 	// the hardware VCPU current events are attributed to, maintained by
@@ -155,7 +169,32 @@ func (m *Machine) guestAccessPhys(vmpl VMPL, cpl CPL, phys uint64, n int, a Acce
 		m.Halt(f)
 		return nil, f
 	}
+	if a == AccessWrite && m.isPTPage(pi) {
+		// A software write is landing on a page the walker has read PTEs
+		// from: translations that walked through it may now be stale.
+		m.invalidatePTPage(pi)
+	}
 	return m.mem[phys : phys+uint64(n)], nil
+}
+
+// Span returns the RMP-checked backing slice for the physical range
+// [phys, phys+n), which must lie within one page. It is the zero-copy
+// counterpart of GuestReadPhys/GuestWritePhys: callers read or mutate guest
+// memory in place instead of staging through an intermediate buffer. acc
+// declares the intended use and is checked — and faults, and halts — exactly
+// like the equivalent copying access. The slice aliases guest memory and
+// must not be retained across RMP or page-state changes.
+func (m *Machine) Span(vmpl VMPL, cpl CPL, phys uint64, n int, acc Access) ([]byte, error) {
+	buf, err := m.guestAccessPhys(vmpl, cpl, phys, n, acc, 0)
+	if err != nil {
+		return nil, err
+	}
+	if acc == AccessWrite {
+		m.memStats.SpanWrites++
+	} else {
+		m.memStats.SpanReads++
+	}
+	return buf, nil
 }
 
 // GuestReadPhys reads n bytes at a guest physical address, subject to RMP
@@ -223,6 +262,9 @@ func (m *Machine) HVWritePhys(phys uint64, buf []byte) error {
 	}
 	if m.rmp[pi].Assigned {
 		return fmt.Errorf("snp: hypervisor write to guest-assigned page %#x blocked", PageBase(phys))
+	}
+	if m.isPTPage(pi) {
+		m.invalidatePTPage(pi)
 	}
 	copy(m.mem[phys:phys+uint64(len(buf))], buf)
 	return nil

@@ -1,6 +1,9 @@
 package snp
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Guest page tables use a 4-level x86-64-style format with 48-bit virtual
 // addresses. Entries are 64-bit words stored in guest physical pages:
@@ -61,19 +64,102 @@ func (a AccessContext) String() string {
 	return fmt.Sprintf("ctx(%s,%s,cr3=%#x)", a.VMPL, a.CPL, a.CR3)
 }
 
-// readPTE performs the hardware walker's read of a table entry.
-func (a AccessContext) readPTE(tablePhys uint64, idx uint64) (uint64, error) {
+// readPTE performs the hardware walker's read of a table entry, marking the
+// table page as translation-relevant so later software writes to it
+// invalidate the translations that walked through it. The returned tlbDep
+// versions the read for the TLB.
+func (a AccessContext) readPTE(tablePhys uint64, idx uint64) (uint64, tlbDep, error) {
 	pi, err := a.M.pageIndex(tablePhys)
 	if err != nil {
-		return 0, fmt.Errorf("snp: page-table page out of range: %w", err)
+		return 0, tlbDep{}, fmt.Errorf("snp: page-table page out of range: %w", err)
 	}
+	gen := a.M.notePTPage(pi)
 	page := a.M.rawPage(pi)
-	off := idx * 8
-	var pte uint64
-	for i := 0; i < 8; i++ {
-		pte |= uint64(page[off+uint64(i)]) << (8 * i)
+	return binary.LittleEndian.Uint64(page[idx*8:]), tlbDep{pi: uint32(pi), gen: gen}, nil
+}
+
+// walk runs the 4-level hardware walk for virt, returning the leaf frame,
+// the permissions accumulated across levels like x86 does (an access needs
+// the relevant bit at every level), and the versioned table pages the walk
+// read.
+func (a AccessContext) walk(virt uint64, acc Access) (physPage, eff uint64, effNX bool, deps [PTLevels]tlbDep, err error) {
+	table := PageBase(a.CR3)
+	eff = PTEWrite | PTEUser
+	for level := PTLevels - 1; level >= 0; level-- {
+		var pte uint64
+		pte, deps[level], err = a.readPTE(table, ptIndex(virt, level))
+		if err != nil {
+			return 0, 0, false, deps, err
+		}
+		if pte&PTEPresent == 0 {
+			return 0, 0, false, deps, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "not present"}
+		}
+		eff &= pte
+		effNX = effNX || pte&PTENX != 0
+		table = PTEAddr(pte)
 	}
-	return pte, nil
+	return table, eff, effNX, deps, nil
+}
+
+// permCheck applies the accumulated PTE permissions to one access. These
+// are the recoverable #PF conditions raised after a successful walk.
+func (a AccessContext) permCheck(virt, phys uint64, eff uint64, effNX bool, acc Access) error {
+	if a.CPL == CPL3 && eff&PTEUser == 0 {
+		return &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "supervisor page at CPL3"}
+	}
+	switch acc {
+	case AccessWrite:
+		// Supervisor writes honour the write bit too (CR0.WP set, as
+		// commodity kernels run).
+		if eff&PTEWrite == 0 {
+			return &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "write to read-only page"}
+		}
+	case AccessExec:
+		if effNX {
+			return &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "execute from NX page"}
+		}
+	}
+	return nil
+}
+
+// translate resolves virt through the software TLB, falling back to the
+// hardware walk on a miss. It returns the live cache slot (nil when the
+// leaf is uncacheable) so the span path can reuse and extend its RMP
+// verdict mask in place. Negative walk outcomes (not-present,
+// non-canonical, null CR3) are never cached; a completed walk is cached
+// even when the access then takes a permission #PF, because the cached
+// frame and permission bits reproduce that fault bit-identically.
+func (a AccessContext) translate(virt uint64, acc Access) (uint64, *tlbEntry, error) {
+	if a.CR3 == 0 {
+		return 0, nil, &Fault{Kind: FaultGP, VMPL: a.VMPL, CPL: a.CPL, Virt: virt, Why: "null CR3"}
+	}
+	if virt>>VirtBits != 0 {
+		return 0, nil, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "non-canonical address"}
+	}
+	m := a.M
+	key := tlbKey{cr3: a.CR3, vpage: virt >> PageShift, vmpl: a.VMPL, cpl: a.CPL}
+	e := m.tlbSlot(key)
+	if m.tlbLive(e, key) {
+		m.memStats.TLBHits++
+		phys := e.physPage | PageOffset(virt)
+		if err := a.permCheck(virt, phys, e.eff, e.effNX, acc); err != nil {
+			return 0, nil, err
+		}
+		return phys, e, nil
+	}
+	m.memStats.TLBMisses++
+	physPage, eff, effNX, deps, err := a.walk(virt, acc)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !m.tlbFill(e, key, physPage, eff, effNX, deps) {
+		e = nil
+	}
+	phys := physPage | PageOffset(virt)
+	if err := a.permCheck(virt, phys, eff, effNX, acc); err != nil {
+		return 0, nil, err
+	}
+	return phys, e, nil
 }
 
 // Translate walks the page tables for virt and returns the physical address,
@@ -81,51 +167,91 @@ func (a AccessContext) readPTE(tablePhys uint64, idx uint64) (uint64, error) {
 // perform the RMP check (that happens on the actual access) but it does
 // produce the recoverable #PF faults the paging paths rely on.
 func (a AccessContext) Translate(virt uint64, acc Access) (uint64, error) {
+	phys, _, err := a.translate(virt, acc)
+	return phys, err
+}
+
+// translateUncached is the cache-free reference walker: identical rules to
+// Translate, no TLB reads, writes or counters. The differential tests
+// compare the two on every operation.
+func (a AccessContext) translateUncached(virt uint64, acc Access) (uint64, error) {
 	if a.CR3 == 0 {
 		return 0, &Fault{Kind: FaultGP, VMPL: a.VMPL, CPL: a.CPL, Virt: virt, Why: "null CR3"}
 	}
 	if virt>>VirtBits != 0 {
 		return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "non-canonical address"}
 	}
-	table := PageBase(a.CR3)
-	// Accumulate permissions across levels like x86: an access needs the
-	// relevant bit at every level.
-	eff := PTEWrite | PTEUser
-	effNX := false
-	var pte uint64
-	for level := PTLevels - 1; level >= 0; level-- {
-		var err error
-		pte, err = a.readPTE(table, ptIndex(virt, level))
-		if err != nil {
-			return 0, err
-		}
-		if pte&PTEPresent == 0 {
-			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Why: "not present"}
-		}
-		eff &= pte
-		effNX = effNX || pte&PTENX != 0
-		table = PTEAddr(pte)
+	physPage, eff, effNX, _, err := a.walk(virt, acc)
+	if err != nil {
+		return 0, err
 	}
-	phys := table | PageOffset(virt)
-	if a.CPL == CPL3 && eff&PTEUser == 0 {
-		return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "supervisor page at CPL3"}
-	}
-	switch acc {
-	case AccessWrite:
-		// Supervisor writes honour the write bit too (CR0.WP set, as
-		// commodity kernels run).
-		if eff&PTEWrite == 0 {
-			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "write to read-only page"}
-		}
-	case AccessExec:
-		if effNX {
-			return 0, &Fault{Kind: FaultPF, VMPL: a.VMPL, CPL: a.CPL, Access: acc, Virt: virt, Phys: phys, Why: "execute from NX page"}
-		}
+	phys := physPage | PageOffset(virt)
+	if err := a.permCheck(virt, phys, eff, effNX, acc); err != nil {
+		return 0, err
 	}
 	return phys, nil
 }
 
+// span returns the RMP-checked backing slice for the n bytes at virt, which
+// must lie within one page. On a TLB hit whose RMP verdict for acc is
+// already cached at the current epoch, the slice is handed out without
+// re-running checkGuestAccess — every RMP mutation bumps the epoch, so the
+// cached pass is still exact. Fault semantics match the copying path
+// bit-for-bit, with the true faulting virtual address carried through.
+func (a AccessContext) span(virt uint64, n int, acc Access) ([]byte, error) {
+	m := a.M
+	phys, e, err := a.translate(virt, acc)
+	if err != nil {
+		return nil, err
+	}
+	if e != nil && e.rmpEpoch == m.tlbRMPEpoch && e.rmpOK&(1<<uint(acc)) != 0 {
+		if err := m.checkRunning(); err != nil {
+			return nil, err
+		}
+		if n < 0 || PageOffset(phys)+uint64(n) > PageSize {
+			return nil, fmt.Errorf("snp: physical access %#x+%d crosses a page boundary", phys, n)
+		}
+		if acc == AccessWrite && m.isPTPage(phys>>PageShift) {
+			m.invalidatePTPage(phys >> PageShift)
+		}
+		return m.mem[phys : phys+uint64(n)], nil
+	}
+	buf, err := m.guestAccessPhys(a.VMPL, a.CPL, phys, n, acc, virt)
+	if err != nil {
+		return nil, err
+	}
+	if e != nil {
+		if e.rmpEpoch != m.tlbRMPEpoch {
+			e.rmpEpoch = m.tlbRMPEpoch
+			e.rmpOK = 0
+		}
+		e.rmpOK |= 1 << uint(acc)
+	}
+	return buf, nil
+}
+
+// WithSpan runs fn over the backing bytes of [virt, virt+n), which must lie
+// within a single page, after the full PTE+RMP checks for acc. The slice
+// aliases guest memory — there is no copy in either direction — and is only
+// valid during fn; callers must not retain it, because any RMP or mapping
+// change can invalidate what it is allowed to alias.
+func (a AccessContext) WithSpan(virt uint64, n int, acc Access, fn func([]byte) error) error {
+	mem, err := a.span(virt, n, acc)
+	if err != nil {
+		return err
+	}
+	if acc == AccessWrite {
+		a.M.memStats.SpanWrites++
+	} else {
+		a.M.memStats.SpanReads++
+	}
+	return fn(mem)
+}
+
 // access performs a chunked virtual access, splitting on page boundaries.
+// Each chunk resolves through the TLB-backed span path, so the fault — if
+// one is raised — carries the exact virtual address of the failing chunk
+// from construction rather than being patched afterwards.
 func (a AccessContext) access(virt uint64, buf []byte, acc Access) error {
 	off := 0
 	for off < len(buf) {
@@ -133,22 +259,14 @@ func (a AccessContext) access(virt uint64, buf []byte, acc Access) error {
 		if rem := len(buf) - off; chunk > rem {
 			chunk = rem
 		}
-		phys, err := a.Translate(virt+uint64(off), acc)
+		mem, err := a.span(virt+uint64(off), chunk, acc)
 		if err != nil {
 			return err
 		}
-		var derr error
-		switch acc {
-		case AccessRead:
-			derr = a.M.GuestReadPhys(a.VMPL, a.CPL, phys, buf[off:off+chunk])
-		case AccessWrite:
-			derr = a.M.GuestWritePhys(a.VMPL, a.CPL, phys, buf[off:off+chunk])
-		}
-		if derr != nil {
-			if f, ok := AsFault(derr); ok {
-				f.Virt = virt + uint64(off)
-			}
-			return derr
+		if acc == AccessWrite {
+			copy(mem, buf[off:off+chunk])
+		} else {
+			copy(buf[off:off+chunk], mem)
 		}
 		off += chunk
 	}
@@ -167,34 +285,40 @@ func (a AccessContext) Write(virt uint64, buf []byte) error {
 
 // ReadU64 loads a little-endian 64-bit word.
 func (a AccessContext) ReadU64(virt uint64) (uint64, error) {
+	if PageOffset(virt)+8 <= PageSize {
+		mem, err := a.span(virt, 8, AccessRead)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(mem), nil
+	}
 	var b [8]byte
 	if err := a.Read(virt, b[:]); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[i]) << (8 * i)
-	}
-	return v, nil
+	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
 // WriteU64 stores a little-endian 64-bit word.
 func (a AccessContext) WriteU64(virt uint64, v uint64) error {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+	if PageOffset(virt)+8 <= PageSize {
+		mem, err := a.span(virt, 8, AccessWrite)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(mem, v)
+		return nil
 	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
 	return a.Write(virt, b[:])
 }
 
 // FetchCheck models an instruction fetch at virt: PTE execute check plus the
 // RMP user/supervisor-execute check for the context's VMPL and ring.
 func (a AccessContext) FetchCheck(virt uint64) error {
-	phys, err := a.Translate(virt, AccessExec)
-	if err != nil {
-		return err
-	}
-	return a.M.GuestExecCheckPhys(a.VMPL, a.CPL, phys)
+	_, err := a.span(virt, 1, AccessExec)
+	return err
 }
 
 // WritePTE stores a page-table entry *as a software write*, i.e. subject to
@@ -203,9 +327,7 @@ func (a AccessContext) FetchCheck(virt uint64) error {
 // (§8.3 attack 1).
 func (a AccessContext) WritePTE(tablePhys uint64, idx uint64, pte uint64) error {
 	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(pte >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(b[:], pte)
 	return a.M.GuestWritePhys(a.VMPL, a.CPL, tablePhys+idx*8, b[:])
 }
 
@@ -215,9 +337,5 @@ func (a AccessContext) ReadPTE(tablePhys uint64, idx uint64) (uint64, error) {
 	if err := a.M.GuestReadPhys(a.VMPL, a.CPL, tablePhys+idx*8, b[:]); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[i]) << (8 * i)
-	}
-	return v, nil
+	return binary.LittleEndian.Uint64(b[:]), nil
 }

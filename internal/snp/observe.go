@@ -21,6 +21,16 @@ func (m *Machine) SetRecorder(r *obs.Recorder) {
 	m.rec = r
 	m.clock.rec = r
 	r.SetKindNames(CostKindNames())
+	r.SetAuxCounters(m.memCounters)
+}
+
+// memCounters surfaces the memory-path statistics (tlb.go) to obs
+// exporters. Pull-based: called only when an exporter runs, so the TLB hot
+// path stays event-free and the trace ring sees no extra traffic.
+func (m *Machine) memCounters() ([]string, []uint64) {
+	s := m.memStats
+	return []string{"tlb-hit", "tlb-miss", "tlb-flush", "tlb-rmp-flush", "tlb-pt-invalidate", "span-read", "span-write"},
+		[]uint64{s.TLBHits, s.TLBMisses, s.TLBFlushes, s.TLBRMPFlushes, s.TLBPTInvalidation, s.SpanReads, s.SpanWrites}
 }
 
 // Recorder returns the attached recorder (nil when tracing is off).

@@ -110,6 +110,7 @@ func (m *Machine) RMPAdjust(callerVMPL VMPL, phys uint64, targetVMPL VMPL, perms
 			Why: fmt.Sprintf("RMPADJUST grants %s beyond caller's %s", perms, e.Perms[callerVMPL])}
 	}
 	e.Perms[targetVMPL] = perms
+	m.rmpFlushTLB() // hardware requires TLB invalidation after RMPADJUST
 	m.clock.Charge(CostRMPADJUST, CyclesRMPADJUST)
 	m.observeRMPAdjust(callerVMPL, targetVMPL, phys, perms)
 	return nil
@@ -147,9 +148,14 @@ func (m *Machine) PValidate(callerVMPL VMPL, phys uint64, validate bool) error {
 		// Newly accepted memory is touched (and implicitly scrubbed);
 		// this cold touch dominates Veil's boot-time RMPADJUST sweep.
 		clear(m.rawPage(pi))
+		if m.isPTPage(pi) {
+			// The scrub just rewrote PTE bytes behind the walker's back.
+			m.invalidatePTPage(pi)
+		}
 	} else {
 		e.Perms = [NumVMPLs]Perm{}
 	}
+	m.rmpFlushTLB() // validated state feeds every cached RMP verdict
 	m.clock.Charge(CostPVALIDATE, CyclesPVALIDATE)
 	m.observePValidate(callerVMPL, phys, validate)
 	return nil
@@ -167,6 +173,7 @@ func (m *Machine) HVAssignPage(phys uint64) error {
 		return fmt.Errorf("snp: page %#x already assigned", PageBase(phys))
 	}
 	*e = RMPEntry{Assigned: true}
+	m.rmpFlushTLB() // page-state change invalidates cached RMP verdicts
 	return nil
 }
 
@@ -190,5 +197,6 @@ func (m *Machine) HVReclaimPage(phys uint64) error {
 		return fmt.Errorf("snp: cannot reclaim VMSA page %#x", PageBase(phys))
 	}
 	*e = RMPEntry{}
+	m.rmpFlushTLB() // page-state change invalidates cached RMP verdicts
 	return nil
 }

@@ -61,6 +61,7 @@ func (m *Machine) CreateVMSA(callerVMPL VMPL, phys uint64, state VMSA) error {
 	e.VMSATargetVMPL = state.VMPL
 	v := state
 	m.vmsas[phys] = &v
+	m.rmpFlushTLB() // the page just became inaccessible to loads/stores
 	m.clock.Charge(CostRMPADJUST, CyclesRMPADJUST)
 	m.observeRMPAdjust(callerVMPL, state.VMPL, phys, PermNone)
 	return nil
@@ -87,6 +88,7 @@ func (m *Machine) HVCreateBootVMSA(phys uint64, state VMSA) error {
 	v := state
 	v.Runnable = true
 	m.vmsas[phys] = &v
+	m.rmpFlushTLB() // the page just became inaccessible to loads/stores
 	return nil
 }
 
@@ -141,5 +143,6 @@ func (m *Machine) DestroyVMSA(callerVMPL VMPL, phys uint64) error {
 	e := &m.rmp[pi]
 	e.VMSA = false
 	e.Perms = [NumVMPLs]Perm{VMPL0: PermAll}
+	m.rmpFlushTLB() // page re-entered normal use with a fresh permission vector
 	return nil
 }
