@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs clean
 
 all: vet test
 
@@ -39,6 +39,21 @@ golden-check:
 # Tables 1 & 2 and the §8.3 validation attacks, executed live.
 attacks:
 	$(GO) run ./cmd/veil-attack -suite all
+
+# Run the security-invariant auditor both ways (docs/OBSERVABILITY.md):
+# attacks under audit must leave machine-checkable evidence (veil-attack
+# exits 1 on any silently-defended attack), and the clean demo + fig4
+# evaluation workload must stay violation-free (both exit 1 otherwise).
+audit:
+	$(GO) run ./cmd/veil-attack -suite all -audit -evidence
+	$(GO) run ./cmd/veil-sim -audit
+	$(GO) run ./cmd/veil-bench -experiment fig4 -iters 500 -audit
+
+# Regenerate the committed observability-tax measurement (BENCH_obs.json).
+# Longer runs than the -experiment all default: the auditor bound is a
+# wall-clock ratio, so the measured window must swamp scheduler jitter.
+bench-obs:
+	$(GO) run ./cmd/veil-bench -experiment obs -iters 30000 -json BENCH_obs.json
 
 # End-to-end demo of all protected services.
 demo:

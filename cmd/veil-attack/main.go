@@ -7,9 +7,15 @@
 //
 //	veil-attack -suite all          # framework + enclave + validation + tlb
 //	veil-attack -suite framework    # Table 1
-//	veil-attack -suite enclave      # Table 2
-//	veil-attack -suite validation   # §8.3
-//	veil-attack -suite tlb          # stale-TLB translations
+//	veil-attack -suite enclave     # Table 2
+//	veil-attack -suite validation  # §8.3
+//	veil-attack -suite tlb         # stale-TLB translations
+//	veil-attack -audit             # attach the invariant auditor to every CVM
+//	veil-attack -evidence          # print per-attack flight-recorder evidence
+//
+// With -evidence, every defended on-platform attack is additionally required
+// to have left machine-visible evidence (a fault/denial event, a halt, or a
+// post-mortem); a silent defence exits non-zero.
 package main
 
 import (
@@ -22,7 +28,11 @@ import (
 
 func main() {
 	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|all")
+	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every attack CVM")
+	evidence := flag.Bool("evidence", false, "print and require flight-recorder evidence per attack")
 	flag.Parse()
+
+	attacks.SetAuditing(*auditOn)
 
 	var results []attacks.Result
 	run := func(name string, fn func() []attacks.Result) {
@@ -37,6 +47,13 @@ func main() {
 				status = "BREACHED"
 			}
 			fmt.Printf("  [%s] %-38s — %s\n", status, r.Attack, r.Defence)
+			if *evidence {
+				note := r.Evidence.String()
+				if r.OffPlatform {
+					note += " (off-platform defence; none required)"
+				}
+				fmt.Printf("             evidence: %s\n", note)
+			}
 		}
 		results = append(results, rs...)
 		fmt.Println()
@@ -47,15 +64,19 @@ func main() {
 	run("validation", attacks.Validation)
 	run("tlb", attacks.TLB)
 
-	breached := 0
+	breached, unobserved := 0, 0
 	for _, r := range results {
 		if !r.Defended {
 			breached++
 		}
+		if *evidence && r.Defended && !r.OffPlatform && !r.Evidence.Any() {
+			unobserved++
+			fmt.Printf("UNOBSERVED defence: %s\n", r.Attack)
+		}
 	}
 	fmt.Printf("%d attacks executed, %d defended, %d breached\n",
 		len(results), len(results)-breached, breached)
-	if breached > 0 {
+	if breached > 0 || unobserved > 0 {
 		os.Exit(1)
 	}
 }

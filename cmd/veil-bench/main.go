@@ -21,12 +21,18 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|all")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|all")
 	iters := flag.Int("iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	memMB := flag.Uint64("mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
 		"emit machine-readable per-experiment results as JSON to this path ('-' = stdout) instead of text reports")
+	auditOn := flag.Bool("audit", false,
+		"attach the security-invariant auditor to every experiment CVM and exit 1 on any violation (the clean-workload CI check; charges no virtual cycles, so goldens are unaffected)")
 	flag.Parse()
+
+	if *auditOn {
+		bench.SetAuditing(true)
+	}
 
 	// results collects every experiment's machine-readable form, keyed by
 	// experiment name; the text report and the JSON object are built from
@@ -153,6 +159,19 @@ func main() {
 		}
 		return nil
 	})
+	run("obs", func() error {
+		// Uncapped: the wall-clock comparison needs runs long enough to
+		// swamp scheduler jitter (default 10000 inserts ≈ 100 ms per side).
+		r, err := bench.ObsPath(*iters)
+		if err != nil {
+			return err
+		}
+		results["obs"] = r
+		if text {
+			bench.ReportObsPath(os.Stdout, r)
+		}
+		return nil
+	})
 	run("ablation", func() error {
 		rows, err := bench.Ablation()
 		if err != nil {
@@ -164,6 +183,14 @@ func main() {
 		}
 		return nil
 	})
+
+	if *auditOn {
+		cvms, violations := bench.AuditViolations()
+		fmt.Fprintf(os.Stderr, "veil-bench: auditor: %d CVMs audited, %d violations\n", cvms, violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
+	}
 
 	if !text {
 		var w io.Writer = os.Stdout

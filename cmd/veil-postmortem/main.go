@@ -1,0 +1,121 @@
+// Command veil-postmortem pretty-prints a flight-recorder post-mortem dump
+// (the JSON written by veil-sim -postmortem, or by any snp.PostMortem
+// WriteJSON): the freeze reason, the faulting context, the last events the
+// machine saw with their causal span links, and the RMP state diff against
+// the post-launch baseline.
+//
+// Usage:
+//
+//	veil-postmortem dump.json           # summary + last 20 events
+//	veil-postmortem -events 0 dump.json # summary only
+//	veil-postmortem -events -1 dump.json# every retained event
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"veil/internal/snp"
+)
+
+func main() {
+	nEvents := flag.Int("events", 20, "how many trailing events to print (-1 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: veil-postmortem [-events N] <dump.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	var pm snp.PostMortem
+	if err := json.Unmarshal(data, &pm); err != nil {
+		fail("not a post-mortem dump: %v", err)
+	}
+	if pm.Reason == "" {
+		fail("dump has no freeze reason; is this really a post-mortem?")
+	}
+
+	fmt.Printf("Post-mortem: %s\n", pm.Reason)
+	fmt.Printf("  frozen at virtual cycle %d\n", pm.Cycles)
+	fmt.Printf("  validated pages: %d, VMSA pages: %d\n", pm.ValidatedPages, len(pm.VMSAPages))
+	if pm.Fault != nil {
+		fmt.Printf("  faulting context: %s at %s %s, %s of virt=%#x phys=%#x\n",
+			pm.Fault.Kind, pm.Fault.VMPL, pm.Fault.CPL, pm.Fault.Access, pm.Fault.Virt, pm.Fault.Phys)
+		if pm.Fault.Why != "" {
+			fmt.Printf("    why: %s\n", pm.Fault.Why)
+		}
+	}
+	if len(pm.OpenSpans) > 0 {
+		ids := make([]string, len(pm.OpenSpans))
+		for i, s := range pm.OpenSpans {
+			ids[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Printf("  open spans at freeze (in-flight requests): %s\n", strings.Join(ids, " → "))
+	}
+	if pm.DroppedEvents > 0 {
+		fmt.Printf("  flight ring overflowed: %d older events were evicted\n", pm.DroppedEvents)
+	}
+
+	if len(pm.RMPDiff) > 0 {
+		fmt.Printf("\nRMP diff vs post-launch baseline (%d pages", len(pm.RMPDiff))
+		if pm.RMPDiffTruncated > 0 {
+			fmt.Printf(", %d more truncated", pm.RMPDiffTruncated)
+		}
+		fmt.Println("):")
+		for _, d := range pm.RMPDiff {
+			fmt.Printf("  page %#x: %s → %s\n", d.Page, rmpState(d.Before), rmpState(d.After))
+		}
+	}
+
+	events := pm.Events
+	if *nEvents >= 0 && len(events) > *nEvents {
+		fmt.Printf("\nLast %d of %d retained events:\n", *nEvents, len(events))
+		events = events[len(events)-*nEvents:]
+	} else {
+		fmt.Printf("\nAll %d retained events:\n", len(events))
+	}
+	for _, e := range events {
+		line := fmt.Sprintf("  @%-12d %-18s vcpu=%d", e.TS, e.Class, e.VCPU)
+		if e.VMPL >= 0 {
+			line += fmt.Sprintf(" vmpl=%d", e.VMPL)
+		}
+		if e.Dur > 0 {
+			line += fmt.Sprintf(" dur=%d", e.Dur)
+		}
+		if e.Span != 0 {
+			line += fmt.Sprintf(" span=%d", e.Span)
+		}
+		if e.Parent != 0 {
+			line += fmt.Sprintf(" parent=%d", e.Parent)
+		}
+		line += fmt.Sprintf(" args=(%#x, %#x)", e.Arg1, e.Arg2)
+		fmt.Println(line)
+	}
+}
+
+func rmpState(s snp.PMRMPState) string {
+	var parts []string
+	if s.Assigned {
+		parts = append(parts, "assigned")
+	}
+	if s.Validated {
+		parts = append(parts, "validated")
+	}
+	if s.VMSA {
+		parts = append(parts, "vmsa")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "shared")
+	}
+	return strings.Join(parts, "+") + " perms[" + strings.Join(s.Perms, ",") + "]"
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "veil-postmortem: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"veil/internal/audit"
 	"veil/internal/core"
 	"veil/internal/cvm"
 	"veil/internal/kernel"
@@ -25,15 +26,31 @@ func main() {
 	memMB := flag.Uint64("mem", 64, "guest memory (MiB)")
 	vcpus := flag.Int("vcpus", 2, "VCPUs")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path")
+	causalOut := flag.String("causal", "", "write the causal request forest (per-request critical paths) to this path")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics on exit")
+	auditOn := flag.Bool("audit", false, "attach the security-invariant auditor for the whole run")
+	pmOut := flag.String("postmortem", "", "write the flight-recorder post-mortem (if one was frozen) to this path")
 	flag.Parse()
 
 	var rec *obs.Recorder
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *causalOut != "" || *metrics {
 		rec = obs.NewRecorder(obs.DefaultCapacity)
 	}
-	if err := run(*memMB<<20, *vcpus, rec); err != nil {
+	c, a, err := run(*memMB<<20, *vcpus, rec, *auditOn)
+	if err != nil {
 		log.Fatalf("veil-sim: %v", err)
+	}
+	violated := false
+	if a != nil {
+		a.Sweep()
+		fmt.Printf("Auditor: %d fast passes, %d sweeps, %d violations\n",
+			a.FastRuns(), a.SweepRuns(), a.Violations())
+		for _, d := range a.Details() {
+			fmt.Printf("  violation: %s\n", d)
+		}
+		// The demo is a clean workload: any violation is a simulator bug,
+		// and CI runs `veil-sim -audit` exactly to catch that.
+		violated = a.Violations() > 0
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, rec); err != nil {
@@ -42,9 +59,42 @@ func main() {
 		fmt.Printf("Trace timeline written to %s (%d events, %d dropped) — open in Perfetto or chrome://tracing\n",
 			*traceOut, rec.Len(), rec.Dropped())
 	}
+	if *causalOut != "" {
+		f, err := os.Create(*causalOut)
+		if err != nil {
+			log.Fatalf("veil-sim: %v", err)
+		}
+		if err := obs.WriteCausalTrace(f, rec); err != nil {
+			log.Fatalf("veil-sim: causal trace: %v", err)
+		}
+		f.Close()
+		forest := obs.BuildCausalForest(rec.Events())
+		fmt.Printf("Causal forest written to %s (%d roots, %d requests)\n",
+			*causalOut, len(forest.Roots), len(obs.CriticalPaths(forest)))
+	}
+	if *pmOut != "" {
+		pm := c.M.PostMortem()
+		if pm == nil {
+			fmt.Println("No post-mortem was frozen during this run")
+		} else {
+			f, err := os.Create(*pmOut)
+			if err != nil {
+				log.Fatalf("veil-sim: %v", err)
+			}
+			if err := pm.WriteJSON(f); err != nil {
+				log.Fatalf("veil-sim: post-mortem: %v", err)
+			}
+			f.Close()
+			fmt.Printf("Post-mortem (%q, %d events) written to %s — inspect with veil-postmortem\n",
+				pm.Reason, len(pm.Events), *pmOut)
+		}
+	}
 	if *metrics {
 		fmt.Println()
 		obs.WritePrometheus(os.Stdout, rec)
+	}
+	if violated {
+		os.Exit(1)
 	}
 }
 
@@ -64,11 +114,18 @@ func writeTrace(path string, rec *obs.Recorder) error {
 	})
 }
 
-func run(mem uint64, vcpus int, rec *obs.Recorder) error {
+func run(mem uint64, vcpus int, rec *obs.Recorder, auditOn bool) (*cvm.CVM, *audit.Auditor, error) {
 	fmt.Printf("Booting Veil CVM: %d MiB, %d VCPUs...\n", mem>>20, vcpus)
 	c, err := cvm.Boot(cvm.Options{MemBytes: mem, VCPUs: vcpus, Veil: true, LogPages: 64, Recorder: rec})
 	if err != nil {
-		return err
+		return nil, nil, err
+	}
+	var a *audit.Auditor
+	if auditOn {
+		a = audit.Attach(c.M, audit.Config{})
+		if rec != nil {
+			rec.AddAuxCounters(a.Counters)
+		}
 	}
 	fmt.Printf("  boot work: %.3f simulated seconds (%d cycles)\n",
 		c.M.Clock().Seconds(), c.M.Clock().Cycles())
@@ -77,10 +134,10 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	// Remote attestation + secure channel (§5.1).
 	user, err := core.NewRemoteUser(c.PSP.PublicKey(), c.ExpectedMeasurement(), nil)
 	if err != nil {
-		return err
+		return c, a, err
 	}
 	if err := user.Connect(c.Stub); err != nil {
-		return fmt.Errorf("attestation: %w", err)
+		return c, a, fmt.Errorf("attestation: %w", err)
 	}
 	fmt.Println("  remote user attested the CVM (VMPL0 report) and opened the secure channel")
 
@@ -89,14 +146,14 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	p := c.K.Spawn("demo")
 	fd, err := c.K.Open(p, "/tmp/hello.txt", kernel.OCreat|kernel.ORdwr, 0o644)
 	if err != nil {
-		return err
+		return c, a, err
 	}
 	if _, err := c.K.Write(p, fd, []byte("hello veil\n")); err != nil {
-		return err
+		return c, a, err
 	}
 	stats, err := user.Request(c.Stub, append([]byte{core.SvcLOG}, "STATS"...))
 	if err != nil {
-		return err
+		return c, a, err
 	}
 	fmt.Printf("  VeilS-Log: %s (tamper-proof, retrieved over the channel)\n", stats)
 
@@ -108,13 +165,13 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	}
 	lm, err := c.K.Modules().Load(mod.Sign(c.ModulePriv))
 	if err != nil {
-		return fmt.Errorf("module load: %w", err)
+		return c, a, fmt.Errorf("module load: %w", err)
 	}
 	fmt.Printf("  VeilS-Kci: module %q verified, relocated and installed (%d B)\n", lm.Name, lm.Size)
 	tampered := mod.Sign(c.ModulePriv)
 	tampered[64] ^= 0xFF
 	if _, err := c.K.Modules().Load(tampered); err == nil {
-		return fmt.Errorf("tampered module was accepted")
+		return c, a, fmt.Errorf("tampered module was accepted")
 	}
 	fmt.Println("  VeilS-Kci: tampered module rejected")
 
@@ -131,7 +188,7 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	host := c.K.Spawn("enclave-host")
 	app, err := sdk.LaunchEnclave(c, host, prog, sdk.EnclaveConfig{RegionPages: 16})
 	if err != nil {
-		return fmt.Errorf("enclave: %w", err)
+		return c, a, fmt.Errorf("enclave: %w", err)
 	}
 	// The user verifies the enclave measurement over the channel.
 	msg := append([]byte{core.SvcENC}, []byte("MEASURE ")...)
@@ -139,14 +196,14 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	binary.LittleEndian.PutUint32(id[:], app.ID)
 	meas, err := user.Request(c.Stub, append(msg, id[:]...))
 	if err != nil {
-		return err
+		return c, a, err
 	}
 	if !bytes.Equal(meas, app.Measurement[:]) {
-		return fmt.Errorf("enclave measurement mismatch")
+		return c, a, fmt.Errorf("enclave measurement mismatch")
 	}
 	rc, err := app.Enter("42")
 	if err != nil || rc != 0 {
-		return fmt.Errorf("enclave run: rc=%d err=%v", rc, err)
+		return c, a, fmt.Errorf("enclave run: rc=%d err=%v", rc, err)
 	}
 	fmt.Printf("  VeilS-Enc: enclave %d attested (measurement %x...) and ran with %d exits\n",
 		app.ID, app.Measurement[:6], app.Enclave().Exits())
@@ -154,12 +211,12 @@ func run(mem uint64, vcpus int, rec *obs.Recorder) error {
 	// Show the enforcement is real: the kernel cannot read enclave pages.
 	frames, _ := host.RegionFrames(kernel.UserBinBase)
 	if err := c.K.ReadPhys(frames[0], make([]byte, 8)); !snp.IsNPF(err) {
-		return fmt.Errorf("enclave memory was readable by the OS")
+		return c, a, fmt.Errorf("enclave memory was readable by the OS")
 	}
 	fmt.Println("  enforcement check: OS read of enclave memory → #NPF, CVM halted (as designed)")
 	fmt.Printf("\nTrace: %d syscalls, %d domain switches, %d enclave exits, %d audit records\n",
 		c.M.Trace().Syscalls, c.M.Trace().DomainSwitches,
 		c.M.Trace().EnclaveExits, c.M.Trace().AuditRecords)
 	fmt.Fprintln(os.Stdout, "veil-sim: all services demonstrated")
-	return nil
+	return c, a, nil
 }

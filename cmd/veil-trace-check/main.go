@@ -25,9 +25,12 @@ type traceFile struct {
 }
 
 // required are the event classes every full veil-sim run must produce.
+// "causal" is the flow-arrow pair binding nested spans to their parents,
+// "service" and "enclave-enter" are the request-origin spans.
 var required = []string{
 	"vmgexit", "vmenter", "vmgexit-roundtrip", "domain-switch",
 	"rmpadjust", "pvalidate", "syscall", "audit-emit",
+	"service", "enclave-enter", "causal",
 }
 
 func main() {
@@ -55,7 +58,7 @@ func main() {
 			fail("event %d (%s) lacks pid/tid track placement", i, e.Name)
 		}
 		switch e.Ph {
-		case "M", "X", "i":
+		case "M", "X", "i", "s", "f": // s/f: causal flow arrows between spans
 		default:
 			fail("event %d (%s) has unexpected phase %q", i, e.Name, e.Ph)
 		}

@@ -11,13 +11,46 @@ import (
 	"fmt"
 	"math/rand"
 
+	"veil/internal/audit"
 	"veil/internal/core"
 	"veil/internal/cvm"
 	"veil/internal/kernel"
 	"veil/internal/mm"
+	"veil/internal/obs"
 	"veil/internal/sdk"
 	"veil/internal/snp"
 )
+
+// Evidence is what the observability stack captured while the attack ran:
+// the flight-recorder/auditor side of the defence verdict. A defended
+// on-platform attack must leave at least one machine-visible trace.
+type Evidence struct {
+	Faults          uint64 // ClassFault events in the flight ring
+	Denied          uint64 // ClassDenied events
+	Invariants      uint64 // ClassInvariant events
+	Halted          bool
+	PostMortem      bool
+	AuditViolations uint64 // auditor tally (0 unless SetAuditing(true))
+}
+
+// Any reports whether the machine saw the attack at all.
+func (e Evidence) Any() bool {
+	return e.Faults > 0 || e.Denied > 0 || e.Invariants > 0 || e.Halted || e.PostMortem
+}
+
+func (e Evidence) String() string {
+	s := fmt.Sprintf("faults=%d denied=%d invariants=%d", e.Faults, e.Denied, e.Invariants)
+	if e.Halted {
+		s += " halted"
+	}
+	if e.PostMortem {
+		s += " post-mortem"
+	}
+	if e.AuditViolations > 0 {
+		s += fmt.Sprintf(" audit-violations=%d", e.AuditViolations)
+	}
+	return s
+}
 
 // Result is one executed attack.
 type Result struct {
@@ -25,6 +58,11 @@ type Result struct {
 	Defence  string
 	Defended bool
 	Detail   string
+	// OffPlatform marks defences that live outside the machine (attestation
+	// measurement comparisons): they leave no fault/denial evidence, and
+	// none is required.
+	OffPlatform bool
+	Evidence    Evidence
 }
 
 type detRand struct{ r *rand.Rand }
@@ -38,25 +76,78 @@ func (d detRand) Read(p []byte) (int, error) {
 
 var seedCounter int64 = 9_000
 
+// lastBoot/lastAuditor track the most recent freshVeil CVM so execute can
+// collect evidence after the attack returns. Attacks run sequentially.
+var (
+	lastBoot    *cvm.CVM
+	lastAuditor *audit.Auditor
+	auditing    bool
+)
+
+// SetAuditing attaches an invariant auditor to every subsequently booted
+// attack CVM (veil-attack -audit). Evidence then includes the auditor tally.
+func SetAuditing(on bool) { auditing = on }
+
 func freshVeil() (*cvm.CVM, error) {
 	seedCounter++
-	return cvm.Boot(cvm.Options{
+	c, err := cvm.Boot(cvm.Options{
 		MemBytes: 24 << 20, VCPUs: 1, Veil: true, LogPages: 8,
 		Rand: detRand{r: rand.New(rand.NewSource(seedCounter))},
 	})
+	lastBoot, lastAuditor = c, nil
+	if err == nil && auditing {
+		lastAuditor = audit.Attach(c.M, audit.Config{})
+	}
+	return c, err
 }
 
 type attack struct {
 	name    string
 	defence string
-	run     func() (bool, string)
+	// offPlatform: the defence is an attestation/measurement comparison;
+	// no machine-visible evidence is expected.
+	offPlatform bool
+	run         func() (bool, string)
+}
+
+// collectEvidence scans the last booted CVM's flight recorder and machine
+// state for traces of the attack that just ran.
+func collectEvidence() Evidence {
+	var ev Evidence
+	c := lastBoot
+	if c == nil {
+		return ev
+	}
+	if lastAuditor != nil {
+		lastAuditor.Sweep()
+		ev.AuditViolations = lastAuditor.Violations()
+	}
+	if f := c.M.Flight(); f != nil {
+		for _, e := range f.Events() {
+			switch e.Class {
+			case obs.ClassFault:
+				ev.Faults++
+			case obs.ClassDenied:
+				ev.Denied++
+			case obs.ClassInvariant:
+				ev.Invariants++
+			}
+		}
+	}
+	ev.Halted = c.M.Halted() != nil
+	ev.PostMortem = c.M.PostMortem() != nil
+	return ev
 }
 
 func execute(list []attack) []Result {
 	out := make([]Result, 0, len(list))
 	for _, a := range list {
+		lastBoot, lastAuditor = nil, nil
 		ok, detail := a.run()
-		out = append(out, Result{Attack: a.name, Defence: a.defence, Defended: ok, Detail: detail})
+		out = append(out, Result{
+			Attack: a.name, Defence: a.defence, Defended: ok, Detail: detail,
+			OffPlatform: a.offPlatform, Evidence: collectEvidence(),
+		})
 	}
 	return out
 }
@@ -65,8 +156,9 @@ func execute(list []attack) []Result {
 func Framework() []Result {
 	return execute([]attack{
 		{
-			name:    "Load malicious code at Dom-MON/Dom-SRV (boot)",
-			defence: "Remote attestation",
+			name:        "Load malicious code at Dom-MON/Dom-SRV (boot)",
+			defence:     "Remote attestation",
+			offPlatform: true,
 			run: func() (bool, string) {
 				c, err := freshVeil()
 				if err != nil {
@@ -193,8 +285,9 @@ func launchNopEnclave(c *cvm.CVM) (*sdk.AppRuntime, *kernel.Process, error) {
 func Enclave() []Result {
 	return execute([]attack{
 		{
-			name:    "Load incorrect binary",
-			defence: "Enclave attestation",
+			name:        "Load incorrect binary",
+			defence:     "Enclave attestation",
+			offPlatform: true,
 			run: func() (bool, string) {
 				c, err := freshVeil()
 				if err != nil {
@@ -457,7 +550,44 @@ func TLB() []Result {
 			defence: "Per-table-page generation invalidation",
 			run:     staleTLBPTEWrite,
 		},
+		{
+			name:    "Suppress TLB invalidation across an RMP revoke",
+			defence: "Invariant auditor (stale-verdict detection)",
+			run:     auditorCatchesBrokenTLB,
+		},
 	})
+}
+
+// auditorCatchesBrokenTLB is the detection variant of staleTLBRevoke: the
+// simulated TLB is configured to skip invalidation (the hardware bug the
+// §8.3 validation worries about), so the stale cached verdict actually
+// serves the revoked access — the architectural defence is gone. Defended
+// here means the invariant auditor catches the inconsistency and freezes a
+// post-mortem, even though the access itself succeeded.
+func auditorCatchesBrokenTLB() (bool, string) {
+	c, err := freshVeil()
+	if err != nil {
+		return false, err.Error()
+	}
+	a := audit.Attach(c.M, audit.Config{})
+	ctx, _, frame, err := warmTranslation(c)
+	if err != nil {
+		return false, err.Error()
+	}
+	c.M.SetBrokenTLBNoInvalidate(true)
+	if err := c.M.RMPAdjust(snp.VMPL0, frame, snp.VMPL3, snp.PermNone); err != nil {
+		return false, err.Error()
+	}
+	const virt = uint64(0x7000_0000)
+	if _, rerr := ctx.ReadU64(virt); rerr != nil {
+		return false, fmt.Sprintf("stale verdict did not serve the access: %v", rerr)
+	}
+	a.Sweep()
+	caught := a.ViolationsBy(audit.CheckRMPTLBEpoch) > 0 ||
+		a.ViolationsBy(audit.CheckTLBVerdicts) > 0
+	return caught && c.M.PostMortem() != nil,
+		fmt.Sprintf("access served stale; auditor violations=%d post-mortem=%v",
+			a.Violations(), c.M.PostMortem() != nil)
 }
 
 // tlbFrames adapts the kernel's physical allocator to mm.FrameSource for

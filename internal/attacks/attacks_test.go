@@ -37,10 +37,55 @@ func TestValidationAttacksAllDefended(t *testing.T) {
 
 func TestStaleTLBAttacksAllDefended(t *testing.T) {
 	results := TLB()
-	if len(results) != 2 {
-		t.Fatalf("tlb suite has %d attacks, want 2", len(results))
+	if len(results) != 3 {
+		t.Fatalf("tlb suite has %d attacks, want 3", len(results))
 	}
 	assertAllDefended(t, results)
+}
+
+// TestDefendedAttacksLeaveEvidence: every defended on-platform attack must
+// leave at least one machine-visible trace — a fault or denial event in the
+// flight recorder, a halt, or a frozen post-mortem. A defence the
+// observability stack cannot see would be un-debuggable in the field.
+func TestDefendedAttacksLeaveEvidence(t *testing.T) {
+	var all []Result
+	all = append(all, Framework()...)
+	all = append(all, Enclave()...)
+	all = append(all, Validation()...)
+	all = append(all, TLB()...)
+	for _, r := range all {
+		if !r.Defended || r.OffPlatform {
+			continue
+		}
+		if !r.Evidence.Any() {
+			t.Errorf("defended but unobserved: %s (%s)", r.Attack, r.Evidence)
+		}
+	}
+}
+
+// TestAuditedAttacksNoFalsePositives: with the auditor attached to every
+// attack CVM, the architectural attacks (which the machine defends
+// correctly) must tally zero invariant violations; only the broken-TLB
+// detection attack may fire.
+func TestAuditedAttacksNoFalsePositives(t *testing.T) {
+	SetAuditing(true)
+	defer SetAuditing(false)
+	for _, r := range append(Framework(), Validation()...) {
+		if r.Evidence.AuditViolations != 0 {
+			t.Errorf("auditor false positive under %q: %d violations",
+				r.Attack, r.Evidence.AuditViolations)
+		}
+	}
+	tlb := TLB()
+	for _, r := range tlb[:2] {
+		if r.Evidence.AuditViolations != 0 {
+			t.Errorf("auditor false positive under %q: %d violations",
+				r.Attack, r.Evidence.AuditViolations)
+		}
+	}
+	if last := tlb[2]; last.Evidence.AuditViolations == 0 {
+		t.Errorf("broken-TLB attack tallied no auditor violations: %s", last.Detail)
+	}
 }
 
 // TestStaleTLBAttackHasTeeth reruns the RMPADJUST-revoke attack against a

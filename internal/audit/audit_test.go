@@ -1,0 +1,170 @@
+package audit_test
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veil/internal/audit"
+	"veil/internal/cvm"
+	"veil/internal/kernel"
+	"veil/internal/obs"
+	"veil/internal/sdk"
+	"veil/internal/snp"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func rng(seed int64) io.Reader { return detRand{r: rand.New(rand.NewSource(seed))} }
+
+func bootVeil(t *testing.T, seed int64, rec *obs.Recorder) *cvm.CVM {
+	t.Helper()
+	c, err := cvm.Boot(cvm.Options{
+		MemBytes: 24 << 20, VCPUs: 1, Veil: true, LogPages: 8,
+		Rand: rng(seed), Recorder: rec,
+	})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	return c
+}
+
+// exercise drives a representative syscall mix through the kernel.
+func exercise(t *testing.T, c *cvm.CVM) {
+	t.Helper()
+	p := c.K.Spawn("audit-test")
+	lc := &sdk.DirectLibc{K: c.K, P: p}
+	for i := 0; i < 50; i++ {
+		fd, err := lc.Open("/tmp/audit.txt", kernel.OCreat|kernel.ORdwr, 0o644)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := lc.Pwrite(fd, []byte("audit test payload"), 0); err != nil {
+			t.Fatalf("pwrite: %v", err)
+		}
+		if err := lc.Close(fd); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		addr, err := lc.Mmap(2*snp.PageSize, kernel.ProtRead|kernel.ProtWrite)
+		if err != nil {
+			t.Fatalf("mmap: %v", err)
+		}
+		if err := lc.Munmap(addr); err != nil {
+			t.Fatalf("munmap: %v", err)
+		}
+	}
+}
+
+// TestCleanRunStaysSilent: a healthy Veil CVM under a frequent-cadence
+// auditor produces zero violations, no ClassInvariant events, and no
+// post-mortem.
+func TestCleanRunStaysSilent(t *testing.T) {
+	rec := obs.NewRecorder(1 << 14)
+	c := bootVeil(t, 7, rec)
+	a := audit.Attach(c.M, audit.Config{FastEvery: 16, SweepEvery: 64})
+	exercise(t, c)
+	a.Sweep()
+	if a.Violations() != 0 {
+		t.Fatalf("clean run produced %d violations: %v", a.Violations(), a.Details())
+	}
+	if a.FastRuns() == 0 || a.SweepRuns() == 0 {
+		t.Fatalf("auditor never ran (fast=%d sweeps=%d): cadence wiring broken", a.FastRuns(), a.SweepRuns())
+	}
+	if n := rec.Metrics().Count(obs.ClassInvariant); n != 0 {
+		t.Fatalf("clean run recorded %d invariant events", n)
+	}
+	if pm := c.M.PostMortem(); pm != nil {
+		t.Fatalf("clean run froze a post-mortem: %q", pm.Reason)
+	}
+}
+
+// TestAuditorChargesNoCycles: the auditor must be invisible to the
+// deterministic outputs — an audited run finishes at exactly the same
+// virtual cycle as an unaudited run of the same seed and workload.
+func TestAuditorChargesNoCycles(t *testing.T) {
+	plain := bootVeil(t, 9, nil)
+	exercise(t, plain)
+
+	audited := bootVeil(t, 9, nil)
+	a := audit.Attach(audited.M, audit.Config{FastEvery: 1, SweepEvery: 8})
+	exercise(t, audited)
+	a.Sweep()
+
+	if p, q := plain.M.Clock().Cycles(), audited.M.Clock().Cycles(); p != q {
+		t.Fatalf("auditor perturbed the virtual clock: %d vs %d cycles", p, q)
+	}
+	if a.Violations() != 0 {
+		t.Fatalf("unexpected violations: %v", a.Details())
+	}
+}
+
+// TestBrokenTLBInvalidationDetected gives the auditor teeth: a TLB that
+// skips invalidation across an RMP mutation must trip CheckRMPTLBEpoch,
+// emit a ClassInvariant event and freeze a post-mortem naming the check.
+func TestBrokenTLBInvalidationDetected(t *testing.T) {
+	rec := obs.NewRecorder(1 << 14)
+	c := bootVeil(t, 11, rec)
+	a := audit.Attach(c.M, audit.Config{FastEvery: 1})
+
+	c.M.SetBrokenTLBNoInvalidate(true)
+	defer c.M.SetBrokenTLBNoInvalidate(false)
+	frame, err := c.K.AllocFrame()
+	if err != nil {
+		t.Fatalf("alloc frame: %v", err)
+	}
+	// Rescind the page's validation: an architectural RMP mutation whose
+	// verdict-cache flush the broken TLB silently swallows.
+	if err := c.M.PValidate(snp.VMPL0, frame, false); err != nil {
+		t.Fatalf("pvalidate: %v", err)
+	}
+	a.Sweep()
+
+	if a.ViolationsBy(audit.CheckRMPTLBEpoch) == 0 {
+		t.Fatalf("broken TLB invalidation not detected; details=%v", a.Details())
+	}
+	if n := rec.Metrics().Count(obs.ClassInvariant); n == 0 {
+		t.Fatal("no ClassInvariant event recorded")
+	}
+	pm := c.M.PostMortem()
+	if pm == nil {
+		t.Fatal("violation did not freeze a post-mortem")
+	}
+	if !strings.Contains(pm.Reason, audit.CheckRMPTLBEpoch.String()) {
+		t.Fatalf("post-mortem reason %q does not name the check", pm.Reason)
+	}
+	if len(pm.Events) == 0 {
+		t.Fatal("post-mortem carries no flight events")
+	}
+}
+
+// TestCountersExport: the aux-counter source exposes the pacing and
+// violation tallies under stable names.
+func TestCountersExport(t *testing.T) {
+	c := bootVeil(t, 13, nil)
+	a := audit.Attach(c.M, audit.Config{})
+	a.Sweep()
+	names, values := a.Counters()
+	if len(names) != len(values) {
+		t.Fatalf("names/values length mismatch: %d vs %d", len(names), len(values))
+	}
+	want := map[string]bool{
+		"audit-events": true, "audit-fast-runs": true, "audit-sweep-runs": true,
+		"audit-violations": true, "audit-check-rmp-tlb-epoch": true,
+		"audit-check-vmsa-unreadable": true, "audit-check-rmp-consistency": true,
+		"audit-check-tlb-verdicts": true,
+	}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing counters: %v (got %v)", want, names)
+	}
+}

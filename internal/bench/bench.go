@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 
+	"veil/internal/audit"
 	"veil/internal/cvm"
 	"veil/internal/kernel"
 	"veil/internal/obs"
@@ -90,6 +91,33 @@ func (m Mode) String() string {
 // metrics registry (counters + attribution), which survives ring eviction.
 const benchRingCap = 1 << 12
 
+// auditing, when enabled with SetAuditing, attaches the invariant auditor
+// to every CVM bootFor creates. The experiments themselves are unaffected:
+// the auditor charges no virtual cycles, so fig4/fig5 stay byte-identical
+// to their goldens — which is exactly the CI claim: the clean evaluation
+// workloads run under continuous invariant checking without a violation.
+var (
+	auditing        bool
+	benchedAuditors []*audit.Auditor
+)
+
+// SetAuditing toggles auditor attachment for subsequently booted CVMs and
+// clears any previously collected auditors.
+func SetAuditing(on bool) {
+	auditing = on
+	benchedAuditors = nil
+}
+
+// AuditViolations forces a final full sweep on every auditor attached since
+// SetAuditing and returns the attached-CVM count and total violations.
+func AuditViolations() (cvms int, violations uint64) {
+	for _, a := range benchedAuditors {
+		a.Sweep()
+		violations += a.Violations()
+	}
+	return len(benchedAuditors), violations
+}
+
 // bootFor boots the right CVM for a mode. Every bench CVM carries an obs
 // recorder so reports can decompose cycles per CostKind from the metrics
 // registry rather than ad-hoc counters.
@@ -110,7 +138,14 @@ func bootFor(mode Mode, seed int64) (*cvm.CVM, error) {
 	if mode == ModeKaudit || mode == ModeVeilLog {
 		opts.AuditRules = kernel.DefaultRuleset()
 	}
-	return cvm.Boot(opts)
+	c, err := cvm.Boot(opts)
+	if err != nil {
+		return nil, err
+	}
+	if auditing {
+		benchedAuditors = append(benchedAuditors, audit.Attach(c.M, audit.Config{}))
+	}
+	return c, nil
 }
 
 // Run executes one workload under a mode on a fresh CVM.

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"veil/internal/audit"
+	"veil/internal/cvm"
+	"veil/internal/obs"
+	"veil/internal/sdk"
+	"veil/internal/workloads"
+)
+
+// The observability-path benchmark: the same enclave workload run on
+// identically seeded CVMs in three configurations — fully dark (no
+// recorder, no flight recorder, no auditor), tracing (trace ring + flight
+// recorder + causal spans), and audited (tracing plus the invariant
+// auditor at its default cadence). It guards two promises at once: the
+// stack charges no virtual cycles (all three runs finish on the same
+// cycle), and switching the auditor on over an already-traced machine
+// stays cheap enough to leave always-on (<15% host wall-clock is the CI
+// bound recorded in BENCH_obs.json).
+
+// obsMode selects one configuration of the paired runs.
+type obsMode int
+
+const (
+	obsDark obsMode = iota
+	obsTracing
+	obsAudited
+)
+
+// obsPathReps repetitions per configuration; the minimum host time wins.
+const obsPathReps = 5
+
+// ObsPathResult captures the three runs. The cycle counts are
+// deterministic; the host-seconds fields (and the derived percentages)
+// are the only wall-clock values.
+type ObsPathResult struct {
+	Workload   string
+	Iterations int
+	// Virtual cycles per configuration; all three must agree.
+	CyclesDark    uint64
+	CyclesTracing uint64
+	CyclesAudited uint64
+	Deterministic bool
+	// Host wall-clock per configuration.
+	HostSecondsDark    float64
+	HostSecondsTracing float64
+	HostSecondsAudited float64
+	// TracingOverheadPct is tracing vs dark: the opt-in -trace price.
+	TracingOverheadPct float64
+	// AuditorOverheadPct is audited vs tracing: the marginal cost of the
+	// always-on invariant auditor (<15% is the committed bound).
+	AuditorOverheadPct float64
+	// Audited-side stack statistics.
+	EventsRecorded  uint64 // trace-ring events seen (retained + evicted)
+	FlightRetained  int
+	FlightDropped   uint64
+	AuditFastRuns   uint64
+	AuditSweeps     uint64
+	AuditViolations uint64
+}
+
+type obsPathSide struct {
+	cycles        uint64
+	seconds       float64
+	events        uint64
+	flightLen     int
+	flightDropped uint64
+	fastRuns      uint64
+	sweeps        uint64
+	violations    uint64
+}
+
+// obsPathRun boots one CVM for the benchmark and runs the workload in an
+// enclave. obsDark strips every observability layer the cvm harness would
+// otherwise attach.
+func obsPathRun(w workloads.Workload, seed int64, mode obsMode) (obsPathSide, error) {
+	opts := cvm.Options{
+		MemBytes: benchMem,
+		VCPUs:    1,
+		Veil:     true,
+		LogPages: 2048,
+		Rand:     rng(seed),
+		NoFlight: mode == obsDark,
+	}
+	if mode != obsDark {
+		opts.Recorder = obs.NewRecorder(benchRingCap)
+	}
+	c, err := cvm.Boot(opts)
+	if err != nil {
+		return obsPathSide{}, err
+	}
+	var a *audit.Auditor
+	if mode == obsAudited {
+		a = audit.Attach(c.M, audit.Config{})
+		opts.Recorder.AddAuxCounters(a.Counters)
+	}
+	if err := w.Setup(c); err != nil {
+		return obsPathSide{}, err
+	}
+	prog := w.Build(c)
+	host := c.K.Spawn(w.Name + "-host")
+
+	// Drain the GC debt the boot sweep accumulated so collections don't
+	// land inside the measured window of whichever side runs next.
+	runtime.GC()
+	start := time.Now()
+	app, err := sdk.LaunchEnclave(c, host, prog, sdk.EnclaveConfig{RegionPages: w.RegionPages})
+	if err != nil {
+		return obsPathSide{}, err
+	}
+	if rc, err := app.Enter(w.Args...); err != nil || rc != 0 {
+		return obsPathSide{}, err
+	}
+	if a != nil {
+		a.Sweep()
+	}
+	side := obsPathSide{
+		cycles:  c.M.Clock().Cycles(),
+		seconds: time.Since(start).Seconds(),
+	}
+	if mode != obsDark {
+		side.events = uint64(opts.Recorder.Len()) + opts.Recorder.Dropped()
+		side.flightLen = c.M.Flight().Len()
+		side.flightDropped = c.M.Flight().Dropped()
+	}
+	if a != nil {
+		side.fastRuns = a.FastRuns()
+		side.sweeps = a.SweepRuns()
+		side.violations = a.Violations()
+	}
+	return side, nil
+}
+
+func pct(base, with float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (with - base) / base
+}
+
+// ObsPath runs the three-way benchmark on the SQLite workload (a dense
+// syscall + enclave-exit mix) with the given insert count.
+func ObsPath(iters int) (ObsPathResult, error) {
+	if iters <= 0 {
+		iters = 1000
+	}
+	w := workloads.SQLite(iters)
+	// Discarded warm-up pass: the first run pays one-time process costs
+	// (allocator growth, code paths faulting in) that would otherwise land
+	// entirely on the dark side of the comparison.
+	if _, err := obsPathRun(w, 4242, obsDark); err != nil {
+		return ObsPathResult{}, err
+	}
+	// Best-of-obsPathReps per configuration, interleaved dark→tracing→
+	// audited within each round so slow host-machine drift (thermal,
+	// co-tenant load) lands on all three configurations alike instead of
+	// biasing whichever ran last. Min host-seconds is the standard
+	// noise-robust estimator; the virtual cycles are identical across
+	// repetitions by construction.
+	var bests [3]obsPathSide
+	for i := 0; i < obsPathReps; i++ {
+		for _, mode := range []obsMode{obsDark, obsTracing, obsAudited} {
+			s, err := obsPathRun(w, 4242, mode)
+			if err != nil {
+				return ObsPathResult{}, err
+			}
+			if i == 0 || s.seconds < bests[mode].seconds {
+				bests[mode] = s
+			}
+		}
+	}
+	dark, tracing, audited := bests[obsDark], bests[obsTracing], bests[obsAudited]
+	return ObsPathResult{
+		Workload:           w.Name,
+		Iterations:         iters,
+		CyclesDark:         dark.cycles,
+		CyclesTracing:      tracing.cycles,
+		CyclesAudited:      audited.cycles,
+		Deterministic:      dark.cycles == tracing.cycles && tracing.cycles == audited.cycles,
+		HostSecondsDark:    dark.seconds,
+		HostSecondsTracing: tracing.seconds,
+		HostSecondsAudited: audited.seconds,
+		TracingOverheadPct: pct(dark.seconds, tracing.seconds),
+		AuditorOverheadPct: pct(tracing.seconds, audited.seconds),
+		EventsRecorded:     audited.events,
+		FlightRetained:     audited.flightLen,
+		FlightDropped:      audited.flightDropped,
+		AuditFastRuns:      audited.fastRuns,
+		AuditSweeps:        audited.sweeps,
+		AuditViolations:    audited.violations,
+	}, nil
+}

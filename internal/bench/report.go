@@ -138,3 +138,19 @@ func ReportMonitors(w io.Writer) {
 	fmt.Fprintf(w, "  crossover: a %d-cycle switch reaches 2%%%% background at %.0f invocations/s\n",
 		uint64(snp.CyclesDomainSwitch), baselines.CrossoverInvocationsPerSec(snp.CyclesDomainSwitch, 2))
 }
+
+// ReportObsPath prints the observability-stack overhead comparison.
+func ReportObsPath(w io.Writer, r ObsPathResult) {
+	fmt.Fprintf(w, "Observability path — %s ×%d: dark vs tracing vs tracing+auditor\n",
+		r.Workload, r.Iterations)
+	fmt.Fprintf(w, "  virtual cycles: dark=%d tracing=%d audited=%d deterministic=%v\n",
+		r.CyclesDark, r.CyclesTracing, r.CyclesAudited, r.Deterministic)
+	fmt.Fprintf(w, "  host time: dark=%.3fs tracing=%.3fs audited=%.3fs\n",
+		r.HostSecondsDark, r.HostSecondsTracing, r.HostSecondsAudited)
+	fmt.Fprintf(w, "  tracing overhead vs dark: %.1f%%; auditor overhead vs tracing: %.1f%% (bound: <15%%)\n",
+		r.TracingOverheadPct, r.AuditorOverheadPct)
+	fmt.Fprintf(w, "  observed: %d events, flight %d retained/%d evicted\n",
+		r.EventsRecorded, r.FlightRetained, r.FlightDropped)
+	fmt.Fprintf(w, "  auditor: %d fast passes, %d sweeps, %d violations\n",
+		r.AuditFastRuns, r.AuditSweeps, r.AuditViolations)
+}

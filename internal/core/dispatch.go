@@ -45,12 +45,15 @@ func (mon *Monitor) dispatchMon(vcpu int) error {
 	if err != nil {
 		return err
 	}
+	start := mon.m.Clock().Cycles()
+	ref := mon.m.BeginSpan()
 	var resp Response
 	if req.Svc != SvcMon {
 		resp = Response{Status: StatusError}
 	} else {
 		resp = mon.handleMonOp(vcpu, req)
 	}
+	mon.m.ObserveService(snp.VMPL0, uint64(req.Svc), uint64(req.Op), start, ref)
 	return WriteIDCBResponse(mon.m, snp.VMPL0, idcb, resp)
 }
 
@@ -89,6 +92,7 @@ func (mon *Monitor) handleMonOp(vcpu int, req Request) Response {
 // instruction the OS architecturally cannot.
 func (mon *Monitor) servePValidate(phys uint64, validate bool) Response {
 	if err := mon.Sanitize(phys, snp.PageSize); err != nil {
+		mon.m.ObserveDenied(snp.DeniedSanitize, snp.PageBase(phys))
 		return Response{Status: StatusDenied}
 	}
 	if err := mon.m.PValidate(snp.VMPL0, phys, validate); err != nil {
@@ -160,6 +164,7 @@ func (mon *Monitor) serveUserMessage(sealed []byte) Response {
 	}
 	msg, err := mon.userCh.Open(sealed)
 	if err != nil {
+		mon.m.ObserveDenied(snp.DeniedSanitize, uint64(len(sealed)))
 		return Response{Status: StatusDenied}
 	}
 	if len(msg) == 0 {
@@ -184,6 +189,8 @@ func (mon *Monitor) dispatchSrv(vcpu int) error {
 	if err != nil {
 		return err
 	}
+	start := mon.m.Clock().Cycles()
+	ref := mon.m.BeginSpan()
 	var resp Response
 	if h, ok := mon.services[req.Svc]; ok {
 		status, payload := h(vcpu, req.Op, req.Payload)
@@ -191,6 +198,7 @@ func (mon *Monitor) dispatchSrv(vcpu int) error {
 	} else {
 		resp = Response{Status: StatusError}
 	}
+	mon.m.ObserveService(snp.VMPL1, uint64(req.Svc), uint64(req.Op), start, ref)
 	return WriteIDCBResponse(mon.m, snp.VMPL1, idcb, resp)
 }
 

@@ -48,6 +48,14 @@ type Options struct {
 	// the trace captures boot (RMPADJUST sweep, replica creation) as well
 	// as the run. Nil keeps the zero-overhead no-op path.
 	Recorder *obs.Recorder
+	// NoFlight disables the always-on flight recorder (the bounded event
+	// ring post-mortem dumps are built from). It exists for the
+	// observability benchmark's true-zero baseline; leave it false
+	// everywhere else.
+	NoFlight bool
+	// FlightCapacity overrides the flight ring size
+	// (obs.DefaultFlightCapacity if zero).
+	FlightCapacity int
 }
 
 // CVM is a booted machine with all its software layers.
@@ -122,6 +130,7 @@ func monitorImage(pub ed25519.PublicKey) []byte {
 
 func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	attachFlight(m, opts)
 	if opts.Recorder != nil {
 		m.SetRecorder(opts.Recorder)
 	}
@@ -223,6 +232,9 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	if err := hyp.Launch(c.bootRegions, lay.BootVMSA, boot, core.DomMON, mon.BootContext()); err != nil {
 		return nil, fmt.Errorf("cvm: veil launch: %w", err)
 	}
+	// Post-mortems diff the RMP against the post-launch state, not the
+	// whole boot sweep.
+	m.SnapshotRMPBaseline()
 
 	// Steady state: every VCPU rests in Dom-UNT; interrupts during
 	// trusted-domain execution are relayed there (§6.2).
@@ -243,8 +255,22 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	return c, nil
 }
 
+// attachFlight installs the always-on flight ring unless the caller
+// explicitly opted out (benchmark baseline).
+func attachFlight(m *snp.Machine, opts Options) {
+	if opts.NoFlight {
+		return
+	}
+	cap := opts.FlightCapacity
+	if cap <= 0 {
+		cap = obs.DefaultFlightCapacity
+	}
+	m.SetFlight(obs.NewFlight(cap))
+}
+
 func bootNative(opts Options, rng io.Reader) (*CVM, error) {
 	m := snp.NewMachine(snp.Config{MemBytes: opts.MemBytes, VCPUs: opts.VCPUs})
+	attachFlight(m, opts)
 	if opts.Recorder != nil {
 		m.SetRecorder(opts.Recorder)
 	}
@@ -294,6 +320,7 @@ func bootNative(opts Options, rng io.Reader) (*CVM, error) {
 	if err := hyp.Launch(c.bootRegions, bootVMSA, boot, core.DomUNT, bootCtx); err != nil {
 		return nil, fmt.Errorf("cvm: native launch: %w", err)
 	}
+	m.SnapshotRMPBaseline()
 	if opts.AuditRules != nil {
 		k.Audit().SetRules(opts.AuditRules)
 	}

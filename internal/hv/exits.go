@@ -36,13 +36,20 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 	h.chargeExit()
 	ghcbPhys, ok := h.m.ReadGHCBMSR(vcpuID)
 	if !ok {
+		h.m.ObserveDenied(snp.DeniedGHCB, uint64(vcpuID))
 		return ErrNoGHCB
 	}
 	var g snp.GHCB
 	if err := h.m.HVReadGHCB(ghcbPhys, &g); err != nil {
 		// The "GHCB" is a guest-private page: the host sees ciphertext.
+		h.m.ObserveDenied(snp.DeniedGHCB, ghcbPhys)
 		return fmt.Errorf("%w: %v", ErrNoGHCB, err)
 	}
+
+	// The round trip is the causal root of everything the exit causes:
+	// domain switches, RMP instructions, service dispatches and faults all
+	// nest under this span until ObserveRoundTrip closes it.
+	rt := h.m.BeginSpan()
 
 	var err error
 	switch g.ExitCode {
@@ -68,7 +75,7 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 		err = fmt.Errorf("hv: unknown exit code %#x", g.ExitCode)
 		h.chargeEnter()
 	}
-	h.m.ObserveRoundTrip(g.ExitCode, start)
+	h.m.ObserveRoundTrip(g.ExitCode, start, rt)
 	return err
 }
 
@@ -81,6 +88,7 @@ func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB) er
 	if pol, exists := h.ghcbPolicy[ghcbPhys]; exists && !pol[tag] {
 		// Refusing leaves the guest stuck; the caller observes a crash
 		// (§6.2 "the CVM crashes on an attempted domain switch").
+		h.m.ObserveDenied(snp.DeniedPolicy, uint64(tag))
 		return ErrPolicy
 	}
 	b, ok := h.bindings[c.id][tag]

@@ -83,6 +83,12 @@ type Kernel struct {
 
 	booted   bool
 	apOnline int
+
+	// sysStack tracks in-flight syscalls for causal tracing: enter pushes
+	// a frame, the per-handler `defer k.sysret()` pops it and records the
+	// syscall span. Syscalls nest (ioctl handlers call back into the
+	// kernel), hence a stack rather than a single slot.
+	sysStack []sysFrame
 }
 
 // New creates a kernel over the machine/hypervisor pair. Boot must be

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"veil/internal/obs"
 	"veil/internal/snp"
 )
 
@@ -133,17 +134,42 @@ func (k *Kernel) RegisterDevice(path string, h IoctlHandler) error {
 	return nil
 }
 
-// enter is the common syscall prologue: entry cost, trace, and — if the
-// syscall matches the audit ruleset — record emission *before* the event
-// runs (execute-ahead, §6.3). detail is built lazily.
+// sysFrame is one in-flight syscall: the causal span it opened, the
+// syscall number and its start cycle, consumed by sysret.
+type sysFrame struct {
+	ref   obs.SpanRef
+	n     SysNo
+	start uint64
+}
+
+// enter is the common syscall prologue: entry cost, trace, causal span
+// open, and — if the syscall matches the audit ruleset — record emission
+// *before* the event runs (execute-ahead, §6.3). detail is built lazily.
+// Every handler pairs it with `defer k.sysret()`, which records the
+// syscall span and closes it; the pairing holds on the audit-refusal path
+// too, because the handler's defer still runs.
 func (k *Kernel) enter(p *Process, n SysNo, detail func() string) error {
+	start := k.m.Clock().Cycles()
 	k.m.Clock().Charge(snp.CostSyscall, snp.CyclesSyscall)
 	k.chargeBase(n)
-	k.m.ObserveSyscall(k.cfg.VMPL, uint64(n))
+	ref := k.m.ObserveSyscallEnter(k.cfg.VMPL, uint64(n))
+	k.sysStack = append(k.sysStack, sysFrame{ref: ref, n: n, start: start})
 	if k.audit != nil && k.audit.Matches(n) {
 		return k.audit.emitFor(p, n, detail())
 	}
 	return nil
+}
+
+// sysret is the common syscall epilogue, deferred by every handler that
+// called enter: it pops the frame and records the syscall's causal span,
+// with Dur covering prologue through return.
+func (k *Kernel) sysret() {
+	if len(k.sysStack) == 0 {
+		return
+	}
+	fr := k.sysStack[len(k.sysStack)-1]
+	k.sysStack = k.sysStack[:len(k.sysStack)-1]
+	k.m.ObserveSyscallExit(k.cfg.VMPL, uint64(fr.n), fr.start, fr.ref)
 }
 
 // chargeCopy accounts a user↔kernel data copy of n bytes.
@@ -158,6 +184,7 @@ func (k *Kernel) chargeCopy(n int) {
 
 // Open implements open(2).
 func (k *Kernel) Open(p *Process, path string, flags int, mode uint32) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysOpen, func() string { return fmt.Sprintf("path=%q flags=%#x", path, flags) }); err != nil {
 		return -1, err
 	}
@@ -189,6 +216,7 @@ func (k *Kernel) Open(p *Process, path string, flags int, mode uint32) (int, err
 // Openat implements openat(2) relative to the root (the model keeps a
 // single namespace; dirfd is accepted for ruleset compatibility).
 func (k *Kernel) Openat(p *Process, dirfd int, path string, flags int, mode uint32) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysOpenat, func() string { return fmt.Sprintf("dirfd=%d path=%q", dirfd, path) }); err != nil {
 		return -1, err
 	}
@@ -221,6 +249,7 @@ func (k *Kernel) openNoAudit(p *Process, path string, flags int, mode uint32) (i
 
 // Creat implements creat(2).
 func (k *Kernel) Creat(p *Process, path string, mode uint32) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysCreat, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return -1, err
 	}
@@ -229,6 +258,7 @@ func (k *Kernel) Creat(p *Process, path string, mode uint32) (int, error) {
 
 // Close implements close(2).
 func (k *Kernel) Close(p *Process, fd int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysClose, func() string { return fmt.Sprintf("fd=%d", fd) }); err != nil {
 		return err
 	}
@@ -248,6 +278,7 @@ func (k *Kernel) Close(p *Process, fd int) error {
 
 // Read implements read(2).
 func (k *Kernel) Read(p *Process, fd int, buf []byte) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysRead, func() string { return fmt.Sprintf("fd=%d len=%d", fd, len(buf)) }); err != nil {
 		return -1, err
 	}
@@ -291,6 +322,7 @@ func (k *Kernel) readNoAudit(p *Process, fd int, buf []byte) (int, error) {
 
 // Write implements write(2).
 func (k *Kernel) Write(p *Process, fd int, buf []byte) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysWrite, func() string { return fmt.Sprintf("fd=%d len=%d", fd, len(buf)) }); err != nil {
 		return -1, err
 	}
@@ -334,6 +366,7 @@ func (k *Kernel) writeNoAudit(p *Process, fd int, buf []byte) (int, error) {
 
 // Pread implements pread64(2).
 func (k *Kernel) Pread(p *Process, fd int, buf []byte, off int64) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysPread, func() string { return fmt.Sprintf("fd=%d len=%d off=%d", fd, len(buf), off) }); err != nil {
 		return -1, err
 	}
@@ -348,6 +381,7 @@ func (k *Kernel) Pread(p *Process, fd int, buf []byte, off int64) (int, error) {
 
 // Pwrite implements pwrite64(2).
 func (k *Kernel) Pwrite(p *Process, fd int, buf []byte, off int64) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysPwrite, func() string { return fmt.Sprintf("fd=%d len=%d off=%d", fd, len(buf), off) }); err != nil {
 		return -1, err
 	}
@@ -362,6 +396,7 @@ func (k *Kernel) Pwrite(p *Process, fd int, buf []byte, off int64) (int, error) 
 
 // Lseek implements lseek(2).
 func (k *Kernel) Lseek(p *Process, fd int, off int64, whence int) (int64, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysLseek, func() string { return fmt.Sprintf("fd=%d off=%d whence=%d", fd, off, whence) }); err != nil {
 		return -1, err
 	}
@@ -397,6 +432,7 @@ type FileInfo struct {
 
 // Stat implements stat(2).
 func (k *Kernel) Stat(p *Process, path string) (FileInfo, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysStat, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return FileInfo{}, err
 	}
@@ -409,6 +445,7 @@ func (k *Kernel) Stat(p *Process, path string) (FileInfo, error) {
 
 // Fstat implements fstat(2).
 func (k *Kernel) Fstat(p *Process, fd int) (FileInfo, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysFstat, func() string { return fmt.Sprintf("fd=%d", fd) }); err != nil {
 		return FileInfo{}, err
 	}
@@ -421,6 +458,7 @@ func (k *Kernel) Fstat(p *Process, fd int) (FileInfo, error) {
 
 // Truncate implements truncate(2).
 func (k *Kernel) Truncate(p *Process, path string, size int64) error {
+	defer k.sysret()
 	if err := k.enter(p, SysTruncate, func() string { return fmt.Sprintf("path=%q size=%d", path, size) }); err != nil {
 		return err
 	}
@@ -429,6 +467,7 @@ func (k *Kernel) Truncate(p *Process, path string, size int64) error {
 
 // Ftruncate implements ftruncate(2).
 func (k *Kernel) Ftruncate(p *Process, fd int, size int64) error {
+	defer k.sysret()
 	if err := k.enter(p, SysFtruncate, func() string { return fmt.Sprintf("fd=%d size=%d", fd, size) }); err != nil {
 		return err
 	}
@@ -441,6 +480,7 @@ func (k *Kernel) Ftruncate(p *Process, fd int, size int64) error {
 
 // Unlink implements unlink(2).
 func (k *Kernel) Unlink(p *Process, path string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysUnlink, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return err
 	}
@@ -449,6 +489,7 @@ func (k *Kernel) Unlink(p *Process, path string) error {
 
 // Unlinkat implements unlinkat(2) (single-namespace model).
 func (k *Kernel) Unlinkat(p *Process, dirfd int, path string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysUnlinkat, func() string { return fmt.Sprintf("dirfd=%d path=%q", dirfd, path) }); err != nil {
 		return err
 	}
@@ -457,6 +498,7 @@ func (k *Kernel) Unlinkat(p *Process, dirfd int, path string) error {
 
 // Rename implements rename(2).
 func (k *Kernel) Rename(p *Process, oldp, newp string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysRename, func() string { return fmt.Sprintf("old=%q new=%q", oldp, newp) }); err != nil {
 		return err
 	}
@@ -465,6 +507,7 @@ func (k *Kernel) Rename(p *Process, oldp, newp string) error {
 
 // Mkdir implements mkdir(2).
 func (k *Kernel) Mkdir(p *Process, path string, mode uint32) error {
+	defer k.sysret()
 	if err := k.enter(p, SysMkdir, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return err
 	}
@@ -473,6 +516,7 @@ func (k *Kernel) Mkdir(p *Process, path string, mode uint32) error {
 
 // Rmdir implements rmdir(2).
 func (k *Kernel) Rmdir(p *Process, path string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysRmdir, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return err
 	}
@@ -488,6 +532,7 @@ func (k *Kernel) Rmdir(p *Process, path string) error {
 
 // Link implements link(2).
 func (k *Kernel) Link(p *Process, oldp, newp string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysLink, func() string { return fmt.Sprintf("old=%q new=%q", oldp, newp) }); err != nil {
 		return err
 	}
@@ -496,6 +541,7 @@ func (k *Kernel) Link(p *Process, oldp, newp string) error {
 
 // Symlink implements symlink(2).
 func (k *Kernel) Symlink(p *Process, target, newp string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysSymlink, func() string { return fmt.Sprintf("target=%q new=%q", target, newp) }); err != nil {
 		return err
 	}
@@ -504,6 +550,7 @@ func (k *Kernel) Symlink(p *Process, target, newp string) error {
 
 // Chmod implements chmod(2).
 func (k *Kernel) Chmod(p *Process, path string, mode uint32) error {
+	defer k.sysret()
 	if err := k.enter(p, SysChmod, func() string { return fmt.Sprintf("path=%q mode=%#o", path, mode) }); err != nil {
 		return err
 	}
@@ -517,6 +564,7 @@ func (k *Kernel) Chmod(p *Process, path string, mode uint32) error {
 
 // Fchmod implements fchmod(2).
 func (k *Kernel) Fchmod(p *Process, fd int, mode uint32) error {
+	defer k.sysret()
 	if err := k.enter(p, SysFchmod, func() string { return fmt.Sprintf("fd=%d mode=%#o", fd, mode) }); err != nil {
 		return err
 	}
@@ -530,6 +578,7 @@ func (k *Kernel) Fchmod(p *Process, fd int, mode uint32) error {
 
 // Mknod implements mknod(2) (regular files only in the model).
 func (k *Kernel) Mknod(p *Process, path string, mode uint32) error {
+	defer k.sysret()
 	if err := k.enter(p, SysMknod, func() string { return fmt.Sprintf("path=%q", path) }); err != nil {
 		return err
 	}
@@ -539,6 +588,7 @@ func (k *Kernel) Mknod(p *Process, path string, mode uint32) error {
 
 // Getdents implements getdents(2), returning child names.
 func (k *Kernel) Getdents(p *Process, fd int) ([]string, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysGetdents, func() string { return fmt.Sprintf("fd=%d", fd) }); err != nil {
 		return nil, err
 	}
@@ -551,6 +601,7 @@ func (k *Kernel) Getdents(p *Process, fd int) ([]string, error) {
 
 // Dup implements dup(2).
 func (k *Kernel) Dup(p *Process, fd int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysDup, func() string { return fmt.Sprintf("fd=%d", fd) }); err != nil {
 		return -1, err
 	}
@@ -564,6 +615,7 @@ func (k *Kernel) Dup(p *Process, fd int) (int, error) {
 
 // Dup2 implements dup2(2).
 func (k *Kernel) Dup2(p *Process, oldfd, newfd int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysDup2, func() string { return fmt.Sprintf("old=%d new=%d", oldfd, newfd) }); err != nil {
 		return -1, err
 	}
@@ -581,6 +633,7 @@ func (k *Kernel) Dup2(p *Process, oldfd, newfd int) (int, error) {
 
 // Dup3 implements dup3(2).
 func (k *Kernel) Dup3(p *Process, oldfd, newfd, flags int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysDup3, func() string { return fmt.Sprintf("old=%d new=%d", oldfd, newfd) }); err != nil {
 		return -1, err
 	}
@@ -601,6 +654,7 @@ func (k *Kernel) Dup3(p *Process, oldfd, newfd, flags int) (int, error) {
 
 // Pipe2 implements pipe2(2), returning (readFD, writeFD).
 func (k *Kernel) Pipe2(p *Process, flags int) (int, int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysPipe2, func() string { return "pipe2" }); err != nil {
 		return -1, -1, err
 	}
@@ -615,6 +669,7 @@ func (k *Kernel) Pipe2(p *Process, flags int) (int, int, error) {
 
 // Sendfile implements sendfile(2) (file → socket/file).
 func (k *Kernel) Sendfile(p *Process, outfd, infd int, count int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysSendfile, func() string { return fmt.Sprintf("out=%d in=%d n=%d", outfd, infd, count) }); err != nil {
 		return -1, err
 	}
@@ -639,6 +694,7 @@ func (k *Kernel) Sendfile(p *Process, outfd, infd int, count int) (int, error) {
 
 // Splice implements a simplified splice(2) between two FDs.
 func (k *Kernel) Splice(p *Process, infd, outfd int, count int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysSplice, func() string { return fmt.Sprintf("in=%d out=%d n=%d", infd, outfd, count) }); err != nil {
 		return -1, err
 	}
@@ -675,6 +731,7 @@ func (k *Kernel) Splice(p *Process, infd, outfd int, count int) (int, error) {
 // Mmap implements anonymous mmap(2): it allocates guest frames and maps
 // them into the process page tables with the requested protection.
 func (k *Kernel) Mmap(p *Process, length uint64, prot uint64) (uint64, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysMmap, func() string { return fmt.Sprintf("len=%d prot=%#x", length, prot) }); err != nil {
 		return 0, err
 	}
@@ -692,11 +749,13 @@ func (k *Kernel) Mmap(p *Process, length uint64, prot uint64) (uint64, error) {
 
 // Munmap implements munmap(2) for a whole region created by Mmap.
 func (k *Kernel) Munmap(p *Process, virt uint64) error {
+	defer k.sysret()
 	if err := k.enter(p, SysMunmap, func() string { return fmt.Sprintf("addr=%#x", virt) }); err != nil {
 		return err
 	}
 	if p.Enclave != nil && p.Enclave.Covers(virt, 1) {
 		// The OS may not change enclave layout post-installation (§6.2).
+		k.m.ObserveDenied(snp.DeniedPinned, virt)
 		return ErrInval
 	}
 	return p.UnmapRegion(virt)
@@ -706,10 +765,13 @@ func (k *Kernel) Munmap(p *Process, virt uint64) error {
 // OS is only allowed to change non-enclave regions, and those changes are
 // synchronized into the protected enclave page tables by VeilS-Enc (§6.2).
 func (k *Kernel) Mprotect(p *Process, virt, length uint64, prot uint64) error {
+	defer k.sysret()
 	if err := k.enter(p, SysMprotect, func() string { return fmt.Sprintf("addr=%#x len=%d prot=%#x", virt, length, prot) }); err != nil {
 		return err
 	}
 	if p.Enclave != nil && p.Enclave.Covers(virt, length) {
+		// Enclave-covered layout is pinned post-installation (§6.2).
+		k.m.ObserveDenied(snp.DeniedPinned, virt)
 		return ErrInval
 	}
 	as, err := p.AddressSpace()
@@ -732,6 +794,7 @@ func (k *Kernel) Mprotect(p *Process, virt, length uint64, prot uint64) error {
 
 // Socket implements socket(2).
 func (k *Kernel) Socket(p *Process, domain, typ int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysSocket, func() string { return fmt.Sprintf("domain=%d type=%d", domain, typ) }); err != nil {
 		return -1, err
 	}
@@ -744,6 +807,7 @@ func (k *Kernel) Socket(p *Process, domain, typ int) (int, error) {
 
 // Bind implements bind(2).
 func (k *Kernel) Bind(p *Process, fd, port int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysBind, func() string { return fmt.Sprintf("fd=%d port=%d", fd, port) }); err != nil {
 		return err
 	}
@@ -756,6 +820,7 @@ func (k *Kernel) Bind(p *Process, fd, port int) error {
 
 // Listen implements listen(2).
 func (k *Kernel) Listen(p *Process, fd, backlog int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysListen, func() string { return fmt.Sprintf("fd=%d backlog=%d", fd, backlog) }); err != nil {
 		return err
 	}
@@ -768,6 +833,7 @@ func (k *Kernel) Listen(p *Process, fd, backlog int) error {
 
 // Connect implements connect(2) to a loopback port.
 func (k *Kernel) Connect(p *Process, fd, port int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysConnect, func() string { return fmt.Sprintf("fd=%d port=%d", fd, port) }); err != nil {
 		return err
 	}
@@ -780,6 +846,7 @@ func (k *Kernel) Connect(p *Process, fd, port int) error {
 
 // Accept implements accept(2)/accept4(2).
 func (k *Kernel) Accept(p *Process, fd int) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysAccept, func() string { return fmt.Sprintf("fd=%d", fd) }); err != nil {
 		return -1, err
 	}
@@ -796,6 +863,7 @@ func (k *Kernel) Accept(p *Process, fd int) (int, error) {
 
 // Sendto implements send/sendto(2).
 func (k *Kernel) Sendto(p *Process, fd int, buf []byte) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysSendto, func() string { return fmt.Sprintf("fd=%d len=%d", fd, len(buf)) }); err != nil {
 		return -1, err
 	}
@@ -810,6 +878,7 @@ func (k *Kernel) Sendto(p *Process, fd int, buf []byte) (int, error) {
 
 // Recvfrom implements recv/recvfrom(2).
 func (k *Kernel) Recvfrom(p *Process, fd int, buf []byte) (int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysRecvfrom, func() string { return fmt.Sprintf("fd=%d len=%d", fd, len(buf)) }); err != nil {
 		return -1, err
 	}
@@ -824,6 +893,7 @@ func (k *Kernel) Recvfrom(p *Process, fd int, buf []byte) (int, error) {
 
 // Socketpair implements socketpair(2).
 func (k *Kernel) Socketpair(p *Process, domain, typ int) (int, int, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysSocketpair, func() string { return "socketpair" }); err != nil {
 		return -1, -1, err
 	}
@@ -841,18 +911,21 @@ func (k *Kernel) Socketpair(p *Process, domain, typ int) (int, int, error) {
 
 // Getpid implements getpid(2).
 func (k *Kernel) Getpid(p *Process) int {
+	defer k.sysret()
 	_ = k.enter(p, SysGetpid, func() string { return "" })
 	return p.PID
 }
 
 // Getuid implements getuid(2).
 func (k *Kernel) Getuid(p *Process) int {
+	defer k.sysret()
 	_ = k.enter(p, SysGetuid, func() string { return "" })
 	return p.UID
 }
 
 // Setuid implements setuid(2).
 func (k *Kernel) Setuid(p *Process, uid int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysSetuid, func() string { return fmt.Sprintf("uid=%d", uid) }); err != nil {
 		return err
 	}
@@ -863,6 +936,7 @@ func (k *Kernel) Setuid(p *Process, uid int) error {
 // Fork implements fork(2): the child shares no memory but inherits the FD
 // table (descriptor objects are duplicated).
 func (k *Kernel) Fork(p *Process) (*Process, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysFork, func() string { return "" }); err != nil {
 		return nil, err
 	}
@@ -881,6 +955,7 @@ func (k *Kernel) Fork(p *Process) (*Process, error) {
 
 // Execve implements execve(2) as a process image replacement marker.
 func (k *Kernel) Execve(p *Process, path string, argv []string) error {
+	defer k.sysret()
 	if err := k.enter(p, SysExecve, func() string { return fmt.Sprintf("path=%q argv=%d", path, len(argv)) }); err != nil {
 		return err
 	}
@@ -893,6 +968,7 @@ func (k *Kernel) Execve(p *Process, path string, argv []string) error {
 
 // Exit implements exit(2).
 func (k *Kernel) Exit(p *Process, code int) error {
+	defer k.sysret()
 	if err := k.enter(p, SysExit, func() string { return fmt.Sprintf("code=%d", code) }); err != nil {
 		return err
 	}
@@ -902,24 +978,28 @@ func (k *Kernel) Exit(p *Process, code int) error {
 
 // SchedYield implements sched_yield(2) (context-switch cost only).
 func (k *Kernel) SchedYield(p *Process) {
+	defer k.sysret()
 	_ = k.enter(p, SysSchedYield, func() string { return "" })
 	k.m.Clock().Charge(snp.CostContextSwitch, snp.CyclesContextSwitch)
 }
 
 // Nanosleep charges virtual time.
 func (k *Kernel) Nanosleep(p *Process, nanos uint64) {
+	defer k.sysret()
 	_ = k.enter(p, SysNanosleep, func() string { return fmt.Sprintf("ns=%d", nanos) })
 	k.m.Clock().Charge(snp.CostCompute, nanos*snp.SimClockHz/1_000_000_000)
 }
 
 // Gettime returns the virtual clock in nanoseconds.
 func (k *Kernel) Gettime(p *Process) uint64 {
+	defer k.sysret()
 	_ = k.enter(p, SysGettime, func() string { return "" })
 	return uint64(k.m.Clock().Seconds() * 1e9)
 }
 
 // Ioctl implements ioctl(2), dispatching to registered device handlers.
 func (k *Kernel) Ioctl(p *Process, fd int, req uint64, arg []byte) (uint64, error) {
+	defer k.sysret()
 	if err := k.enter(p, SysIoctl, func() string { return fmt.Sprintf("fd=%d req=%#x", fd, req) }); err != nil {
 		return 0, err
 	}

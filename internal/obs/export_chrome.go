@@ -47,15 +47,39 @@ func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 	}
 	sort.Slice(vcpus, func(i, j int) bool { return vcpus[i] < vcpus[j] })
 
+	// Index retained span events so causal flow arrows can bind each span
+	// to the parent it nests under (evicted parents simply get no arrow).
+	bySpan := map[uint64]Event{}
+	for _, e := range events {
+		if e.Span != 0 {
+			bySpan[e.Span] = e
+		}
+	}
+
 	bw := &errWriter{w: w}
 	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, r.Dropped())
 	bw.printf("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}", opts.ProcessName)
 	for _, v := range vcpus {
 		bw.printf(",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"vcpu%d\"}}", v, v)
 	}
+	us := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)/cpm, 'f', 3, 64)
+	}
+	flowID := 0
 	for _, e := range events {
 		bw.printf(",\n")
 		writeChromeEvent(bw, e, cpm, opts.SyscallName)
+		// One flow arrow per nested span: parent span start → child span
+		// start, so Perfetto renders the request tree across tracks.
+		if e.Kind == Span && e.Span != 0 && e.Parent != 0 {
+			if p, ok := bySpan[e.Parent]; ok {
+				flowID++
+				bw.printf(",\n{\"ph\":\"s\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":0,\"tid\":%d,\"ts\":%s}",
+					flowID, p.VCPU, us(p.Start()))
+				bw.printf(",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":0,\"tid\":%d,\"ts\":%s}",
+					flowID, e.VCPU, us(e.Start()))
+			}
+		}
 	}
 	bw.printf("\n]}\n")
 	return bw.err
@@ -75,6 +99,12 @@ func writeChromeEvent(bw *errWriter, e Event, cpm float64, sysName func(uint64) 
 	bw.printf(",\"args\":{\"cycles\":%d", e.TS)
 	if e.VMPL >= 0 {
 		bw.printf(",\"vmpl\":%d", e.VMPL)
+	}
+	if e.Span != 0 {
+		bw.printf(",\"span\":%d", e.Span)
+	}
+	if e.Parent != 0 {
+		bw.printf(",\"parent\":%d", e.Parent)
 	}
 	switch e.Class {
 	case ClassRoundTrip:
@@ -96,6 +126,14 @@ func writeChromeEvent(bw *errWriter, e Event, cpm float64, sysName func(uint64) 
 		bw.printf(",\"phys\":\"0x%x\",\"fault_kind\":%d", e.Arg1, e.Arg2)
 	case ClassPageState:
 		bw.printf(",\"first_page\":\"0x%x\",\"pages\":%d,\"assign\":%d", e.Arg1, e.Arg2>>1, e.Arg2&1)
+	case ClassService:
+		bw.printf(",\"service\":%d,\"op\":%d", e.Arg1, e.Arg2)
+	case ClassEnclaveEnter:
+		bw.printf(",\"tag\":%d", e.Arg1)
+	case ClassDenied:
+		bw.printf(",\"reason\":%d,\"context\":\"0x%x\"", e.Arg1, e.Arg2)
+	case ClassInvariant:
+		bw.printf(",\"check\":%d,\"violations\":%d", e.Arg1, e.Arg2)
 	}
 	bw.printf("}}")
 }

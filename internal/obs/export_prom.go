@@ -1,6 +1,9 @@
 package obs
 
-import "io"
+import (
+	"io"
+	"strconv"
+)
 
 // WritePrometheus writes the metrics registry in the Prometheus text
 // exposition format (version 0.0.4): event counters per class, span
@@ -47,6 +50,16 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 		for i, n := range names {
 			if i < len(values) {
 				bw.printf("veil_aux_total{counter=%q} %d\n", n, values[i])
+			}
+		}
+	}
+
+	if names, values := r.AuxGauges(); len(names) > 0 {
+		bw.printf("# HELP veil_aux_gauge Producer-registered derived gauges (rates, ratios).\n")
+		bw.printf("# TYPE veil_aux_gauge gauge\n")
+		for i, n := range names {
+			if i < len(values) {
+				bw.printf("veil_aux_gauge{gauge=%q} %s\n", n, strconv.FormatFloat(values[i], 'f', 6, 64))
 			}
 		}
 	}

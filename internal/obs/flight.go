@@ -1,0 +1,84 @@
+package obs
+
+// DefaultFlightCapacity is the flight-recorder ring size: small enough to
+// stay always-on (~48 B/event ⇒ ~24 KiB), large enough that the dump
+// shows the full request that killed the CVM.
+const DefaultFlightCapacity = 512
+
+// Flight is the always-on post-mortem ring: a bounded event buffer that
+// is kept independent of the (optional, much larger) trace Recorder, so
+// the last-K events before a CVM halt are available even when tracing is
+// off. It carries no metrics registry and never allocates after
+// construction.
+//
+// A nil *Flight is valid and records nothing.
+type Flight struct {
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewFlight creates a flight ring holding capacity events
+// (DefaultFlightCapacity if capacity <= 0).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full. Nil-safe.
+func (f *Flight) Record(e Event) {
+	if f == nil {
+		return
+	}
+	if f.full {
+		f.dropped++
+	}
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	if f.full {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.buf)
+}
+
+// Dropped returns how many events rolled out of the ring.
+func (f *Flight) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, f.Len())
+	if f.full {
+		out = append(out, f.buf[f.next:]...)
+	}
+	return append(out, f.buf[:f.next]...)
+}

@@ -56,6 +56,21 @@ const (
 	// ClassPageState is a hypervisor page-state change batch (Arg1 =
 	// first page, Arg2 = count<<1 | assign bit).
 	ClassPageState
+	// ClassService spans one protected-service invocation through the
+	// monitor's dispatcher (Arg1 = service id, Arg2 = operation code).
+	ClassService
+	// ClassEnclaveEnter spans one SDK enclave call: from the scheduler
+	// hook through the relayed domain switch to the enclave's return
+	// (Arg1 = enclave tag).
+	ClassEnclaveEnter
+	// ClassDenied is a refused-but-survivable operation: a sanitizer
+	// rejection, a blocked hypervisor access, a policy refusal (Arg1/Arg2
+	// carry producer-specific context, see DeniedReason).
+	ClassDenied
+	// ClassInvariant is a security-invariant violation reported by the
+	// online auditor (Arg1 = check index, Arg2 = violation count). Clean
+	// runs never record one.
+	ClassInvariant
 
 	// NumClasses is the number of defined event classes.
 	NumClasses
@@ -64,7 +79,8 @@ const (
 var classNames = [NumClasses]string{
 	"vmgexit", "vmenter", "vmcall", "vmgexit-roundtrip", "domain-switch",
 	"rmpadjust", "pvalidate", "syscall", "audit-emit", "interrupt",
-	"enclave-exit", "fault", "page-state",
+	"enclave-exit", "fault", "page-state", "service", "enclave-enter",
+	"denied", "invariant",
 }
 
 func (c Class) String() string {
@@ -100,6 +116,13 @@ type Event struct {
 	// VMPL is the privilege level of the acting context, or -1 when the
 	// producer does not know it.
 	VMPL int16
+	// Span is the event's own causal identity: non-zero for events that
+	// open a node in the request tree (round trips, syscalls, domain
+	// switches, service invocations). Parent is the span the event is
+	// causally nested under, zero at top level. IDs are allocated
+	// monotonically by the producer's SpanTracker, so identical runs
+	// assign identical trees.
+	Span, Parent uint64
 	// Class is the event's taxonomy entry.
 	Class Class
 	// Kind says whether the event is an Instant or a Span.
@@ -125,10 +148,13 @@ type Recorder struct {
 	dropped uint64
 	met     Metrics
 
-	// aux is a pull-based source of producer-owned named counters (e.g.
-	// the snp machine's TLB statistics). Exporters read it at write time,
-	// so producers pay nothing on their hot paths.
-	aux func() (names []string, values []uint64)
+	// aux holds pull-based sources of producer-owned named counters (e.g.
+	// the snp machine's TLB statistics, the invariant auditor's check
+	// totals). Exporters read them at write time, so producers pay
+	// nothing on their hot paths. gauges are the same for derived
+	// floating-point values (rates, ratios).
+	aux    []func() (names []string, values []uint64)
+	gauges []func() (names []string, values []float64)
 }
 
 // NewRecorder creates a recorder whose ring holds capacity events
@@ -180,23 +206,65 @@ func (r *Recorder) SetKindNames(names []string) {
 	r.met.kindNames = names
 }
 
-// SetAuxCounters registers a pull-based source of named monotonic counters
-// that exporters append to their output (pass nil to detach). The source is
-// called at export time only. Nil-safe.
+// SetAuxCounters resets the counter registry to the single given source
+// (pass nil to detach everything). Sources are called at export time only.
+// Nil-safe.
 func (r *Recorder) SetAuxCounters(src func() (names []string, values []uint64)) {
 	if r == nil {
 		return
 	}
-	r.aux = src
+	if src == nil {
+		r.aux = nil
+		return
+	}
+	r.aux = []func() ([]string, []uint64){src}
 }
 
-// AuxCounters returns the registered source's current counters, or nil
-// slices when no source is attached. Nil-safe.
+// AddAuxCounters appends another pull-based counter source; exporters
+// concatenate all sources in registration order. Nil-safe.
+func (r *Recorder) AddAuxCounters(src func() (names []string, values []uint64)) {
+	if r == nil || src == nil {
+		return
+	}
+	r.aux = append(r.aux, src)
+}
+
+// AuxCounters returns every registered source's current counters,
+// concatenated in registration order. Nil-safe.
 func (r *Recorder) AuxCounters() (names []string, values []uint64) {
-	if r == nil || r.aux == nil {
+	if r == nil {
 		return nil, nil
 	}
-	return r.aux()
+	for _, src := range r.aux {
+		n, v := src()
+		names = append(names, n...)
+		values = append(values, v...)
+	}
+	return names, values
+}
+
+// AddAuxGauges appends a pull-based source of derived floating-point
+// gauges (rates, ratios) that exporters surface alongside the raw
+// counters. Nil-safe.
+func (r *Recorder) AddAuxGauges(src func() (names []string, values []float64)) {
+	if r == nil || src == nil {
+		return
+	}
+	r.gauges = append(r.gauges, src)
+}
+
+// AuxGauges returns every registered gauge source's current values,
+// concatenated in registration order. Nil-safe.
+func (r *Recorder) AuxGauges() (names []string, values []float64) {
+	if r == nil {
+		return nil, nil
+	}
+	for _, src := range r.gauges {
+		n, v := src()
+		names = append(names, n...)
+		values = append(values, v...)
+	}
+	return names, values
 }
 
 // Len returns the number of events currently held.

@@ -1,0 +1,72 @@
+package obs
+
+// SpanRef identifies one causal span handed out by a SpanTracker: the
+// span's own ID and the ID of the span that was current when it began.
+// The zero SpanRef means "no span" and is what every tracker operation
+// degrades to when tracing is off, so producers can thread refs
+// unconditionally.
+type SpanRef struct {
+	ID, Parent uint64
+}
+
+// SpanTracker allocates causal span IDs and maintains the stack of
+// currently-open spans. It is a plain value type embedded by producers
+// (the snp machine embeds one); IDs are handed out monotonically from 1,
+// so identical simulations build identical request trees.
+//
+// The tracker is not safe for concurrent use — the simulator is
+// single-threaded by design.
+type SpanTracker struct {
+	next  uint64
+	stack []uint64
+}
+
+// Begin opens a new span nested under the current one and returns its
+// ref. The caller must End it (directly or through an Observe helper
+// that does) to restore the enclosing span.
+func (t *SpanTracker) Begin() SpanRef {
+	t.next++
+	ref := SpanRef{ID: t.next, Parent: t.Current()}
+	t.stack = append(t.stack, t.next)
+	return ref
+}
+
+// Leaf allocates a span ID nested under the current span without pushing
+// it: for operations that are spans in the timeline but can never have
+// children of their own (e.g. a single domain-switch direction).
+func (t *SpanTracker) Leaf() SpanRef {
+	t.next++
+	return SpanRef{ID: t.next, Parent: t.Current()}
+}
+
+// End closes ref. Spans normally close in LIFO order; if an error path
+// skipped inner Ends, everything opened after ref is unwound with it.
+// Ending the zero ref is a no-op.
+func (t *SpanTracker) End(ref SpanRef) {
+	if ref.ID == 0 {
+		return
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == ref.ID {
+			t.stack = t.stack[:i]
+			return
+		}
+	}
+}
+
+// Current returns the innermost open span's ID, or zero.
+func (t *SpanTracker) Current() uint64 {
+	if n := len(t.stack); n > 0 {
+		return t.stack[n-1]
+	}
+	return 0
+}
+
+// Open returns a copy of the open-span stack, outermost first. The
+// post-mortem dump records it as the active request context at the time
+// of death.
+func (t *SpanTracker) Open() []uint64 {
+	out := make([]uint64, len(t.stack))
+	copy(out, t.stack)
+	return out
+}

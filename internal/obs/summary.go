@@ -13,6 +13,9 @@ func WriteSummary(w io.Writer, r *Recorder) error {
 	m := r.Metrics()
 
 	bw.printf("observability summary (%d events retained, %d dropped)\n", r.Len(), r.Dropped())
+	if d := r.Dropped(); d > 0 {
+		bw.printf("  WARNING: trace ring overflowed; the oldest %d events were evicted (raise the capacity or trim the workload)\n", d)
+	}
 	bw.printf("  %-18s %12s\n", "event class", "count")
 	for c := Class(0); c < NumClasses; c++ {
 		if n := m.Count(c); n > 0 {

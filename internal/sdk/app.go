@@ -212,8 +212,15 @@ func (a *AppRuntime) enter(vcpu int, ghcb uint64, rt *EnclaveRuntime, args []str
 	}
 	// Enter the enclave: a hypervisor-relayed switch through the user
 	// GHCB (the MSR write happened above, at CPL0, via the scheduler).
+	// The whole call — switch in, enclave execution including its OCALL
+	// round trips, switch back — is one causal span tagged with the
+	// enclave's domain tag.
+	start := a.C.M.Clock().Cycles()
+	ref := a.C.M.BeginSpan()
 	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: a.Tag}
-	if err := a.C.HV.GuestCall(vcpu, snp.VMPL3, snp.CPL3, ghcb, g); err != nil {
+	err := a.C.HV.GuestCall(vcpu, snp.VMPL3, snp.CPL3, ghcb, g)
+	a.C.M.ObserveEnclaveEnter(a.Tag, start, ref)
+	if err != nil {
 		return -1, fmt.Errorf("sdk: enclave entry: %w", err)
 	}
 	status, err := a.mem.ReadU64(a.sharedVirt + eStatus)

@@ -20,6 +20,7 @@ func (m *Machine) LaunchLoad(phys uint64, data []byte) error {
 			return &Fault{Kind: FaultGP, Phys: phys + p*PageSize, Why: "launch load over in-use page"}
 		}
 		*e = RMPEntry{Assigned: true, Validated: true, Perms: [NumVMPLs]Perm{VMPL0: PermAll}}
+		m.validatedCount++
 		lo := p * PageSize
 		hi := lo + PageSize
 		if hi > uint64(len(data)) {

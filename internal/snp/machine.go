@@ -68,6 +68,35 @@ type Machine struct {
 	// the hypervisor at its entry points.
 	rec     *obs.Recorder
 	obsVCPU int32
+
+	// spans allocates causal span IDs and tracks the open-span stack; it
+	// only advances while a sink (recorder, flight ring or audit hook) is
+	// attached, so the no-observer fast path stays allocation-free.
+	spans obs.SpanTracker
+	// flight, when non-nil, is the always-on bounded ring feeding the
+	// post-mortem dump; it records the same events as rec but survives
+	// with tracing off.
+	flight *obs.Flight
+	// auditHook, when non-nil, is called after every recorded event (with
+	// inAudit guarding re-entry) so an online invariant auditor can pace
+	// itself by event count and domain switches.
+	auditHook func(obs.Event)
+	inAudit   bool
+
+	// rmpMutations counts every architectural RMP/page-state mutation,
+	// unconditionally — unlike MemStats.TLBRMPFlushes, which a broken TLB
+	// mode may suppress. The invariant auditor compares the two.
+	rmpMutations uint64
+	// validatedCount incrementally tracks pages with Validated set; the
+	// auditor's sweep checks it against a full RMP scan.
+	validatedCount uint64
+
+	// rmpBaseline is the RMP snapshot the post-mortem diffs against,
+	// captured by SnapshotRMPBaseline after launch.
+	rmpBaseline []RMPEntry
+	// pm is the post-mortem dump, built once on the first halt or
+	// explicit trigger.
+	pm *PostMortem
 }
 
 // NewMachine creates a machine with all pages hypervisor-owned (shared),
@@ -110,6 +139,7 @@ func (m *Machine) Halt(f *Fault) error {
 	if m.halted == nil {
 		m.halted = f
 		m.ObserveFault(f)
+		m.buildPostMortem("halt: "+f.Kind.String(), f)
 	}
 	return m.halted
 }
@@ -247,6 +277,7 @@ func (m *Machine) HVReadPhys(phys uint64, buf []byte) error {
 		// Reads of encrypted guest memory return ciphertext garbage on
 		// real hardware; the model returns an error so tests can assert
 		// the leak did not happen.
+		m.ObserveDenied(DeniedHVRead, PageBase(phys))
 		return fmt.Errorf("snp: hypervisor read of guest-assigned page %#x blocked", PageBase(phys))
 	}
 	copy(buf, m.mem[phys:phys+uint64(len(buf))])
@@ -261,6 +292,7 @@ func (m *Machine) HVWritePhys(phys uint64, buf []byte) error {
 		return err
 	}
 	if m.rmp[pi].Assigned {
+		m.ObserveDenied(DeniedHVWrite, PageBase(phys))
 		return fmt.Errorf("snp: hypervisor write to guest-assigned page %#x blocked", PageBase(phys))
 	}
 	if m.isPTPage(pi) {

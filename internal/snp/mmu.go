@@ -122,14 +122,28 @@ func (a AccessContext) permCheck(virt, phys uint64, eff uint64, effNX bool, acc 
 	return nil
 }
 
-// translate resolves virt through the software TLB, falling back to the
+// translate resolves virt and records the recoverable fault, if any, as a
+// ClassFault event: guest #PFs are handled (not halting), so this is the
+// only place they become visible to the trace, the flight ring and the
+// auditor.
+func (a AccessContext) translate(virt uint64, acc Access) (uint64, *tlbEntry, error) {
+	phys, e, err := a.translateTLB(virt, acc)
+	if err != nil {
+		if f, ok := AsFault(err); ok {
+			a.M.ObserveFault(f)
+		}
+	}
+	return phys, e, err
+}
+
+// translateTLB resolves virt through the software TLB, falling back to the
 // hardware walk on a miss. It returns the live cache slot (nil when the
 // leaf is uncacheable) so the span path can reuse and extend its RMP
 // verdict mask in place. Negative walk outcomes (not-present,
 // non-canonical, null CR3) are never cached; a completed walk is cached
 // even when the access then takes a permission #PF, because the cached
 // frame and permission bits reproduce that fault bit-identically.
-func (a AccessContext) translate(virt uint64, acc Access) (uint64, *tlbEntry, error) {
+func (a AccessContext) translateTLB(virt uint64, acc Access) (uint64, *tlbEntry, error) {
 	if a.CR3 == 0 {
 		return 0, nil, &Fault{Kind: FaultGP, VMPL: a.VMPL, CPL: a.CPL, Virt: virt, Why: "null CR3"}
 	}

@@ -5,24 +5,43 @@ import "veil/internal/obs"
 // This file is the machine's observation layer: every architectural event
 // the simulator counts flows through exactly one Observe* helper. Each
 // helper maintains the legacy Trace counter for its event (so Trace stays a
-// thin compatibility view over the same instrumentation) and, when a
-// recorder is attached, records a typed obs event stamped with the virtual
-// cycle clock, the current VCPU and — where the producer knows it — the
-// acting VMPL.
+// thin compatibility view over the same instrumentation) and, when a sink
+// is attached, records a typed obs event stamped with the virtual cycle
+// clock, the current VCPU, the acting VMPL and — new in obs v2 — the
+// causal span context.
 //
-// With no recorder attached (the default) every helper is a counter bump
-// plus a nil check: the fast path performs no allocation, which
-// TestNilRecorderFastPath pins with testing.AllocsPerRun.
+// Three sinks can be attached independently: the trace Recorder (large
+// ring + metrics, veil-sim -trace), the Flight ring (small, always-on,
+// feeds the post-mortem dump), and the audit hook (the online invariant
+// auditor paces itself off the event stream). With none attached (the
+// default for a bare Machine) every helper is a counter bump plus a nil
+// check: the fast path performs no allocation, which
+// TestNilRecorderMachineZeroAllocs pins with testing.AllocsPerRun.
 
 // SetRecorder attaches (or, with nil, detaches) an event recorder. The
-// recorder also receives cycle attribution from the Clock and the cost-kind
-// display names for its exporters.
+// recorder also receives cycle attribution from the Clock, the cost-kind
+// display names, the memory-path counters and the derived TLB gauges for
+// its exporters.
 func (m *Machine) SetRecorder(r *obs.Recorder) {
 	m.rec = r
 	m.clock.rec = r
 	r.SetKindNames(CostKindNames())
 	r.SetAuxCounters(m.memCounters)
+	r.AddAuxGauges(m.memGauges)
 }
+
+// SetFlight attaches (or, with nil, detaches) the always-on flight ring
+// that feeds the post-mortem dump.
+func (m *Machine) SetFlight(f *obs.Flight) { m.flight = f }
+
+// Flight returns the attached flight ring (nil when detached).
+func (m *Machine) Flight() *obs.Flight { return m.flight }
+
+// SetAuditHook installs (or, with nil, removes) the online invariant
+// auditor's pacing hook. The hook runs after every recorded event; the
+// machine guards against re-entry, so checks may themselves emit
+// ClassInvariant events through ObserveInvariant.
+func (m *Machine) SetAuditHook(fn func(obs.Event)) { m.auditHook = fn }
 
 // memCounters surfaces the memory-path statistics (tlb.go) to obs
 // exporters. Pull-based: called only when an exporter runs, so the TLB hot
@@ -33,6 +52,17 @@ func (m *Machine) memCounters() ([]string, []uint64) {
 		[]uint64{s.TLBHits, s.TLBMisses, s.TLBFlushes, s.TLBRMPFlushes, s.TLBPTInvalidation, s.SpanReads, s.SpanWrites}
 }
 
+// memGauges derives the TLB hit rate from the raw counters so -metrics
+// pages expose it directly instead of leaving the division to dashboards.
+func (m *Machine) memGauges() ([]string, []float64) {
+	s := m.memStats
+	var rate float64
+	if total := s.TLBHits + s.TLBMisses; total > 0 {
+		rate = float64(s.TLBHits) / float64(total)
+	}
+	return []string{"tlb-hit-rate"}, []float64{rate}
+}
+
 // Recorder returns the attached recorder (nil when tracing is off).
 func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
@@ -41,16 +71,64 @@ func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 // injection, VCPU start); machine-internal events inherit the last value.
 func (m *Machine) SetObsVCPU(v int) { m.obsVCPU = int32(v) }
 
-// emit records one event if a recorder is attached. TS is the current
-// virtual cycle count; spans pass the cycles at which they started.
+// observing reports whether any event sink is attached.
+func (m *Machine) observing() bool {
+	return m.rec != nil || m.flight != nil || m.auditHook != nil
+}
+
+// BeginSpan opens a causal span nested under the current one. With no
+// sink attached it returns the zero ref, keeping the fast path free.
+func (m *Machine) BeginSpan() obs.SpanRef {
+	if !m.observing() {
+		return obs.SpanRef{}
+	}
+	return m.spans.Begin()
+}
+
+// EndSpan closes a span opened with BeginSpan (zero refs no-op). Most
+// producers never call it directly: the Observe helper that records the
+// span's completion event closes it.
+func (m *Machine) EndSpan(ref obs.SpanRef) {
+	if ref.ID != 0 {
+		m.spans.End(ref)
+	}
+}
+
+// CurrentSpan returns the innermost open span's ID (zero when none).
+func (m *Machine) CurrentSpan() uint64 { return m.spans.Current() }
+
+// OpenSpans returns the open-span stack, outermost first.
+func (m *Machine) OpenSpans() []uint64 { return m.spans.Open() }
+
+// emit records one instant event under the current span, if a sink is
+// attached.
 func (m *Machine) emit(class obs.Class, kind obs.EventKind, dur uint64, vmpl int16, a1, a2 uint64) {
-	if m.rec == nil {
+	m.emitSpan(class, kind, dur, vmpl, a1, a2, obs.SpanRef{})
+}
+
+// emitSpan records one event carrying an explicit span identity (the
+// zero ref degrades to an instant under the current span). Every sink —
+// recorder, flight ring, audit hook — sees the same event.
+func (m *Machine) emitSpan(class obs.Class, kind obs.EventKind, dur uint64, vmpl int16, a1, a2 uint64, ref obs.SpanRef) {
+	if !m.observing() {
 		return
 	}
-	m.rec.Record(obs.Event{
+	parent := ref.Parent
+	if ref.ID == 0 {
+		parent = m.spans.Current()
+	}
+	e := obs.Event{
 		TS: m.clock.total, Dur: dur, Arg1: a1, Arg2: a2,
 		VCPU: m.obsVCPU, VMPL: vmpl, Class: class, Kind: kind,
-	})
+		Span: ref.ID, Parent: parent,
+	}
+	m.rec.Record(e)
+	m.flight.Record(e)
+	if m.auditHook != nil && !m.inAudit {
+		m.inAudit = true
+		m.auditHook(e)
+		m.inAudit = false
+	}
 }
 
 // ObserveVMGEXIT counts one non-automatic exit (VMSA state save).
@@ -72,16 +150,24 @@ func (m *Machine) ObserveVMCall() {
 }
 
 // ObserveRoundTrip records the span of one full VMGEXIT service round trip
-// that began at startCycles, tagged with the GHCB exit code.
-func (m *Machine) ObserveRoundTrip(exitCode uint64, startCycles uint64) {
-	m.emit(obs.ClassRoundTrip, obs.Span, m.clock.total-startCycles, -1, exitCode, 0)
+// that began at startCycles, tagged with the GHCB exit code. ref is the
+// causal span the hypervisor opened for the round trip; it is closed here.
+func (m *Machine) ObserveRoundTrip(exitCode uint64, startCycles uint64, ref obs.SpanRef) {
+	m.EndSpan(ref)
+	m.emitSpan(obs.ClassRoundTrip, obs.Span, m.clock.total-startCycles, -1, exitCode, 0, ref)
 }
 
 // ObserveDomainSwitch counts one completed hypervisor-relayed domain switch
-// from one VMPL to another, spanning from startCycles to now.
+// from one VMPL to another, spanning from startCycles to now. The switch is
+// a leaf span: it gets its own causal identity under the current span but
+// never parents other events.
 func (m *Machine) ObserveDomainSwitch(from, to VMPL, startCycles uint64) {
 	m.trace.DomainSwitches++
-	m.emit(obs.ClassDomainSwitch, obs.Span, m.clock.total-startCycles, int16(from), uint64(from), uint64(to))
+	var ref obs.SpanRef
+	if m.observing() {
+		ref = m.spans.Leaf()
+	}
+	m.emitSpan(obs.ClassDomainSwitch, obs.Span, m.clock.total-startCycles, int16(from), uint64(from), uint64(to), ref)
 }
 
 // observeRMPAdjust counts one RMPADJUST by caller on the page at phys,
@@ -102,10 +188,36 @@ func (m *Machine) observePValidate(caller VMPL, phys uint64, validate bool) {
 	m.emit(obs.ClassPValidate, obs.Instant, 0, int16(caller), PageBase(phys), v)
 }
 
-// ObserveSyscall counts one guest-kernel syscall entry.
-func (m *Machine) ObserveSyscall(vmpl VMPL, sysno uint64) {
+// ObserveSyscallEnter counts one guest-kernel syscall entry and opens its
+// causal span; everything the syscall causes — audit relays, domain
+// switches, RMP instructions — nests under the returned ref until
+// ObserveSyscallExit closes it.
+func (m *Machine) ObserveSyscallEnter(vmpl VMPL, sysno uint64) obs.SpanRef {
 	m.trace.Syscalls++
-	m.emit(obs.ClassSyscall, obs.Instant, 0, int16(vmpl), sysno, 0)
+	return m.BeginSpan()
+}
+
+// ObserveSyscallExit records the syscall's span event (Dur covers entry to
+// exit) and closes the causal span opened by ObserveSyscallEnter.
+func (m *Machine) ObserveSyscallExit(vmpl VMPL, sysno uint64, startCycles uint64, ref obs.SpanRef) {
+	m.EndSpan(ref)
+	m.emitSpan(obs.ClassSyscall, obs.Span, m.clock.total-startCycles, int16(vmpl), sysno, 0, ref)
+}
+
+// ObserveService records one protected-service invocation dispatched by
+// the monitor (svc/op from the IDCB request), spanning from startCycles.
+// ref is the span the dispatcher opened; it is closed here.
+func (m *Machine) ObserveService(vmpl VMPL, svc, op uint64, startCycles uint64, ref obs.SpanRef) {
+	m.EndSpan(ref)
+	m.emitSpan(obs.ClassService, obs.Span, m.clock.total-startCycles, int16(vmpl), svc, op, ref)
+}
+
+// ObserveEnclaveEnter records one completed SDK enclave call (scheduler
+// hook through relayed switch and back), tagged with the enclave's domain
+// tag. ref is the span the SDK opened; it is closed here.
+func (m *Machine) ObserveEnclaveEnter(tag uint64, startCycles uint64, ref obs.SpanRef) {
+	m.EndSpan(ref)
+	m.emitSpan(obs.ClassEnclaveEnter, obs.Span, m.clock.total-startCycles, int16(VMPL2), tag, 0, ref)
 }
 
 // ObserveAudit counts one emitted audit record of the given size.
@@ -128,13 +240,51 @@ func (m *Machine) ObserveEnclaveExit() {
 	m.emit(obs.ClassEnclaveExit, obs.Instant, 0, int16(VMPL2), 0, 0)
 }
 
-// ObserveFault records an architectural fault event (no trace counter
-// exists for faults; under Veil's protections the first #NPF is terminal).
+// ObserveFault records an architectural fault event. Halting #NPFs reach
+// it through Halt; the non-halting fault paths (#GP refusals, guest #PF)
+// call it at the point the fault is minted, so attack suites leave
+// machine-checkable evidence even when the CVM survives.
 func (m *Machine) ObserveFault(f *Fault) {
 	if f == nil {
 		return
 	}
 	m.emit(obs.ClassFault, obs.Instant, 0, int16(f.VMPL), f.Phys, uint64(f.Kind))
+}
+
+// DeniedReason classifies refused-but-survivable operations for
+// ClassDenied events (Arg1).
+type DeniedReason uint64
+
+const (
+	// DeniedHVRead: hypervisor read of a guest-assigned page blocked.
+	DeniedHVRead DeniedReason = iota
+	// DeniedHVWrite: hypervisor write to a guest-assigned page blocked.
+	DeniedHVWrite
+	// DeniedSanitize: the monitor's sanitizer rejected an OS-supplied
+	// address range (§5.2).
+	DeniedSanitize
+	// DeniedPinned: the kernel refused to retype or unmap a region pinned
+	// by a protected service (§7).
+	DeniedPinned
+	// DeniedGHCB: the hypervisor could not read the GHCB the exiting VCPU
+	// pointed at (unmapped or guest-private page).
+	DeniedGHCB
+	// DeniedPolicy: a domain-switch request refused by GHCB policy.
+	DeniedPolicy
+)
+
+// ObserveDenied records one refused-but-survivable operation: sanitizer
+// rejections, blocked hypervisor accesses, policy refusals. These are the
+// defence-held breadcrumbs the attack suites assert on.
+func (m *Machine) ObserveDenied(reason DeniedReason, context uint64) {
+	m.emit(obs.ClassDenied, obs.Instant, 0, -1, uint64(reason), context)
+}
+
+// ObserveInvariant records one invariant-auditor violation report: check
+// is the auditor's catalog index, violations how many sites the check
+// found this pass. Clean runs never emit one.
+func (m *Machine) ObserveInvariant(check uint64, violations uint64) {
+	m.emit(obs.ClassInvariant, obs.Instant, 0, -1, check, violations)
 }
 
 // ObservePageState records one hypervisor page-state change batch starting

@@ -20,7 +20,8 @@ func TestObserveHelpersFeedTraceAndRecorder(t *testing.T) {
 
 	m.ObserveVMGEXIT()
 	m.ObserveVMENTER()
-	m.ObserveSyscall(VMPL3, 2)
+	ref := m.ObserveSyscallEnter(VMPL3, 2)
+	m.ObserveSyscallExit(VMPL3, 2, 0, ref)
 	m.ObserveAudit(VMPL1, 64)
 	m.ObserveDomainSwitch(VMPL3, VMPL0, 0)
 	m.ObserveInterrupt()
@@ -85,7 +86,8 @@ func TestNilRecorderMachineZeroAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		m.ObserveVMGEXIT()
 		m.ObserveVMENTER()
-		m.ObserveSyscall(VMPL3, 1)
+		ref := m.ObserveSyscallEnter(VMPL3, 1)
+		m.ObserveSyscallExit(VMPL3, 1, 0, ref)
 		m.ObserveDomainSwitch(VMPL3, VMPL0, 0)
 		m.Clock().Charge(CostVMGEXIT, 10)
 	})

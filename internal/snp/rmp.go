@@ -52,6 +52,25 @@ func (e *RMPEntry) checkGuestAccess(vmpl VMPL, cpl CPL, a Access) error {
 	return nil
 }
 
+// guestAccessOK reports whether checkGuestAccess would allow the access,
+// without constructing the fault. The invariant auditor's sweeps probe
+// RMP entries millions of times on healthy machines where denial is the
+// expected outcome, and each *Fault would be a heap allocation; this twin
+// keeps those loops allocation-free. TestGuestAccessOKMatchesCheck pins
+// the two implementations together over the full entry state space.
+func (e *RMPEntry) guestAccessOK(vmpl VMPL, cpl CPL, a Access) bool {
+	if !vmpl.Valid() || e.VMSA {
+		return false
+	}
+	if !e.Assigned {
+		return a != AccessExec
+	}
+	if !e.Validated {
+		return false
+	}
+	return e.Perms[vmpl].Has(permFor(a, cpl))
+}
+
 // RMPEntryAt returns a copy of the RMP entry for the page containing phys.
 // (Inspection only; the architectural mutators are RMPAdjust, PValidate and
 // the hypervisor assignment calls.)
@@ -85,8 +104,10 @@ func (m *Machine) RMPAdjust(callerVMPL VMPL, phys uint64, targetVMPL VMPL, perms
 		return err
 	}
 	if !targetVMPL.Valid() || !callerVMPL.MorePrivilegedThan(targetVMPL) {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys,
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys,
 			Why: fmt.Sprintf("RMPADJUST target %s not below caller %s", targetVMPL, callerVMPL)}
+		m.ObserveFault(f)
+		return f
 	}
 	e := &m.rmp[pi]
 	if e.VMSA {
@@ -106,8 +127,10 @@ func (m *Machine) RMPAdjust(callerVMPL VMPL, phys uint64, targetVMPL VMPL, perms
 		return f
 	}
 	if !e.Perms[callerVMPL].Has(perms) {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys,
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys,
 			Why: fmt.Sprintf("RMPADJUST grants %s beyond caller's %s", perms, e.Perms[callerVMPL])}
+		m.ObserveFault(f)
+		return f
 	}
 	e.Perms[targetVMPL] = perms
 	m.rmpFlushTLB() // hardware requires TLB invalidation after RMPADJUST
@@ -129,7 +152,9 @@ func (m *Machine) PValidate(callerVMPL VMPL, phys uint64, validate bool) error {
 		return err
 	}
 	if callerVMPL != VMPL0 {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "PVALIDATE requires VMPL0"}
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "PVALIDATE requires VMPL0"}
+		m.ObserveFault(f)
+		return f
 	}
 	e := &m.rmp[pi]
 	if !e.Assigned {
@@ -142,6 +167,7 @@ func (m *Machine) PValidate(callerVMPL VMPL, phys uint64, validate bool) error {
 	}
 	e.Validated = validate
 	if validate {
+		m.validatedCount++
 		// A freshly validated page becomes fully accessible to VMPL0 and
 		// inherits no permissions at lower levels until granted.
 		e.Perms = [NumVMPLs]Perm{VMPL0: PermAll}
@@ -153,6 +179,7 @@ func (m *Machine) PValidate(callerVMPL VMPL, phys uint64, validate bool) error {
 			m.invalidatePTPage(pi)
 		}
 	} else {
+		m.validatedCount--
 		e.Perms = [NumVMPLs]Perm{}
 	}
 	m.rmpFlushTLB() // validated state feeds every cached RMP verdict

@@ -1,0 +1,68 @@
+package snp
+
+import "testing"
+
+// TestGuestAccessOKMatchesCheck pins the allocation-free guestAccessOK to
+// checkGuestAccess over the entire RMPEntry decision space: every
+// combination of the VMSA/Assigned/Validated bits, every permission vector
+// at every VMPL, probed at every (VMPL, CPL, Access) triple including one
+// architecturally invalid VMPL. If the two implementations ever drift, the
+// auditor would silently disagree with the enforcement path it audits.
+func TestGuestAccessOKMatchesCheck(t *testing.T) {
+	cpls := []CPL{CPL0, CPL3}
+	accesses := []Access{AccessRead, AccessWrite, AccessExec}
+	probeVMPLs := []VMPL{VMPL0, VMPL1, VMPL2, VMPL3, VMPL(7)}
+
+	var cases int
+	for bits := 0; bits < 8; bits++ {
+		e := RMPEntry{
+			Assigned:  bits&1 != 0,
+			Validated: bits&2 != 0,
+			VMSA:      bits&4 != 0,
+		}
+		// Sweep each VMPL's permission nibble independently; cross-VMPL
+		// coupling does not exist in either implementation, so one hot
+		// level at a time with the others at PermNone/PermAll covers the
+		// decision space.
+		for hot := VMPL0; hot < NumVMPLs; hot++ {
+			for p := Perm(0); p <= PermAll; p++ {
+				for _, rest := range []Perm{PermNone, PermAll} {
+					e.Perms = [NumVMPLs]Perm{rest, rest, rest, rest}
+					e.Perms[hot] = p
+					for _, v := range probeVMPLs {
+						for _, cpl := range cpls {
+							for _, a := range accesses {
+								cases++
+								gotOK := e.guestAccessOK(v, cpl, a)
+								err := e.checkGuestAccess(v, cpl, a)
+								if gotOK != (err == nil) {
+									t.Fatalf("drift: entry=%+v probe=(%s,%s,%s): guestAccessOK=%v checkGuestAccess=%v",
+										e, v, cpl, a, gotOK, err)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if cases == 0 {
+		t.Fatal("no cases exercised")
+	}
+}
+
+// guestAccessOK must not allocate: the auditor probes VMSA pages on every
+// paced fast pass, and the healthy outcome is a denial on every probe.
+func TestGuestAccessOKAllocFree(t *testing.T) {
+	e := RMPEntry{Assigned: true, Validated: true, VMSA: true}
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := VMPL0; v < NumVMPLs; v++ {
+			if e.guestAccessOK(v, CPL0, AccessRead) {
+				t.Fatal("VMSA page readable")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guestAccessOK allocated %.1f times per run; want 0", allocs)
+	}
+}

@@ -94,6 +94,10 @@ func (m *Machine) FlushTLB() {
 // rmpFlushTLB invalidates every cached RMP verdict (translations survive).
 // Every architectural RMP or page-state mutation calls it.
 func (m *Machine) rmpFlushTLB() {
+	// Count the mutation before the broken-mode guard: rmpMutations is the
+	// auditor's ground truth, and must diverge from TLBRMPFlushes exactly
+	// when invalidation is (wrongly) suppressed.
+	m.rmpMutations++
 	if m.tlbNoInvalidate {
 		return
 	}

@@ -43,10 +43,14 @@ func (m *Machine) CreateVMSA(callerVMPL VMPL, phys uint64, state VMSA) error {
 		return fmt.Errorf("snp: VMSA must be page aligned, got %#x", phys)
 	}
 	if callerVMPL != VMPL0 {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "RMPADJUST(VMSA) requires VMPL0"}
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "RMPADJUST(VMSA) requires VMPL0"}
+		m.ObserveFault(f)
+		return f
 	}
 	if !state.VMPL.Valid() {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA with invalid target VMPL"}
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA with invalid target VMPL"}
+		m.ObserveFault(f)
+		return f
 	}
 	e := &m.rmp[pi]
 	if !e.Assigned || !e.Validated {
@@ -85,6 +89,7 @@ func (m *Machine) HVCreateBootVMSA(phys uint64, state VMSA) error {
 	}
 	*e = RMPEntry{Assigned: true, Validated: true, VMSA: true, VMSATargetVMPL: VMPL0,
 		Perms: [NumVMPLs]Perm{VMPL0: PermAll}}
+	m.validatedCount++
 	v := state
 	v.Runnable = true
 	m.vmsas[phys] = &v
@@ -113,7 +118,9 @@ func (m *Machine) UpdateVMSA(callerVMPL VMPL, phys uint64, mutate func(*VMSA)) e
 		return err
 	}
 	if callerVMPL != VMPL0 {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA update requires VMPL0"}
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA update requires VMPL0"}
+		m.ObserveFault(f)
+		return f
 	}
 	v, err := m.VMSAAt(phys)
 	if err != nil {
@@ -130,7 +137,9 @@ func (m *Machine) DestroyVMSA(callerVMPL VMPL, phys uint64) error {
 		return err
 	}
 	if callerVMPL != VMPL0 {
-		return &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA destroy requires VMPL0"}
+		f := &Fault{Kind: FaultGP, VMPL: callerVMPL, Phys: phys, Why: "VMSA destroy requires VMPL0"}
+		m.ObserveFault(f)
+		return f
 	}
 	pi, err := m.pageIndex(phys)
 	if err != nil {
