@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath parallel-check clean
 
 all: vet test
 
@@ -54,6 +54,25 @@ audit:
 # wall-clock ratio, so the measured window must swamp scheduler jitter.
 bench-obs:
 	$(GO) run ./cmd/veil-bench -experiment obs -iters 30000 -json BENCH_obs.json
+
+# Regenerate the committed batched-invocation amortization curve
+# (BENCH_batch.json). Fully deterministic with -stable: every value is
+# virtual cycles, so CI can byte-compare and -compare it across builds.
+bench-batch:
+	$(GO) run ./cmd/veil-bench -experiment batch -stable -json BENCH_batch.json
+
+# Regenerate the committed memory-path measurement (-stable zeroes the one
+# wall-clock field so the file is reproducible).
+bench-mempath:
+	$(GO) run ./cmd/veil-bench -experiment mempath -stable -json BENCH_mempath.json
+
+# The parallel experiment runner must not change results: shard the full
+# suite across 4 workers and byte-compare against the sequential run.
+parallel-check:
+	$(GO) run ./cmd/veil-bench -experiment all -iters 500 -stable -json /tmp/veil-bench-j1.json -j 1
+	$(GO) run ./cmd/veil-bench -experiment all -iters 500 -stable -json /tmp/veil-bench-j4.json -j 4
+	cmp /tmp/veil-bench-j1.json /tmp/veil-bench-j4.json
+	$(GO) run ./cmd/veil-bench -compare /tmp/veil-bench-j1.json /tmp/veil-bench-j4.json
 
 # End-to-end demo of all protected services.
 demo:

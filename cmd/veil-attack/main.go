@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	veil-attack -suite all          # framework + enclave + validation + tlb
+//	veil-attack -suite all          # framework + enclave + validation + tlb + ring
 //	veil-attack -suite framework    # Table 1
 //	veil-attack -suite enclave     # Table 2
 //	veil-attack -suite validation  # §8.3
 //	veil-attack -suite tlb         # stale-TLB translations
+//	veil-attack -suite ring        # batched service-ring forgeries
 //	veil-attack -audit             # attach the invariant auditor to every CVM
 //	veil-attack -evidence          # print per-attack flight-recorder evidence
 //
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|all")
+	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|ring|all")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every attack CVM")
 	evidence := flag.Bool("evidence", false, "print and require flight-recorder evidence per attack")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 	run("enclave", attacks.Enclave)
 	run("validation", attacks.Validation)
 	run("tlb", attacks.TLB)
+	run("ring", attacks.Ring)
 
 	breached, unobserved := 0, 0
 	for _, r := range results {

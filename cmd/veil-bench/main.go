@@ -5,184 +5,272 @@
 //
 //	veil-bench -experiment all
 //	veil-bench -experiment fig4 -iters 10000
-//	veil-bench -experiment boot -mem 2048   # MiB, the paper's testbed
-//	veil-bench -experiment fig5 -json -     # machine-readable results
+//	veil-bench -experiment boot -mem 2048     # MiB, the paper's testbed
+//	veil-bench -experiment fig5 -json -       # machine-readable results
+//	veil-bench -experiment all -j 4 -stable   # parallel, wall-clock scrubbed
+//	veil-bench -compare old.json new.json     # fail on >10% cycle regression
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
+	"sync"
 
 	"veil/internal/bench"
 )
 
+var (
+	iters  int
+	memMB  uint64
+	stable bool
+	text   bool
+)
+
+// experiment is one named generator. run computes the machine-readable
+// result and, in text mode, writes the human report to w. Experiments are
+// independent (each boots its own CVMs from fixed seeds), which is what
+// makes the -j worker pool sound.
+type experiment struct {
+	name string
+	run  func(w io.Writer) (any, error)
+}
+
+// experiments is the canonical order: reports and JSON keys come out the
+// same way regardless of -j, so parallel output is byte-identical to
+// sequential output.
+var experiments = []experiment{
+	{"boot", func(w io.Writer) (any, error) {
+		r, err := bench.BootInit(memMB << 20)
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportBoot(w, r)
+		}
+		return r, nil
+	}},
+	{"switch", func(w io.Writer) (any, error) {
+		r, err := bench.DomainSwitchCost(iters)
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportSwitch(w, r)
+		}
+		return r, nil
+	}},
+	{"background", func(w io.Writer) (any, error) {
+		rows, err := bench.Background()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportBackground(w, rows)
+		}
+		return rows, nil
+	}},
+	{"cs1", func(w io.Writer) (any, error) {
+		n := iters
+		if n > 100 {
+			n = 100 // the paper's repetition count
+		}
+		r, err := bench.CS1Module(n)
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportCS1(w, r)
+		}
+		return r, nil
+	}},
+	{"fig4", func(w io.Writer) (any, error) {
+		rows, attr, err := bench.Fig4Attr(iters)
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportFig4(w, rows)
+			bench.ReportAttribution(w, "enclave side", attr)
+		}
+		return map[string]any{"rows": rows, "attribution": attr}, nil
+	}},
+	{"fig5", func(w io.Writer) (any, error) {
+		rows, err := bench.Fig5()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportFig5(w, rows)
+		}
+		return rows, nil
+	}},
+	{"fig6", func(w io.Writer) (any, error) {
+		rows, err := bench.Fig6()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportFig6(w, rows)
+		}
+		return rows, nil
+	}},
+	{"mempath", func(w io.Writer) (any, error) {
+		// The fixed workload touches ~1200 pages per iteration; cap the
+		// shared -iters default so "all" stays fast while still producing
+		// stable TLB counters (everything but HostSeconds is deterministic).
+		n := iters
+		if n > 500 {
+			n = 500
+		}
+		r, err := bench.MemPath(n)
+		if err != nil {
+			return nil, err
+		}
+		if stable {
+			r.HostSeconds = 0
+		}
+		if text {
+			bench.ReportMemPath(w, r)
+		}
+		return r, nil
+	}},
+	{"monitors", func(w io.Writer) (any, error) {
+		if text {
+			bench.ReportMonitors(w)
+		}
+		return nil, nil
+	}},
+	{"obs", func(w io.Writer) (any, error) {
+		// Uncapped: the wall-clock comparison needs runs long enough to
+		// swamp scheduler jitter (default 10000 inserts ≈ 100 ms per side).
+		r, err := bench.ObsPath(iters)
+		if err != nil {
+			return nil, err
+		}
+		if stable {
+			// Host-time fields (and the percentages derived from them) are
+			// the only nondeterministic outputs; -stable zeroes them so runs
+			// can be byte-compared.
+			r.HostSecondsDark = 0
+			r.HostSecondsTracing = 0
+			r.HostSecondsAudited = 0
+			r.TracingOverheadPct = 0
+			r.AuditorOverheadPct = 0
+		}
+		if text {
+			bench.ReportObsPath(w, r)
+		}
+		return r, nil
+	}},
+	{"ablation", func(w io.Writer) (any, error) {
+		rows, err := bench.Ablation()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportAblation(w, rows)
+		}
+		return rows, nil
+	}},
+	{"batch", func(w io.Writer) (any, error) {
+		r, err := bench.Batch()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportBatch(w, r)
+		}
+		return r, nil
+	}},
+}
+
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|all")
-	iters := flag.Int("iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
-	memMB := flag.Uint64("mem", 2048, "guest memory (MiB) for the boot experiment")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|all")
+	flag.IntVar(&iters, "iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
+	flag.Uint64Var(&memMB, "mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
 		"emit machine-readable per-experiment results as JSON to this path ('-' = stdout) instead of text reports")
 	auditOn := flag.Bool("audit", false,
 		"attach the security-invariant auditor to every experiment CVM and exit 1 on any violation (the clean-workload CI check; charges no virtual cycles, so goldens are unaffected)")
+	jobs := flag.Int("j", 1, "experiments to run in parallel (output order is unaffected)")
+	flag.BoolVar(&stable, "stable", false,
+		"zero host wall-clock fields so two runs of the same build are byte-identical")
+	compare := flag.Bool("compare", false,
+		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10%")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args()))
+	}
 
 	if *auditOn {
 		bench.SetAuditing(true)
+	}
+	text = *jsonOut == ""
+
+	var selected []experiment
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "veil-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	// Run the selection — sequentially, or sharded whole-experiment-at-a-time
+	// across -j workers. Each worker buffers its text report; buffers are
+	// flushed in canonical order, so -j never changes the output bytes.
+	type outcome struct {
+		result any
+		text   bytes.Buffer
+		err    error
+	}
+	outs := make([]outcome, len(selected))
+	if *jobs <= 1 {
+		for i, e := range selected {
+			outs[i].result, outs[i].err = e.run(&outs[i].text)
+		}
+	} else {
+		sem := make(chan struct{}, *jobs)
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e experiment) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outs[i].result, outs[i].err = e.run(&outs[i].text)
+			}(i, e)
+		}
+		wg.Wait()
 	}
 
 	// results collects every experiment's machine-readable form, keyed by
 	// experiment name; the text report and the JSON object are built from
 	// the same rows (and the same obs metrics registry underneath).
 	results := map[string]any{}
-	text := *jsonOut == ""
-
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "veil-bench: %s: %v\n", name, err)
+	for i, e := range selected {
+		if outs[i].err != nil {
+			fmt.Fprintf(os.Stderr, "veil-bench: %s: %v\n", e.name, outs[i].err)
 			os.Exit(1)
 		}
+		if outs[i].result != nil {
+			results[e.name] = outs[i].result
+		}
 		if text {
+			os.Stdout.Write(outs[i].text.Bytes())
 			fmt.Println()
 		}
 	}
-
-	run("boot", func() error {
-		r, err := bench.BootInit(*memMB << 20)
-		if err != nil {
-			return err
-		}
-		results["boot"] = r
-		if text {
-			bench.ReportBoot(os.Stdout, r)
-		}
-		return nil
-	})
-	run("switch", func() error {
-		r, err := bench.DomainSwitchCost(*iters)
-		if err != nil {
-			return err
-		}
-		results["switch"] = r
-		if text {
-			bench.ReportSwitch(os.Stdout, r)
-		}
-		return nil
-	})
-	run("background", func() error {
-		rows, err := bench.Background()
-		if err != nil {
-			return err
-		}
-		results["background"] = rows
-		if text {
-			bench.ReportBackground(os.Stdout, rows)
-		}
-		return nil
-	})
-	run("cs1", func() error {
-		n := *iters
-		if n > 100 {
-			n = 100 // the paper's repetition count
-		}
-		r, err := bench.CS1Module(n)
-		if err != nil {
-			return err
-		}
-		results["cs1"] = r
-		if text {
-			bench.ReportCS1(os.Stdout, r)
-		}
-		return nil
-	})
-	run("fig4", func() error {
-		rows, attr, err := bench.Fig4Attr(*iters)
-		if err != nil {
-			return err
-		}
-		results["fig4"] = map[string]any{"rows": rows, "attribution": attr}
-		if text {
-			bench.ReportFig4(os.Stdout, rows)
-			bench.ReportAttribution(os.Stdout, "enclave side", attr)
-		}
-		return nil
-	})
-	run("fig5", func() error {
-		rows, err := bench.Fig5()
-		if err != nil {
-			return err
-		}
-		results["fig5"] = rows
-		if text {
-			bench.ReportFig5(os.Stdout, rows)
-		}
-		return nil
-	})
-	run("fig6", func() error {
-		rows, err := bench.Fig6()
-		if err != nil {
-			return err
-		}
-		results["fig6"] = rows
-		if text {
-			bench.ReportFig6(os.Stdout, rows)
-		}
-		return nil
-	})
-	run("mempath", func() error {
-		// The fixed workload touches ~1200 pages per iteration; cap the
-		// shared -iters default so "all" stays fast while still producing
-		// stable TLB counters (everything but HostSeconds is deterministic).
-		n := *iters
-		if n > 500 {
-			n = 500
-		}
-		r, err := bench.MemPath(n)
-		if err != nil {
-			return err
-		}
-		results["mempath"] = r
-		if text {
-			bench.ReportMemPath(os.Stdout, r)
-		}
-		return nil
-	})
-	run("monitors", func() error {
-		if text {
-			bench.ReportMonitors(os.Stdout)
-		}
-		return nil
-	})
-	run("obs", func() error {
-		// Uncapped: the wall-clock comparison needs runs long enough to
-		// swamp scheduler jitter (default 10000 inserts ≈ 100 ms per side).
-		r, err := bench.ObsPath(*iters)
-		if err != nil {
-			return err
-		}
-		results["obs"] = r
-		if text {
-			bench.ReportObsPath(os.Stdout, r)
-		}
-		return nil
-	})
-	run("ablation", func() error {
-		rows, err := bench.Ablation()
-		if err != nil {
-			return err
-		}
-		results["ablation"] = rows
-		if text {
-			bench.ReportAblation(os.Stdout, rows)
-		}
-		return nil
-	})
 
 	if *auditOn {
 		cvms, violations := bench.AuditViolations()
@@ -208,6 +296,94 @@ func main() {
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// runCompare loads two -json result files and fails if any virtual-cycle
+// value (a numeric field whose name contains "Cycles") regressed by more
+// than 10%. Wall-clock fields never match the pattern, so the check is
+// deterministic across hosts.
+func runCompare(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare old.json new.json\n")
+		return 2
+	}
+	load := func(path string) (any, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return v, nil
+	}
+	oldV, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+		return 2
+	}
+	newV, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+		return 2
+	}
+	var regressions []string
+	var compared int
+	compareCycles("", oldV, newV, &compared, &regressions)
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d cycle values regressed >10%%\n",
+			len(regressions), compared)
+		return 1
+	}
+	fmt.Printf("veil-bench: compare ok: %d cycle values within 10%%\n", compared)
+	return 0
+}
+
+// compareCycles walks both JSON trees in lockstep, checking every numeric
+// leaf whose key mentions Cycles. Structural mismatches (a key or row that
+// only one side has) are skipped — new experiments must not fail old
+// baselines.
+func compareCycles(path string, oldV, newV any, compared *int, regressions *[]string) {
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, ov := range o {
+			nv, ok := n[k]
+			if !ok {
+				continue
+			}
+			p := path + "/" + k
+			if of, okO := ov.(float64); okO && strings.Contains(k, "Cycles") {
+				if nf, okN := nv.(float64); okN {
+					*compared++
+					if of > 0 && nf > of*1.10 {
+						*regressions = append(*regressions,
+							fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
+					}
+					continue
+				}
+			}
+			compareCycles(p, ov, nv, compared, regressions)
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			return
+		}
+		for i := range o {
+			if i < len(n) {
+				compareCycles(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], compared, regressions)
+			}
 		}
 	}
 }

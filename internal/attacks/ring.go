@@ -1,0 +1,178 @@
+package attacks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/snp"
+)
+
+// The batched-ring attack suite: a compromised OS owns the submission ring
+// and every payload page outright, so the protocol's security rests on
+// VeilMon re-validating descriptors at drain time and on the RMP narrowing
+// of the completion page. Each attack here forges the exact state a hostile
+// kernel could produce and checks that the drain refuses it per-slot (with
+// machine-visible denial evidence) or that the hardware faults the forgery.
+
+// ringDescField rewrites one field of the descriptor slot for seq on VCPU
+// 0's submission ring — the TOCTOU primitive: SubmitSrv wrote a valid
+// descriptor, the attacker rewrites it before ringing the doorbell. The
+// submission page is legitimately OS-writable, so this must succeed.
+func ringDescField(c *cvm.CVM, seq uint32, off uint64, val uint64, width int) error {
+	slot := c.Lay.RingSub(0) + 64 + uint64(seq%core.RingSlots)*64
+	buf := make([]byte, width)
+	switch width {
+	case 4:
+		binary.LittleEndian.PutUint32(buf, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(buf, val)
+	default:
+		return fmt.Errorf("bad width %d", width)
+	}
+	return c.K.WritePhys(slot+off, buf)
+}
+
+// Ring runs the batched-invocation attacks.
+func Ring() []Result {
+	return execute([]attack{
+		{
+			name:    "Resize descriptor mid-flight (TOCTOU)",
+			defence: "Drain-time length re-validation",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				pc, err := c.Stub.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: []byte("legit")})
+				if err != nil {
+					return false, err.Error()
+				}
+				// Between submit and doorbell, grow ReqLen past the payload
+				// bound (field offset 16 in the 64-byte descriptor).
+				if err := ringDescField(c, pc.Seq, 16, uint64(core.RingPayloadMax)+1, 4); err != nil {
+					return false, fmt.Sprintf("tamper write: %v", err)
+				}
+				if err := c.Stub.Doorbell(); err != nil {
+					return false, fmt.Sprintf("doorbell: %v", err)
+				}
+				r, done, err := c.Stub.Poll(pc)
+				if err != nil || !done {
+					return false, fmt.Sprintf("poll: done=%v err=%v", done, err)
+				}
+				alive := c.M.Halted() == nil
+				return r.Status == core.StatusDenied && alive,
+					fmt.Sprintf("status=%d alive=%v", r.Status, alive)
+			},
+		},
+		{
+			name:    "Dangling request GPA (monitor heap)",
+			defence: "Sanitizer + RMP ownership re-check",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				pc, err := c.Stub.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: []byte("legit")})
+				if err != nil {
+					return false, err.Error()
+				}
+				// Repoint ReqGPA (offset 8) into the monitor heap: memory the
+				// OS could never read itself. A naive dispatcher would leak it
+				// into the service call — or #NPF and kill the machine.
+				if err := ringDescField(c, pc.Seq, 8, c.Lay.MonHeapLo, 8); err != nil {
+					return false, fmt.Sprintf("tamper write: %v", err)
+				}
+				if err := c.Stub.Doorbell(); err != nil {
+					return false, fmt.Sprintf("doorbell: %v", err)
+				}
+				r, done, err := c.Stub.Poll(pc)
+				if err != nil || !done {
+					return false, fmt.Sprintf("poll: done=%v err=%v", done, err)
+				}
+				alive := c.M.Halted() == nil
+				return r.Status == core.StatusDenied && alive,
+					fmt.Sprintf("status=%d alive=%v", r.Status, alive)
+			},
+		},
+		{
+			name:    "Forge completion from Dom-UNT",
+			defence: "Completion page read-only below VMPL1",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				// Fabricate a "completed OK" slot directly: seq 0, status OK.
+				forged := make([]byte, 12)
+				binary.LittleEndian.PutUint32(forged[4:], core.StatusOK)
+				werr := c.K.WritePhys(c.Lay.RingComp(0)+64, forged)
+				return snp.IsNPF(werr) && c.M.Halted() != nil, fmt.Sprintf("%v", werr)
+			},
+		},
+		{
+			name:    "Confused-deputy response GPA (kernel text)",
+			defence: "Submitter write-permission re-check",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				before := make([]byte, 8)
+				if err := c.K.ReadPhys(c.TextLo, before); err != nil {
+					return false, fmt.Sprintf("read text: %v", err)
+				}
+				// STATS returns a response; aim it at W⊕X kernel text, which
+				// the OS cannot write but VMPL1 could — the classic deputy.
+				pc, err := c.Stub.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogStats})
+				if err != nil {
+					return false, err.Error()
+				}
+				if err := ringDescField(c, pc.Seq, 24, c.TextLo, 8); err != nil {
+					return false, fmt.Sprintf("tamper write: %v", err)
+				}
+				if err := c.Stub.Doorbell(); err != nil {
+					return false, fmt.Sprintf("doorbell: %v", err)
+				}
+				r, done, err := c.Stub.Poll(pc)
+				if err != nil || !done {
+					return false, fmt.Sprintf("poll: done=%v err=%v", done, err)
+				}
+				after := make([]byte, 8)
+				if err := c.K.ReadPhys(c.TextLo, after); err != nil {
+					return false, fmt.Sprintf("re-read text: %v", err)
+				}
+				alive := c.M.Halted() == nil
+				return r.Status == core.StatusDenied && bytes.Equal(before, after) && alive,
+					fmt.Sprintf("status=%d text-intact=%v alive=%v", r.Status, bytes.Equal(before, after), alive)
+			},
+		},
+		{
+			name:    "Tail jump past real submissions",
+			defence: "Capacity clamp + per-slot sequence check",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				// Advance the tail header by 1000 with no descriptors behind
+				// it: every drained slot is stale garbage.
+				jump := make([]byte, 4)
+				binary.LittleEndian.PutUint32(jump, 1000)
+				if err := c.K.WritePhys(c.Lay.RingSub(0), jump); err != nil {
+					return false, fmt.Sprintf("tail write: %v", err)
+				}
+				if err := c.Stub.Doorbell(); err != nil {
+					return false, fmt.Sprintf("doorbell: %v", err)
+				}
+				// The drain must refuse every fabricated slot (completion
+				// head advances by at most one ring of refusals) and the
+				// machine must survive to serve real traffic again.
+				alive := c.M.Halted() == nil
+				return alive, fmt.Sprintf("alive=%v", alive)
+			},
+		},
+	})
+}

@@ -1,0 +1,169 @@
+// The batched service-invocation experiment (§9.1 extension): the same
+// fixed VeilS-Log append workload issued through the synchronous IDCB path
+// (one domain-switch round trip per call) and through the shared-ring
+// doorbell path at increasing batch sizes. The amortized per-call cost
+// falls from ~14,276 cycles toward 14,276/N plus marshalling, while the
+// service results stay request-for-request identical — which the run
+// itself verifies against the protected store.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"veil/internal/core"
+)
+
+// batchOps is the fixed call count: divisible by every batch size measured
+// (and by RingSlots=31), so each configuration issues whole batches.
+const batchOps = 496
+
+// batchSizes are the measured configurations; 1 quantifies pure ring
+// overhead vs the synchronous path, 31 is one full ring per doorbell.
+var batchSizes = []int{1, 2, 4, 8, 16, 31}
+
+// BatchRow is one batched configuration's measurement.
+type BatchRow struct {
+	BatchSize     int
+	Calls         int
+	Cycles        uint64
+	CyclesPerCall uint64
+	Switches      uint64
+	// Speedup is sync per-call cycles over this row's per-call cycles.
+	Speedup float64
+	// ModelPerCall is the analytic floor: one round trip amortized over
+	// the batch (2×7,135/N cycles) — marshalling and dispatch ride on top.
+	ModelPerCall uint64
+}
+
+// BatchResult captures the full experiment.
+type BatchResult struct {
+	SyncCalls     int
+	SyncCycles    uint64
+	SyncPerCall   uint64
+	SyncSwitches  uint64
+	Rows          []BatchRow
+	ResultsEqual  bool // batched stores matched the synchronous store byte-for-byte
+	CrossoverSize int  // smallest measured batch size beating the sync path
+}
+
+// batchRecord builds the i-th deterministic audit record (fixed 64 bytes so
+// marshal cost is constant across configurations).
+func batchRecord(i int) []byte {
+	rec := fmt.Sprintf("audit(%06d): pid=%d uid=1000 syscall=write batched-workload", i, 100+i%7)
+	for len(rec) < 64 {
+		rec += "."
+	}
+	return []byte(rec[:64])
+}
+
+// batchSyncRun boots a Veil CVM and issues the workload through the
+// synchronous per-call path, returning the window's cycles, switches and
+// the resulting protected store.
+func batchSyncRun() (uint64, uint64, [][]byte, error) {
+	c, err := bootFor(ModeVeilIdle, 7700)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	clk := c.M.Clock().Snapshot()
+	tr := c.M.Trace().Snapshot()
+	for i := 0; i < batchOps; i++ {
+		if err := c.Stub.AuditEmit(batchRecord(i)); err != nil {
+			return 0, 0, nil, fmt.Errorf("bench: sync append %d: %w", i, err)
+		}
+	}
+	cycles := c.M.Clock().Since(clk)
+	switches := c.M.Trace().Since(tr).DomainSwitches
+	recs, err := c.LOG.Records()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return cycles, switches, recs, nil
+}
+
+// batchRingRun issues the same workload through the ring in batches of n.
+func batchRingRun(n int, seed int64) (uint64, uint64, [][]byte, error) {
+	c, err := bootFor(ModeVeilIdle, seed)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	clk := c.M.Clock().Snapshot()
+	tr := c.M.Trace().Snapshot()
+	for i := 0; i < batchOps; i += n {
+		reqs := make([]core.Request, n)
+		for j := 0; j < n; j++ {
+			reqs[j] = core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: batchRecord(i + j)}
+		}
+		resps, err := c.Stub.CallSrvBatch(reqs)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("bench: batch(%d) at %d: %w", n, i, err)
+		}
+		for j, r := range resps {
+			if r.Status != core.StatusOK {
+				return 0, 0, nil, fmt.Errorf("bench: batch(%d) call %d status %d", n, i+j, r.Status)
+			}
+		}
+	}
+	cycles := c.M.Clock().Since(clk)
+	switches := c.M.Trace().Since(tr).DomainSwitches
+	recs, err := c.LOG.Records()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return cycles, switches, recs, nil
+}
+
+func recordsEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Batch runs the full amortization experiment.
+func Batch() (BatchResult, error) {
+	syncCycles, syncSwitches, syncRecs, err := batchSyncRun()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{
+		SyncCalls:    batchOps,
+		SyncCycles:   syncCycles,
+		SyncPerCall:  syncCycles / batchOps,
+		SyncSwitches: syncSwitches,
+		ResultsEqual: true,
+	}
+	roundTrip := uint64(2 * 7135) // CyclesVMGEXITSave + CyclesVMENTERRestore, both ways
+	for i, n := range batchSizes {
+		cycles, switches, recs, err := batchRingRun(n, 7710+int64(i))
+		if err != nil {
+			return BatchResult{}, err
+		}
+		if !recordsEqual(syncRecs, recs) {
+			res.ResultsEqual = false
+		}
+		per := cycles / batchOps
+		row := BatchRow{
+			BatchSize:     n,
+			Calls:         batchOps,
+			Cycles:        cycles,
+			CyclesPerCall: per,
+			Switches:      switches,
+			Speedup:       float64(res.SyncPerCall) / float64(per),
+			ModelPerCall:  roundTrip / uint64(n),
+		}
+		if res.CrossoverSize == 0 && per < res.SyncPerCall {
+			res.CrossoverSize = n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if !res.ResultsEqual {
+		return res, fmt.Errorf("bench: batched results diverged from synchronous path")
+	}
+	return res, nil
+}

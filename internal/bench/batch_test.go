@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestBatchAmortization runs the §9.1-extension experiment end to end and
+// checks the headline claims: batching cuts domain switches by ~N, the
+// amortized per-call cost at batch 16 beats the synchronous path by ≥3x,
+// and the batched runs produce request-for-request identical results.
+func TestBatchAmortization(t *testing.T) {
+	res, err := Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsEqual {
+		t.Fatal("batched store diverged from synchronous store")
+	}
+	if res.SyncSwitches != uint64(2*res.SyncCalls) {
+		t.Errorf("sync path made %d switches for %d calls, want %d (out+back per call)",
+			res.SyncSwitches, res.SyncCalls, 2*res.SyncCalls)
+	}
+	for _, row := range res.Rows {
+		// One doorbell per batch, and a domain switch each way.
+		wantSwitches := uint64(2 * res.SyncCalls / row.BatchSize)
+		if row.Switches != wantSwitches {
+			t.Errorf("batch %d: switches = %d, want %d (one doorbell per batch)",
+				row.BatchSize, row.Switches, wantSwitches)
+		}
+		if row.BatchSize >= 16 && row.Speedup < 3.0 {
+			t.Errorf("batch %d: speedup %.2fx, want >= 3x", row.BatchSize, row.Speedup)
+		}
+	}
+	if res.CrossoverSize == 0 {
+		t.Error("no measured batch size beat the synchronous path")
+	}
+}

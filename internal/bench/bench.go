@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"veil/internal/audit"
 	"veil/internal/cvm"
@@ -97,6 +98,7 @@ const benchRingCap = 1 << 12
 // to their goldens — which is exactly the CI claim: the clean evaluation
 // workloads run under continuous invariant checking without a violation.
 var (
+	auditMu         sync.Mutex // guards the pair below (experiments may run on -j workers)
 	auditing        bool
 	benchedAuditors []*audit.Auditor
 )
@@ -104,6 +106,8 @@ var (
 // SetAuditing toggles auditor attachment for subsequently booted CVMs and
 // clears any previously collected auditors.
 func SetAuditing(on bool) {
+	auditMu.Lock()
+	defer auditMu.Unlock()
 	auditing = on
 	benchedAuditors = nil
 }
@@ -111,6 +115,8 @@ func SetAuditing(on bool) {
 // AuditViolations forces a final full sweep on every auditor attached since
 // SetAuditing and returns the attached-CVM count and total violations.
 func AuditViolations() (cvms int, violations uint64) {
+	auditMu.Lock()
+	defer auditMu.Unlock()
 	for _, a := range benchedAuditors {
 		a.Sweep()
 		violations += a.Violations()
@@ -142,9 +148,11 @@ func bootFor(mode Mode, seed int64) (*cvm.CVM, error) {
 	if err != nil {
 		return nil, err
 	}
+	auditMu.Lock()
 	if auditing {
 		benchedAuditors = append(benchedAuditors, audit.Attach(c.M, audit.Config{}))
 	}
+	auditMu.Unlock()
 	return c, nil
 }
 

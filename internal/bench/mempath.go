@@ -119,11 +119,35 @@ func (b *MemPathBench) Run(iters int) (MemPathResult, error) {
 			res.Accesses += 2
 			res.BytesTouched += 16
 			if i%8 == 0 {
-				if err := b.ctx.Read(va+1024, buf[:]); err != nil {
+				// Zero-copy span read: the workload must exercise the span
+				// API so MemStats.SpanReads reflects real traffic (the
+				// copying Read path deliberately does not count as a span).
+				var sum byte
+				if err := b.ctx.WithSpan(va+1024, len(buf), snp.AccessRead, func(mem []byte) error {
+					for _, v := range mem {
+						sum ^= v
+					}
+					return nil
+				}); err != nil {
+					return MemPathResult{}, err
+				}
+				buf[0] = sum
+				res.Accesses++
+				res.BytesTouched += uint64(len(buf))
+			}
+			if i%16 == 0 {
+				// Zero-copy span write: in-place mutation of a 64-byte line,
+				// the counterpart traffic for MemStats.SpanWrites.
+				if err := b.ctx.WithSpan(va+2048, 64, snp.AccessWrite, func(mem []byte) error {
+					for j := range mem {
+						mem[j] = byte(it + j)
+					}
+					return nil
+				}); err != nil {
 					return MemPathResult{}, err
 				}
 				res.Accesses++
-				res.BytesTouched += uint64(len(buf))
+				res.BytesTouched += 64
 			}
 		}
 		// Permission churn: revoke and restore write on one page so the

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestMemPathExercisesSpans pins the fix for the zero span counters in
+// BENCH_mempath.json: the workload must drive real traffic through the
+// zero-copy span API, so SpanReads/SpanWrites are load-bearing outputs, not
+// dead fields.
+func TestMemPathExercisesSpans(t *testing.T) {
+	b, err := NewMemPathBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mem.SpanReads == 0 {
+		t.Error("MemPath workload performed no span reads")
+	}
+	if r.Mem.SpanWrites == 0 {
+		t.Error("MemPath workload performed no span writes")
+	}
+	if r.Mem.TLBHits == 0 || r.Mem.TLBMisses == 0 {
+		t.Errorf("TLB counters implausible: hits=%d misses=%d", r.Mem.TLBHits, r.Mem.TLBMisses)
+	}
+}
+
+// TestMemPathDeterministic: same workload, same virtual outputs — the
+// contract the -stable flag and BENCH_mempath.json rely on.
+func TestMemPathDeterministic(t *testing.T) {
+	run := func() MemPathResult {
+		b, err := NewMemPathBench()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := b.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.HostSeconds = 0
+		return r
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic mempath result:\n%+v\n%+v", a, b)
+	}
+}

@@ -139,6 +139,21 @@ func ReportMonitors(w io.Writer) {
 		uint64(snp.CyclesDomainSwitch), baselines.CrossoverInvocationsPerSec(snp.CyclesDomainSwitch, 2))
 }
 
+// ReportBatch prints the §9.1-extension batched-invocation amortization
+// curve.
+func ReportBatch(w io.Writer, r BatchResult) {
+	fmt.Fprintf(w, "§9.1 ext — Batched service invocation (%d VeilS-Log appends per configuration)\n", r.SyncCalls)
+	fmt.Fprintf(w, "  sync baseline: %d cycles/call (%d switches total)\n", r.SyncPerCall, r.SyncSwitches)
+	fmt.Fprintf(w, "%-6s  %12s  %14s  %10s  %8s  %12s\n",
+		"batch", "cycles/call", "total(cyc)", "switches", "speedup", "model floor")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6d  %12d  %14d  %10d  %7.2fx  %12d\n",
+			row.BatchSize, row.CyclesPerCall, row.Cycles, row.Switches, row.Speedup, row.ModelPerCall)
+	}
+	fmt.Fprintf(w, "  results identical to sync path: %v; first batch size beating sync: %d\n",
+		r.ResultsEqual, r.CrossoverSize)
+}
+
 // ReportObsPath prints the observability-stack overhead comparison.
 func ReportObsPath(w io.Writer, r ObsPathResult) {
 	fmt.Fprintf(w, "Observability path — %s ×%d: dark vs tracing vs tracing+auditor\n",

@@ -36,6 +36,8 @@ type Layout struct {
 	GHCBPages            uint64
 	IDCBBase             uint64 // per-VCPU IDCB pages (2 per VCPU: Mon, Srv)
 	IDCBPages            uint64
+	RingBase             uint64 // per-VCPU service-ring pages (RingPagesPerVCPU each)
+	RingPages            uint64
 	KernelLo, KernelHi   uint64
 	VCPUs                int
 }
@@ -54,6 +56,7 @@ func DefaultLayout(memBytes uint64, vcpus int, logPages uint64) (Layout, error) 
 	}
 	ghcbPages := uint64(2 * vcpus)
 	idcbPages := uint64(2 * vcpus)
+	ringPages := uint64(RingPagesPerVCPU * vcpus)
 
 	var l Layout
 	l.VCPUs = vcpus
@@ -66,9 +69,11 @@ func DefaultLayout(memBytes uint64, vcpus int, logPages uint64) (Layout, error) 
 	l.GHCBPages = ghcbPages
 	l.IDCBBase = l.GHCBBase + ghcbPages*snp.PageSize
 	l.IDCBPages = idcbPages
-	l.KernelLo = l.IDCBBase // IDCBs are the first kernel-region pages
+	l.RingBase = l.IDCBBase + idcbPages*snp.PageSize
+	l.RingPages = ringPages
+	l.KernelLo = l.IDCBBase // IDCBs and rings are the first kernel-region pages
 	l.KernelHi = memBytes
-	kernelDataLo := l.IDCBBase + idcbPages*snp.PageSize
+	kernelDataLo := l.RingBase + ringPages*snp.PageSize
 	if kernelDataLo >= memBytes {
 		return Layout{}, fmt.Errorf("core: machine too small: %d bytes for layout needing %d",
 			memBytes, kernelDataLo)
@@ -99,7 +104,25 @@ func (l Layout) SrvIDCB(vcpu int) uint64 {
 }
 
 // KernelMemLo returns the first kernel page usable for general allocation
-// (after the IDCB pages).
+// (after the IDCB and ring pages).
 func (l Layout) KernelMemLo() uint64 {
-	return l.IDCBBase + l.IDCBPages*snp.PageSize
+	return l.RingBase + l.RingPages*snp.PageSize
+}
+
+// RingSub returns a VCPU's submission-ring page: the free-running tail and
+// the descriptor slots the OS writes.
+func (l Layout) RingSub(vcpu int) uint64 {
+	return l.RingBase + uint64(vcpu)*RingPagesPerVCPU*snp.PageSize
+}
+
+// RingComp returns a VCPU's completion-ring page: the free-running head and
+// the completion slots only VeilMon may write (the OS polls read-only).
+func (l Layout) RingComp(vcpu int) uint64 {
+	return l.RingSub(vcpu) + snp.PageSize
+}
+
+// RingPayload returns the payload page backing one descriptor slot of a
+// VCPU's ring: request bytes in the lower half, response bytes in the upper.
+func (l Layout) RingPayload(vcpu, slot int) uint64 {
+	return l.RingComp(vcpu) + uint64(1+slot)*snp.PageSize
 }

@@ -153,9 +153,13 @@ func (mon *Monitor) monCtx(vcpu int) hv.Context {
 	})
 }
 
-// srvCtx is the Dom-SRV replica context.
+// srvCtx is the Dom-SRV replica context: one IDCB request per service
+// switch, or a full ring drain per doorbell.
 func (mon *Monitor) srvCtx(vcpu int) hv.Context {
 	return hv.ContextFunc(func(r hv.Reason) error {
+		if r == hv.ReasonDoorbell {
+			return mon.drainRing(vcpu)
+		}
 		return mon.dispatchSrv(vcpu)
 	})
 }
@@ -189,6 +193,9 @@ func (mon *Monitor) boot() error {
 	}
 	if err := mon.sweepAndProtect(); err != nil {
 		return fmt.Errorf("core: boot sweep: %w", err)
+	}
+	if err := mon.setupRings(); err != nil {
+		return fmt.Errorf("core: ring setup: %w", err)
 	}
 	// Register protected regions: everything the sanitizer must refuse to
 	// dereference on the OS's behalf.

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"veil/internal/hv"
+	"veil/internal/snp"
+)
+
+// OS-side half of the batched service-invocation path: submit descriptors,
+// ring the doorbell, poll completions. Submission and polling are pure
+// shared-memory traffic — no privilege crossing; only Doorbell pays a
+// domain switch, and it pays exactly one for the whole pending batch.
+
+// ErrRingFull is returned by SubmitSrv when the submission ring has
+// RingSlots requests in flight; the caller must ring the doorbell (or poll)
+// before submitting more. This is the ring's backpressure.
+var ErrRingFull = errors.New("core: submission ring full")
+
+// PendingCall identifies one in-flight ring submission for later polling.
+type PendingCall struct {
+	Seq uint32
+	Svc uint8
+	Op  uint8
+}
+
+// SubmitSrv posts one service request to this VCPU's submission ring
+// without switching domains. The request payload is copied into the slot's
+// payload page; the descriptor points VeilMon at it. Completion must be
+// collected with Poll after a Doorbell.
+func (s *OSStub) SubmitSrv(req Request) (PendingCall, error) {
+	if len(req.Payload) > RingPayloadMax {
+		return PendingCall{}, fmt.Errorf("core: ring payload %d exceeds %d", len(req.Payload), RingPayloadMax)
+	}
+	sub, comp := s.lay.RingSub(s.vcpu), s.lay.RingComp(s.vcpu)
+	head, err := ringReadU32(s.m, snp.VMPL3, snp.CPL0, comp)
+	if err != nil {
+		return PendingCall{}, err
+	}
+	tail, err := ringReadU32(s.m, snp.VMPL3, snp.CPL0, sub)
+	if err != nil {
+		return PendingCall{}, err
+	}
+	if tail-head >= RingSlots {
+		return PendingCall{}, ErrRingFull
+	}
+
+	slot := int(tail % RingSlots)
+	pay := s.lay.RingPayload(s.vcpu, slot)
+	if len(req.Payload) > 0 {
+		dst, err := s.m.Span(snp.VMPL3, snp.CPL0, pay, len(req.Payload), snp.AccessWrite)
+		if err != nil {
+			return PendingCall{}, err
+		}
+		copy(dst, req.Payload)
+	}
+	s.m.Clock().Charge(snp.CostPageCopy, uint64(len(req.Payload))*snp.CyclesPageCopy4K/snp.PageSize+1)
+
+	d := RingDesc{
+		Seq: tail, Svc: req.Svc, Op: req.Op,
+		ReqGPA: pay, ReqLen: uint32(len(req.Payload)),
+		RespGPA: pay + RingRespOff, RespCap: RingPayloadMax,
+	}
+	if err := writeRingDesc(s.m, snp.VMPL3, snp.CPL0, sub, d); err != nil {
+		return PendingCall{}, err
+	}
+	if err := ringWriteU32(s.m, snp.VMPL3, snp.CPL0, sub, tail+1); err != nil {
+		return PendingCall{}, err
+	}
+	s.m.ObserveRingSubmit(snp.VMPL3, uint64(tail), uint64(req.Svc))
+	return PendingCall{Seq: tail, Svc: req.Svc, Op: req.Op}, nil
+}
+
+// Doorbell triggers the one domain switch that drains every pending
+// submission. Same GHCB discipline as the synchronous call path.
+func (s *OSStub) Doorbell() error {
+	old, hadMSR := s.m.ReadGHCBMSR(s.vcpu)
+	if err := s.m.WriteGHCBMSR(s.vcpu, snp.CPL0, s.lay.KernelGHCB(s.vcpu)); err != nil {
+		return err
+	}
+	g := &snp.GHCB{ExitCode: hv.ExitRingDoorbell, ExitInfo1: DomSRV}
+	callErr := s.hyp.GuestCall(s.vcpu, snp.VMPL3, snp.CPL0, s.lay.KernelGHCB(s.vcpu), g)
+	if hadMSR && old != s.lay.KernelGHCB(s.vcpu) {
+		if err := s.m.WriteGHCBMSR(s.vcpu, snp.CPL0, old); err != nil && callErr == nil {
+			callErr = err
+		}
+	}
+	return callErr
+}
+
+// Poll checks one in-flight submission. It returns (response, true) once
+// the completion is published, or (zero, false) while the request is still
+// pending. Polling a completion that RingSlots later completions have
+// already overwritten is a protocol error.
+func (s *OSStub) Poll(pc PendingCall) (Response, bool, error) {
+	comp := s.lay.RingComp(s.vcpu)
+	head, err := ringReadU32(s.m, snp.VMPL3, snp.CPL0, comp)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if int32(head-pc.Seq) <= 0 {
+		return Response{}, false, nil // head has not passed seq yet (free-running comparison)
+	}
+	c, err := readRingCompletion(s.m, snp.VMPL3, snp.CPL0, comp, pc.Seq)
+	if err != nil {
+		return Response{}, false, err
+	}
+	if c.Seq != pc.Seq {
+		return Response{}, false, fmt.Errorf("core: completion for seq %d overwritten (slot holds %d)", pc.Seq, c.Seq)
+	}
+	resp := Response{Status: c.Status}
+	if c.Len > 0 {
+		if c.Len > RingPayloadMax {
+			return Response{}, false, fmt.Errorf("core: completion length %d corrupt", c.Len)
+		}
+		pay := s.lay.RingPayload(s.vcpu, int(pc.Seq%RingSlots)) + RingRespOff
+		src, err := s.m.Span(snp.VMPL3, snp.CPL0, pay, int(c.Len), snp.AccessRead)
+		if err != nil {
+			return Response{}, false, err
+		}
+		resp.Payload = append([]byte(nil), src...)
+	}
+	s.m.Clock().Charge(snp.CostPageCopy, uint64(c.Len)*snp.CyclesPageCopy4K/snp.PageSize+1)
+	return resp, true, nil
+}
+
+// CallSrvBatch issues a slice of service requests through the ring: submit
+// all (ringing the doorbell whenever the ring fills), one final doorbell,
+// then collect every response in submission order. The responses are
+// request-for-request identical to issuing each through CallSrv — the
+// batched path only changes how many domain switches pay for them.
+func (s *OSStub) CallSrvBatch(reqs []Request) ([]Response, error) {
+	pending := make([]PendingCall, 0, len(reqs))
+	resps := make([]Response, len(reqs))
+	collected := 0
+
+	collect := func() error {
+		for ; collected < len(pending); collected++ {
+			r, done, err := s.Poll(pending[collected])
+			if err != nil {
+				return err
+			}
+			if !done {
+				return fmt.Errorf("core: seq %d still pending after doorbell", pending[collected].Seq)
+			}
+			resps[collected] = r
+		}
+		return nil
+	}
+
+	for _, req := range reqs {
+		pc, err := s.SubmitSrv(req)
+		if errors.Is(err, ErrRingFull) {
+			if err := s.Doorbell(); err != nil {
+				return nil, err
+			}
+			if err := collect(); err != nil {
+				return nil, err
+			}
+			pc, err = s.SubmitSrv(req)
+			if err != nil {
+				return nil, err
+			}
+		} else if err != nil {
+			return nil, err
+		}
+		pending = append(pending, pc)
+	}
+	if err := s.Doorbell(); err != nil {
+		return nil, err
+	}
+	if err := collect(); err != nil {
+		return nil, err
+	}
+	return resps, nil
+}
+
+// AuditEmitBatch sends a group of finalized audit records to VeilS-Log as
+// OpLogAppendBatch requests over the ring: records are packed into as few
+// descriptors as fit, and the whole group commits under one doorbell. It
+// returns how many records VeilS-Log appended.
+func (s *OSStub) AuditEmitBatch(recs [][]byte) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var reqs []Request
+	e := &enc{}
+	count := 0
+	flushChunk := func() {
+		if count == 0 {
+			return
+		}
+		hdr := (&enc{}).u32(uint32(count))
+		reqs = append(reqs, Request{Svc: SvcLOG, Op: OpLogAppendBatch, Payload: append(hdr.b, e.b...)})
+		e = &enc{}
+		count = 0
+	}
+	for _, rec := range recs {
+		if len(rec) > RingPayloadMax-8 {
+			rec = rec[:RingPayloadMax-8]
+		}
+		if 4+len(e.b)+4+len(rec) > RingPayloadMax {
+			flushChunk()
+		}
+		e.bytes(rec)
+		count++
+	}
+	flushChunk()
+
+	resps, err := s.CallSrvBatch(reqs)
+	if err != nil {
+		return 0, err
+	}
+	appended := 0
+	for _, r := range resps {
+		if err := statusErr(r); err != nil {
+			return appended, err
+		}
+		d := &dec{b: r.Payload}
+		appended += int(d.u32())
+		if d.err != nil {
+			return appended, d.err
+		}
+	}
+	return appended, nil
+}

@@ -43,6 +43,11 @@ const (
 	OpEncPageRestore uint8 = 4
 	// OpEncDestroy tears an enclave down (payload: id u32).
 	OpEncDestroy uint8 = 5
+	// OpEncSyncPermsBatch mirrors several mprotect ranges in one request
+	// (payload: id u32, count u32, then count × (virt u64, len u64,
+	// prot u64)). Response: u32 count of ranges applied. The batched ring
+	// path uses it to sync a whole mapping's pages under one descriptor.
+	OpEncSyncPermsBatch uint8 = 6
 )
 
 // VeilS-Log operations (§6.3).
@@ -51,4 +56,8 @@ const (
 	OpLogAppend uint8 = 1
 	// OpLogStats returns (count u64, bytes u64, dropped u64).
 	OpLogStats uint8 = 2
+	// OpLogAppendBatch group-commits several records in one request
+	// (payload: count u32, then count × (len u32, bytes)). Response:
+	// appended u32, dropped u32. This is the ring path's group commit.
+	OpLogAppendBatch uint8 = 3
 )

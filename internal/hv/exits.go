@@ -54,7 +54,9 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 	var err error
 	switch g.ExitCode {
 	case ExitDomainSwitch:
-		err = h.serveDomainSwitch(c, ghcbPhys, &g)
+		err = h.serveDomainSwitch(c, ghcbPhys, &g, ReasonService)
+	case ExitRingDoorbell:
+		err = h.serveDomainSwitch(c, ghcbPhys, &g, ReasonDoorbell)
 	case ExitRegisterVMSA:
 		err = h.serveRegisterVMSA(&g)
 		h.chargeEnter()
@@ -82,8 +84,9 @@ func (h *Hypervisor) VMGEXIT(vcpuID int) error {
 // serveDomainSwitch relays a domain switch (§5.2): resume the same VCPU
 // from the target domain's VMSA, and when that domain exits back, resume
 // the caller. Each direction costs one full save/restore pair — the 7135
-// cycles measured in §9.1.
-func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB) error {
+// cycles measured in §9.1. reason tells the target what to do with the
+// entry (serve one IDCB request, or drain its doorbell ring).
+func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB, reason Reason) error {
 	tag := DomainTag(g.ExitInfo1)
 	if pol, exists := h.ghcbPolicy[ghcbPhys]; exists && !pol[tag] {
 		// Refusing leaves the guest stuck; the caller observes a crash
@@ -112,7 +115,7 @@ func (h *Hypervisor) serveDomainSwitch(c *vcpu, ghcbPhys uint64, g *snp.GHCB) er
 	c.currentVMSA = b.vmsaPhys
 	h.chargeEnter()
 	h.m.ObserveDomainSwitch(fromVMPL, toVMPL, outStart)
-	err := b.ctx.Invoke(ReasonService)
+	err := b.ctx.Invoke(reason)
 
 	// Target exits; caller resumes (even on error, so halts propagate
 	// with correct accounting).

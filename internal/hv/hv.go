@@ -35,6 +35,9 @@ const (
 	// hypervisor chooses to resume sees it; under Veil's instructions that
 	// is Dom-UNT).
 	ReasonInterrupt
+	// ReasonDoorbell is a batched-ring doorbell: the target should drain
+	// its submission ring rather than consult the IDCB.
+	ReasonDoorbell
 )
 
 func (r Reason) String() string {
@@ -45,6 +48,8 @@ func (r Reason) String() string {
 		return "service"
 	case ReasonInterrupt:
 		return "interrupt"
+	case ReasonDoorbell:
+		return "doorbell"
 	}
 	return "reason(?)"
 }
@@ -83,6 +88,12 @@ const (
 	ExitGuestRequest uint64 = 0x8000_1005
 	// ExitIO is a generic device-I/O exit (contents are opaque here).
 	ExitIO uint64 = 0x8000_1006
+	// ExitRingDoorbell requests a switch to the domain in ExitInfo1 to
+	// drain its service submission ring. Architecturally identical to
+	// ExitDomainSwitch — one exit/enter pair each way — but the target is
+	// entered with ReasonDoorbell so it drains the whole batch instead of
+	// serving a single IDCB request.
+	ExitRingDoorbell uint64 = 0x8000_1007
 )
 
 // InterruptMode selects how the hypervisor treats automatic exits taken

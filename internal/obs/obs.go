@@ -71,6 +71,14 @@ const (
 	// online auditor (Arg1 = check index, Arg2 = violation count). Clean
 	// runs never record one.
 	ClassInvariant
+	// ClassRingSubmit is one descriptor posted to a service submission
+	// ring by the OS domain (Arg1 = slot sequence number, Arg2 = service
+	// id). No domain switch happens at submit time — that is the point.
+	ClassRingSubmit
+	// ClassRingDrain spans one doorbell-triggered batch drain inside the
+	// monitor domain (Arg1 = descriptors drained, Arg2 = descriptors
+	// refused by re-validation).
+	ClassRingDrain
 
 	// NumClasses is the number of defined event classes.
 	NumClasses
@@ -80,7 +88,7 @@ var classNames = [NumClasses]string{
 	"vmgexit", "vmenter", "vmcall", "vmgexit-roundtrip", "domain-switch",
 	"rmpadjust", "pvalidate", "syscall", "audit-emit", "interrupt",
 	"enclave-exit", "fault", "page-state", "service", "enclave-enter",
-	"denied", "invariant",
+	"denied", "invariant", "ring-submit", "ring-drain",
 }
 
 func (c Class) String() string {

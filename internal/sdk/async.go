@@ -1,0 +1,106 @@
+package sdk
+
+import (
+	"errors"
+	"fmt"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+)
+
+// Asynchronous service invocation over the batched submission ring: Submit
+// queues a request without a domain switch and returns a Future; Flush
+// rings the doorbell once for everything in flight; Future.Wait polls the
+// completion ring (flushing first if the request hasn't been dispatched
+// yet). The request/response semantics are identical to the synchronous
+// Stub.CallSrv path — only the number of domain switches changes.
+
+// AsyncServices is the async call interface bound to one CVM's OS stub.
+type AsyncServices struct {
+	stub *core.OSStub
+
+	// inFlight tracks submissions not yet covered by a doorbell, so Wait
+	// knows whether it must flush before polling can ever succeed.
+	lastDoorbell uint32 // sequence numbers below this have been drained
+	nextSeq      uint32
+}
+
+// Async returns the asynchronous service interface for a CVM.
+func Async(c *cvm.CVM) *AsyncServices {
+	return &AsyncServices{stub: c.Stub}
+}
+
+// Future is one in-flight asynchronous service call.
+type Future struct {
+	a    *AsyncServices
+	pc   core.PendingCall
+	resp core.Response
+	done bool
+}
+
+// Submit posts a service request to the ring. If the ring is full it rings
+// the doorbell to drain the backlog and retries — callers see backpressure
+// as latency, never as an error.
+func (a *AsyncServices) Submit(req core.Request) (*Future, error) {
+	pc, err := a.stub.SubmitSrv(req)
+	if errors.Is(err, core.ErrRingFull) {
+		if err := a.Flush(); err != nil {
+			return nil, err
+		}
+		pc, err = a.stub.SubmitSrv(req)
+		if err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	a.nextSeq = pc.Seq + 1
+	return &Future{a: a, pc: pc}, nil
+}
+
+// Flush rings the doorbell: one domain switch dispatches every queued
+// submission.
+func (a *AsyncServices) Flush() error {
+	if err := a.stub.Doorbell(); err != nil {
+		return err
+	}
+	a.lastDoorbell = a.nextSeq
+	return nil
+}
+
+// Done reports whether the result is available without forcing a flush.
+func (f *Future) Done() (bool, error) {
+	if f.done {
+		return true, nil
+	}
+	resp, ok, err := f.a.stub.Poll(f.pc)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		f.resp, f.done = resp, true
+	}
+	return f.done, nil
+}
+
+// Wait returns the call's response, flushing the ring first if this
+// request has not been covered by a doorbell yet.
+func (f *Future) Wait() (core.Response, error) {
+	if f.done {
+		return f.resp, nil
+	}
+	if int32(f.pc.Seq-f.a.lastDoorbell) >= 0 {
+		if err := f.a.Flush(); err != nil {
+			return core.Response{}, err
+		}
+	}
+	resp, ok, err := f.a.stub.Poll(f.pc)
+	if err != nil {
+		return core.Response{}, err
+	}
+	if !ok {
+		return core.Response{}, fmt.Errorf("sdk: seq %d still pending after flush", f.pc.Seq)
+	}
+	f.resp, f.done = resp, true
+	return f.resp, nil
+}

@@ -271,6 +271,10 @@ const (
 	DeniedGHCB
 	// DeniedPolicy: a domain-switch request refused by GHCB policy.
 	DeniedPolicy
+	// DeniedRing: a ring descriptor refused by the monitor's drain-time
+	// re-validation (bad sequence, oversized lengths, payload pointers
+	// into protected regions, or RMP permissions the submitter lacks).
+	DeniedRing
 )
 
 // ObserveDenied records one refused-but-survivable operation: sanitizer
@@ -285,6 +289,22 @@ func (m *Machine) ObserveDenied(reason DeniedReason, context uint64) {
 // found this pass. Clean runs never emit one.
 func (m *Machine) ObserveInvariant(check uint64, violations uint64) {
 	m.emit(obs.ClassInvariant, obs.Instant, 0, -1, check, violations)
+}
+
+// ObserveRingSubmit counts one descriptor posted to a submission ring by
+// the given VMPL. An instant, not a span: submission crosses no privilege
+// boundary, which is exactly what the batched path buys.
+func (m *Machine) ObserveRingSubmit(vmpl VMPL, seq uint64, svc uint64) {
+	m.emit(obs.ClassRingSubmit, obs.Instant, 0, int16(vmpl), seq, svc)
+}
+
+// ObserveRingDrain records the span of one doorbell-triggered batch drain
+// that began at startCycles: drained descriptors were dispatched, refused
+// ones failed re-validation. ref is the span the monitor opened for the
+// drain; it is closed here.
+func (m *Machine) ObserveRingDrain(vmpl VMPL, drained, refused uint64, startCycles uint64, ref obs.SpanRef) {
+	m.EndSpan(ref)
+	m.emitSpan(obs.ClassRingDrain, obs.Span, m.clock.total-startCycles, int16(vmpl), drained, refused, ref)
 }
 
 // ObservePageState records one hypervisor page-state change batch starting
