@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath parallel-check clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp smp-determinism parallel-check clean
 
 all: vet test
 
@@ -65,6 +65,19 @@ bench-batch:
 # wall-clock field so the file is reproducible).
 bench-mempath:
 	$(GO) run ./cmd/veil-bench -experiment mempath -stable -json BENCH_mempath.json
+
+# Regenerate the committed SMP scheduling measurement (BENCH_smp.json):
+# poll-vs-interrupt completion costs and cross-VCPU fairness. Every value is
+# virtual cycles from fixed seeds, so no -stable is needed.
+bench-smp:
+	$(GO) run ./cmd/veil-bench -experiment smp -json BENCH_smp.json
+
+# The SMP determinism gate: two identically-seeded runs of the scheduler
+# experiment must produce byte-identical JSON.
+smp-determinism:
+	$(GO) run ./cmd/veil-bench -experiment smp -json /tmp/veil-smp-a.json
+	$(GO) run ./cmd/veil-bench -experiment smp -json /tmp/veil-smp-b.json
+	cmp /tmp/veil-smp-a.json /tmp/veil-smp-b.json
 
 # The parallel experiment runner must not change results: shard the full
 # suite across 4 workers and byte-compare against the sequential run.

@@ -1,0 +1,140 @@
+package main
+
+// The -compare mode: diff two -json result files and fail on virtual-cycle
+// regressions. Keys present only in the NEW file (a freshly-added experiment
+// or field) are deliberately not failures: an old baseline cannot have an
+// opinion about results it never produced. They are surfaced as warnings so
+// a missing baseline is visible, not silent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// runCompare loads two -json result files and fails if any virtual-cycle
+// value (a numeric field whose name contains "Cycles") regressed by more
+// than 10%. Wall-clock fields never match the pattern, so the check is
+// deterministic across hosts.
+func runCompare(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare old.json new.json\n")
+		return 2
+	}
+	load := func(path string) (any, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return v, nil
+	}
+	oldV, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+		return 2
+	}
+	newV, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+		return 2
+	}
+	compared, regressions, newOnly := compareResults(oldV, newV)
+	for _, k := range newOnly {
+		fmt.Fprintf(os.Stderr, "veil-bench: warning: %s has cycle values but no baseline in %s; not compared\n",
+			k, args[0])
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d cycle values regressed >10%%\n",
+			len(regressions), compared)
+		return 1
+	}
+	fmt.Printf("veil-bench: compare ok: %d cycle values within 10%%\n", compared)
+	return 0
+}
+
+// compareResults walks both JSON trees in lockstep, checking every numeric
+// leaf whose key mentions Cycles. Regressions (>10% growth) and new-only
+// keys (subtrees the new file has, the old lacks, and that contain cycle
+// leaves) come back sorted; keys only the OLD side has are ignored —
+// retired experiments are not this check's business.
+func compareResults(oldV, newV any) (compared int, regressions, newOnly []string) {
+	compareCycles("", oldV, newV, &compared, &regressions, &newOnly)
+	sort.Strings(regressions)
+	sort.Strings(newOnly)
+	return compared, regressions, newOnly
+}
+
+func compareCycles(path string, oldV, newV any, compared *int, regressions, newOnly *[]string) {
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, nv := range n {
+			if _, ok := o[k]; !ok && hasCyclesLeaf(k, nv) {
+				*newOnly = append(*newOnly, path+"/"+k)
+			}
+		}
+		for k, ov := range o {
+			nv, ok := n[k]
+			if !ok {
+				continue
+			}
+			p := path + "/" + k
+			if of, okO := ov.(float64); okO && strings.Contains(k, "Cycles") {
+				if nf, okN := nv.(float64); okN {
+					*compared++
+					if of > 0 && nf > of*1.10 {
+						*regressions = append(*regressions,
+							fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
+					}
+					continue
+				}
+			}
+			compareCycles(p, ov, nv, compared, regressions, newOnly)
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			return
+		}
+		for i := range o {
+			if i < len(n) {
+				compareCycles(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], compared, regressions, newOnly)
+			}
+		}
+	}
+}
+
+// hasCyclesLeaf reports whether the subtree rooted at (key, v) contains any
+// numeric leaf whose key mentions Cycles — the filter that keeps the
+// new-only warning to keys the comparison would actually have checked.
+func hasCyclesLeaf(key string, v any) bool {
+	switch t := v.(type) {
+	case float64:
+		return strings.Contains(key, "Cycles")
+	case map[string]any:
+		for k, c := range t {
+			if hasCyclesLeaf(k, c) {
+				return true
+			}
+		}
+	case []any:
+		for _, c := range t {
+			if hasCyclesLeaf(key, c) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mustJSON(t *testing.T, s string) any {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		t.Fatalf("bad fixture: %v", err)
+	}
+	return v
+}
+
+func TestCompareResultsRegression(t *testing.T) {
+	oldV := mustJSON(t, `{"batch":{"SyncPerCallCycles":100,"Rows":[{"Cycles":1000}]}}`)
+	newV := mustJSON(t, `{"batch":{"SyncPerCallCycles":150,"Rows":[{"Cycles":1005}]}}`)
+	compared, regressions, newOnly := compareResults(oldV, newV)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the 100->150 leaf", regressions)
+	}
+	if len(newOnly) != 0 {
+		t.Fatalf("newOnly = %v, want none", newOnly)
+	}
+}
+
+func TestCompareResultsWithinTolerance(t *testing.T) {
+	oldV := mustJSON(t, `{"x":{"Cycles":1000}}`)
+	newV := mustJSON(t, `{"x":{"Cycles":1100}}`) // exactly +10%: allowed
+	_, regressions, _ := compareResults(oldV, newV)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none at the 10%% boundary", regressions)
+	}
+}
+
+// A new experiment in the new file must not fail against an old baseline —
+// it has to come back as a new-only warning key instead.
+func TestCompareResultsNewExperimentWarnsNotFails(t *testing.T) {
+	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
+	newV := mustJSON(t, `{"batch":{"Cycles":1000},"smp":{"Idle":{"TotalCycles":5000}}}`)
+	compared, regressions, newOnly := compareResults(oldV, newV)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 (only the shared leaf)", compared)
+	}
+	if len(newOnly) != 1 || newOnly[0] != "/smp" {
+		t.Fatalf("newOnly = %v, want [/smp]", newOnly)
+	}
+}
+
+// New-only keys with no cycle leaves beneath are noise, not warnings.
+func TestCompareResultsNewKeyWithoutCyclesIgnored(t *testing.T) {
+	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
+	newV := mustJSON(t, `{"batch":{"Cycles":1000},"notes":{"Comment":"hi"},"batch2":{"Mode":"intr"}}`)
+	_, _, newOnly := compareResults(oldV, newV)
+	if len(newOnly) != 0 {
+		t.Fatalf("newOnly = %v, want none (no Cycles leaves under the new keys)", newOnly)
+	}
+}
+
+// New-only keys nested inside a shared object are caught too, and arrays of
+// rows are walked index-for-index.
+func TestCompareResultsNestedAndArrays(t *testing.T) {
+	oldV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":20}]}}`)
+	newV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":50},{"Cycles":99}],"SMPCycles":7}}`)
+	compared, regressions, newOnly := compareResults(oldV, newV)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 (extra new row has no baseline)", compared)
+	}
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the 20->50 row", regressions)
+	}
+	if len(newOnly) != 1 || newOnly[0] != "/e/SMPCycles" {
+		t.Fatalf("newOnly = %v, want [/e/SMPCycles]", newOnly)
+	}
+}

@@ -18,8 +18,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strings"
 	"sync"
 
 	"veil/internal/bench"
@@ -188,11 +186,21 @@ var experiments = []experiment{
 		}
 		return r, nil
 	}},
+	{"smp", func(w io.Writer) (any, error) {
+		r, err := bench.SMP()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportSMP(w, r)
+		}
+		return r, nil
+	}},
 }
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|all")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|smp|all")
 	flag.IntVar(&iters, "iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	flag.Uint64Var(&memMB, "mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
@@ -296,94 +304,6 @@ func main() {
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
 			os.Exit(1)
-		}
-	}
-}
-
-// runCompare loads two -json result files and fails if any virtual-cycle
-// value (a numeric field whose name contains "Cycles") regressed by more
-// than 10%. Wall-clock fields never match the pattern, so the check is
-// deterministic across hosts.
-func runCompare(args []string) int {
-	if len(args) != 2 {
-		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare old.json new.json\n")
-		return 2
-	}
-	load := func(path string) (any, error) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		var v any
-		if err := json.Unmarshal(data, &v); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return v, nil
-	}
-	oldV, err := load(args[0])
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
-		return 2
-	}
-	newV, err := load(args[1])
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
-		return 2
-	}
-	var regressions []string
-	var compared int
-	compareCycles("", oldV, newV, &compared, &regressions)
-	if len(regressions) > 0 {
-		sort.Strings(regressions)
-		for _, r := range regressions {
-			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
-		}
-		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d cycle values regressed >10%%\n",
-			len(regressions), compared)
-		return 1
-	}
-	fmt.Printf("veil-bench: compare ok: %d cycle values within 10%%\n", compared)
-	return 0
-}
-
-// compareCycles walks both JSON trees in lockstep, checking every numeric
-// leaf whose key mentions Cycles. Structural mismatches (a key or row that
-// only one side has) are skipped — new experiments must not fail old
-// baselines.
-func compareCycles(path string, oldV, newV any, compared *int, regressions *[]string) {
-	switch o := oldV.(type) {
-	case map[string]any:
-		n, ok := newV.(map[string]any)
-		if !ok {
-			return
-		}
-		for k, ov := range o {
-			nv, ok := n[k]
-			if !ok {
-				continue
-			}
-			p := path + "/" + k
-			if of, okO := ov.(float64); okO && strings.Contains(k, "Cycles") {
-				if nf, okN := nv.(float64); okN {
-					*compared++
-					if of > 0 && nf > of*1.10 {
-						*regressions = append(*regressions,
-							fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
-					}
-					continue
-				}
-			}
-			compareCycles(p, ov, nv, compared, regressions)
-		}
-	case []any:
-		n, ok := newV.([]any)
-		if !ok {
-			return
-		}
-		for i := range o {
-			if i < len(n) {
-				compareCycles(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], compared, regressions)
-			}
 		}
 	}
 }

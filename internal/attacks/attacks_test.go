@@ -43,6 +43,14 @@ func TestStaleTLBAttacksAllDefended(t *testing.T) {
 	assertAllDefended(t, results)
 }
 
+func TestInterruptAttacksAllDefended(t *testing.T) {
+	results := Interrupts()
+	if len(results) != 3 {
+		t.Fatalf("interrupt suite has %d attacks, want 3", len(results))
+	}
+	assertAllDefended(t, results)
+}
+
 // TestDefendedAttacksLeaveEvidence: every defended on-platform attack must
 // leave at least one machine-visible trace — a fault or denial event in the
 // flight recorder, a halt, or a frozen post-mortem. A defence the
@@ -53,6 +61,7 @@ func TestDefendedAttacksLeaveEvidence(t *testing.T) {
 	all = append(all, Enclave()...)
 	all = append(all, Validation()...)
 	all = append(all, TLB()...)
+	all = append(all, Interrupts()...)
 	for _, r := range all {
 		if !r.Defended || r.OffPlatform {
 			continue

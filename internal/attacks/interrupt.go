@@ -1,0 +1,137 @@
+package attacks
+
+// Interrupt-misdelivery attacks: the host owns interrupt injection, so it
+// can refuse to relay a ring-completion interrupt, deliver it to the wrong
+// VCPU, or swallow it entirely. The first variant must halt the CVM (the
+// Table 2 defence, now reached through the batched ring path); the other
+// two are invisible to the architecture — nothing faults — so the defence
+// is the SMP scheduler's lost-wakeup detection: refuse to keep scheduling
+// and leave DeniedIntrRoute evidence rather than deadlock.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"veil/internal/audit"
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/sched"
+	"veil/internal/snp"
+)
+
+// freshVeilSMP is freshVeil with a chosen VCPU count, for attacks that need
+// a second VCPU to misroute onto.
+func freshVeilSMP(vcpus int) (*cvm.CVM, error) {
+	seedCounter++
+	c, err := cvm.Boot(cvm.Options{
+		MemBytes: 24 << 20, VCPUs: vcpus, Veil: true, LogPages: 8,
+		Rand: detRand{r: rand.New(rand.NewSource(seedCounter))},
+	})
+	lastBoot, lastAuditor = c, nil
+	if err == nil && auditing {
+		lastAuditor = audit.Attach(c.M, audit.Config{})
+	}
+	return c, err
+}
+
+// blockOnCompletion drives one victim task through the scheduler: submit a
+// request with ring IRQs enabled, post the doorbell asynchronously, block
+// in WaitIntr until the completion interrupt arrives. Under honest relay it
+// returns nil; under hostile delivery the scheduler's verdict comes back.
+func blockOnCompletion(c *cvm.CVM, vcpus, victim int) error {
+	// DrainLatency > 1 so the victim is already blocked in WaitIntr when
+	// the drain fires — the window where the completion interrupt is the
+	// only thing that can wake it.
+	s := sched.New(sched.Config{Machine: c.M, VCPUs: vcpus, Seed: seedCounter, DrainLatency: 3})
+	c.OnInterrupt(s.Wake)
+	st := c.StubFor(victim)
+	st.SetDispatcher(s)
+	if err := st.EnableRingIRQ(true); err != nil {
+		return err
+	}
+	var pc core.PendingCall
+	submitted := false
+	if err := s.Add(victim, 1, sched.TaskFunc(func(vcpu int) (sched.Status, error) {
+		if !submitted {
+			submitted = true
+			var err error
+			pc, err = st.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: []byte("victim append")})
+			if err != nil {
+				return sched.Yield, err
+			}
+			if err := st.DoorbellAsync(); err != nil {
+				return sched.Yield, err
+			}
+			return sched.Yield, nil
+		}
+		if _, err := st.WaitIntr(pc); err != nil {
+			if errors.Is(err, core.ErrWouldBlock) {
+				return sched.Blocked, nil
+			}
+			return sched.Yield, err
+		}
+		return sched.Done, nil
+	})); err != nil {
+		return err
+	}
+	_, err := s.Run()
+	return err
+}
+
+// Interrupts runs the interrupt-misdelivery attacks.
+func Interrupts() []Result {
+	return execute([]attack{
+		{
+			name:    "Refuse completion-interrupt relay (hypervisor)",
+			defence: "CVM halts with #NPF in the interrupted domain",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				c.HV.SetInterruptRelay(1 /* hv.RefuseRelay */, core.DomUNT)
+				if err := c.Stub.EnableRingIRQ(true); err != nil {
+					return false, err.Error()
+				}
+				if _, err := c.Stub.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: []byte("x")}); err != nil {
+					return false, err.Error()
+				}
+				// The completion interrupt is raised inside the drain, while
+				// Dom-SRV is current; the refused relay lands it right there.
+				derr := c.Stub.Doorbell()
+				f := c.M.Halted()
+				return derr != nil && f != nil && f.Kind == snp.FaultNPF,
+					fmt.Sprintf("doorbell: %v; halt: %v", derr, f)
+			},
+		},
+		{
+			name:    "Misroute completion interrupt to another VCPU",
+			defence: "Scheduler lost-wakeup refusal + DeniedIntrRoute evidence",
+			run: func() (bool, string) {
+				c, err := freshVeilSMP(2)
+				if err != nil {
+					return false, err.Error()
+				}
+				c.HV.SetInterruptRelay(2 /* hv.MisrouteVCPU */, core.DomUNT)
+				rerr := blockOnCompletion(c, 2, 0)
+				return errors.Is(rerr, sched.ErrLostWakeup) && c.M.Halted() == nil,
+					fmt.Sprintf("%v", rerr)
+			},
+		},
+		{
+			name:    "Drop completion interrupt (hypervisor)",
+			defence: "Scheduler lost-wakeup refusal + DeniedIntrRoute evidence",
+			run: func() (bool, string) {
+				c, err := freshVeil()
+				if err != nil {
+					return false, err.Error()
+				}
+				c.HV.SetInterruptRelay(3 /* hv.DropInterrupt */, core.DomUNT)
+				rerr := blockOnCompletion(c, 1, 0)
+				return errors.Is(rerr, sched.ErrLostWakeup) && c.M.Halted() == nil,
+					fmt.Sprintf("%v", rerr)
+			},
+		},
+	})
+}

@@ -154,6 +154,32 @@ func ReportBatch(w io.Writer, r BatchResult) {
 		r.ResultsEqual, r.CrossoverSize)
 }
 
+// ReportSMP prints the SMP poll-vs-interrupt completion comparison.
+func ReportSMP(w io.Writer, r SMPResult) {
+	fmt.Fprintf(w, "SMP scheduling — %d VCPUs × %d batches × %d calls, poll (%d spins/slice) vs interrupt completions\n",
+		r.VCPUs, r.Batches, r.BatchSize, r.PollSpins)
+	fmt.Fprintf(w, "%-22s  %12s  %12s  %9s  %10s  %10s\n",
+		"workload", "poll cyc/call", "intr cyc/call", "savings", "jain(poll)", "jain(intr)")
+	row := func(name string, c SMPCompare) {
+		fmt.Fprintf(w, "%-22s  %13d  %13d  %8.1f%%  %10.4f  %10.4f\n",
+			name, c.Poll.CyclesPerCall, c.Intr.CyclesPerCall, c.IntrSavingsPct,
+			c.Poll.FairnessJain, c.Intr.FairnessJain)
+	}
+	row(fmt.Sprintf("busy (latency %d)", r.BusyLatency), r.Busy)
+	row(fmt.Sprintf("idle (latency %d)", r.IdleLatency), r.Idle)
+	row("single VCPU (idle)", r.SingleVCPU)
+	fmt.Fprintf(w, "  idle regime: intr mode %d wakeups over %d rounds; poll mode burned %d wait slices\n",
+		r.Idle.Intr.Wakeups, r.Idle.Intr.Rounds, pollWaitSlices(r.Idle.Poll))
+}
+
+func pollWaitSlices(m SMPModeResult) uint64 {
+	var n uint64
+	for _, v := range m.PerVCPU {
+		n += v.WaitSlices
+	}
+	return n
+}
+
 // ReportObsPath prints the observability-stack overhead comparison.
 func ReportObsPath(w io.Writer, r ObsPathResult) {
 	fmt.Fprintf(w, "Observability path — %s ×%d: dark vs tracing vs tracing+auditor\n",

@@ -1,0 +1,291 @@
+// The SMP scheduling experiment: the same batched VeilS-Log append
+// workload driven on several VCPUs at once through the deterministic
+// scheduler, comparing the two completion channels — spinning on PollSpin
+// (each wait slice burns busy-poll cycles) versus blocking in WaitIntr and
+// being woken by the relayed completion interrupt (a blocked VCPU burns
+// nothing; the wake-up costs one interrupt injection plus the OS handler).
+//
+// Two drain-latency regimes bound the trade: "busy" (drains are served the
+// next round, spinning barely waits) and "idle" (drains linger, spinning
+// burns slices). The per-VCPU cycle ledger the scheduler keeps also yields
+// the cross-VCPU fairness metrics. Everything is virtual cycles from fixed
+// seeds: two runs of this experiment are byte-identical, which CI enforces.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/obs"
+	"veil/internal/sched"
+)
+
+const (
+	smpVCPUs     = 4
+	smpBatches   = 6  // batches per VCPU
+	smpBatchSize = 16 // submissions per batch (≤ RingSlots)
+	// smpPollSpins is the busy-wait length of one poll slice: 250 checks
+	// of the completion head at CyclesRingPoll each.
+	smpPollSpins = 250
+	// Drain pickup latency (scheduler rounds) for the two regimes.
+	smpBusyLatency = 1
+	smpIdleLatency = 10
+)
+
+// SMPVCPURow is one VCPU's slice of the scheduler's ledger.
+type SMPVCPURow struct {
+	VCPU        int
+	Ops         uint64 // completed service calls
+	Slices      uint64
+	SliceCycles uint64
+	Drains      uint64
+	DrainCycles uint64
+	Wakeups     uint64
+	WaitSlices  uint64 // poll mode: slices burned spinning on a pending batch
+}
+
+// SMPModeResult is one (mode, latency, VCPU count) configuration.
+type SMPModeResult struct {
+	Mode          string // "poll" | "intr"
+	VCPUs         int
+	Ops           uint64
+	TotalCycles   uint64
+	CyclesPerCall uint64
+	Rounds        uint64
+	Drains        uint64
+	Wakeups       uint64
+	// FairnessJain is Jain's index over per-VCPU charged cycles (slices +
+	// drains): 1.0 = perfectly fair. FairnessMinMax is min/max of the same.
+	FairnessJain   float64
+	FairnessMinMax float64
+	PerVCPU        []SMPVCPURow
+}
+
+// SMPCompare pairs the two completion channels under one latency regime.
+type SMPCompare struct {
+	Poll SMPModeResult
+	Intr SMPModeResult
+	// IntrSavingsPct is how much cheaper the interrupt channel's per-call
+	// cost is than polling's (negative when polling wins).
+	IntrSavingsPct float64
+}
+
+// SMPResult is the whole experiment.
+type SMPResult struct {
+	VCPUs       int
+	Batches     int
+	BatchSize   int
+	PollSpins   int
+	BusyLatency int
+	IdleLatency int
+	// Busy: drains served next round — spinning barely waits. Idle:
+	// drains linger — the regime interrupt completions exist for.
+	Busy SMPCompare
+	Idle SMPCompare
+	// SingleVCPU is the N=1 special case under the idle regime: the same
+	// scheduler, one VCPU, both channels still correct.
+	SingleVCPU SMPCompare
+}
+
+// smpTask drives one VCPU's workload: submit a batch, ring the doorbell
+// asynchronously, wait for completion (spinning or blocking), collect,
+// repeat. It is a cooperative state machine stepped by the scheduler.
+type smpTask struct {
+	st      *core.OSStub
+	intr    bool
+	pending []core.PendingCall
+	done    int
+	ops     uint64
+	waits   uint64
+}
+
+func (t *smpTask) Step(vcpu int) (sched.Status, error) {
+	if len(t.pending) == 0 {
+		if t.done >= smpBatches {
+			return sched.Done, nil
+		}
+		for j := 0; j < smpBatchSize; j++ {
+			payload := []byte(fmt.Sprintf("smp v%d b%d op%d", vcpu, t.done, j))
+			pc, err := t.st.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend, Payload: payload})
+			if err != nil {
+				return sched.Yield, err
+			}
+			t.pending = append(t.pending, pc)
+		}
+		if err := t.st.DoorbellAsync(); err != nil {
+			return sched.Yield, err
+		}
+		return sched.Yield, nil
+	}
+
+	last := t.pending[len(t.pending)-1]
+	if t.intr {
+		if _, err := t.st.WaitIntr(last); err != nil {
+			if errors.Is(err, core.ErrWouldBlock) {
+				return sched.Blocked, nil
+			}
+			return sched.Yield, err
+		}
+	} else {
+		_, ok, err := t.st.PollSpin(last, smpPollSpins)
+		if err != nil {
+			return sched.Yield, err
+		}
+		if !ok {
+			t.waits++
+			return sched.Yield, nil
+		}
+	}
+
+	for _, pc := range t.pending {
+		r, ok, err := t.st.Poll(pc)
+		if err != nil {
+			return sched.Yield, err
+		}
+		if !ok {
+			return sched.Yield, fmt.Errorf("bench: seq %d incomplete after batch drain", pc.Seq)
+		}
+		if r.Status != core.StatusOK {
+			return sched.Yield, fmt.Errorf("bench: seq %d status %d", pc.Seq, r.Status)
+		}
+		t.ops++
+	}
+	t.pending = t.pending[:0]
+	t.done++
+	return sched.Yield, nil
+}
+
+// smpRun boots a fresh Veil CVM with the given VCPU count and drives the
+// workload through the scheduler in the given mode and latency regime.
+func smpRun(vcpus int, intr bool, latency int, seed int64) (SMPModeResult, error) {
+	c, err := cvm.Boot(cvm.Options{
+		MemBytes: benchMem,
+		VCPUs:    vcpus,
+		Veil:     true,
+		LogPages: 2048,
+		Rand:     rng(seed),
+		Recorder: obs.NewRecorder(benchRingCap),
+	})
+	if err != nil {
+		return SMPModeResult{}, err
+	}
+	s := sched.New(sched.Config{Machine: c.M, VCPUs: vcpus, Seed: seed, DrainLatency: latency})
+	c.OnInterrupt(s.Wake)
+
+	tasks := make([]*smpTask, vcpus)
+	for i := 0; i < vcpus; i++ {
+		// Kernel-side placement decides which VCPU each submitter runs on;
+		// with one process per VCPU the least-loaded rule is a bijection.
+		p := c.K.Spawn(fmt.Sprintf("smp-worker-%d", i))
+		v, err := c.K.PlaceProcess(p.PID)
+		if err != nil {
+			return SMPModeResult{}, err
+		}
+		st := c.StubFor(v)
+		st.SetDispatcher(s)
+		if err := st.EnableRingIRQ(intr); err != nil {
+			return SMPModeResult{}, err
+		}
+		tasks[v] = &smpTask{st: st, intr: intr}
+		if err := s.Add(v, 1, tasks[v]); err != nil {
+			return SMPModeResult{}, err
+		}
+	}
+
+	start := c.M.Clock().Cycles()
+	stats, err := s.Run()
+	if err != nil {
+		return SMPModeResult{}, err
+	}
+	total := c.M.Clock().Cycles() - start
+
+	mode := "poll"
+	if intr {
+		mode = "intr"
+	}
+	r := SMPModeResult{
+		Mode: mode, VCPUs: vcpus, TotalCycles: total,
+		Rounds: stats.Rounds, Drains: stats.Drains, Wakeups: stats.Wakeups,
+		PerVCPU: make([]SMPVCPURow, vcpus),
+	}
+	charged := make([]uint64, vcpus)
+	for i, vs := range stats.PerVCPU {
+		r.PerVCPU[i] = SMPVCPURow{
+			VCPU: i, Ops: tasks[i].ops,
+			Slices: vs.Slices, SliceCycles: vs.SliceCycles,
+			Drains: vs.Drains, DrainCycles: vs.DrainCycles,
+			Wakeups: vs.Wakeups, WaitSlices: tasks[i].waits,
+		}
+		r.Ops += tasks[i].ops
+		charged[i] = vs.SliceCycles + vs.DrainCycles
+	}
+	if r.Ops != uint64(vcpus*smpBatches*smpBatchSize) {
+		return SMPModeResult{}, fmt.Errorf("bench: smp %s completed %d of %d ops", mode, r.Ops, vcpus*smpBatches*smpBatchSize)
+	}
+	r.CyclesPerCall = total / r.Ops
+	r.FairnessJain = sched.JainIndex(charged)
+	r.FairnessMinMax = minMaxRatio(charged)
+	return r, nil
+}
+
+func minMaxRatio(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == 0 {
+		return 1
+	}
+	return float64(lo) / float64(hi)
+}
+
+func smpCompare(vcpus, latency int, seed int64) (SMPCompare, error) {
+	poll, err := smpRun(vcpus, false, latency, seed)
+	if err != nil {
+		return SMPCompare{}, err
+	}
+	intr, err := smpRun(vcpus, true, latency, seed+1)
+	if err != nil {
+		return SMPCompare{}, err
+	}
+	cmp := SMPCompare{Poll: poll, Intr: intr}
+	if poll.CyclesPerCall > 0 {
+		cmp.IntrSavingsPct = 100 * (float64(poll.CyclesPerCall) - float64(intr.CyclesPerCall)) / float64(poll.CyclesPerCall)
+	}
+	return cmp, nil
+}
+
+// SMP runs the whole experiment from fixed seeds.
+func SMP() (SMPResult, error) {
+	r := SMPResult{
+		VCPUs: smpVCPUs, Batches: smpBatches, BatchSize: smpBatchSize,
+		PollSpins: smpPollSpins, BusyLatency: smpBusyLatency, IdleLatency: smpIdleLatency,
+	}
+	var err error
+	if r.Busy, err = smpCompare(smpVCPUs, smpBusyLatency, 8800); err != nil {
+		return r, err
+	}
+	if r.Idle, err = smpCompare(smpVCPUs, smpIdleLatency, 8810); err != nil {
+		return r, err
+	}
+	if r.SingleVCPU, err = smpCompare(1, smpIdleLatency, 8820); err != nil {
+		return r, err
+	}
+	// The claim the experiment exists to check: on idle-heavy workloads
+	// the interrupt channel beats spinning.
+	if r.Idle.Intr.CyclesPerCall >= r.Idle.Poll.CyclesPerCall {
+		return r, fmt.Errorf("bench: interrupt completions (%d cyc/call) did not beat polling (%d cyc/call) on the idle workload",
+			r.Idle.Intr.CyclesPerCall, r.Idle.Poll.CyclesPerCall)
+	}
+	return r, nil
+}

@@ -44,6 +44,13 @@ type Monitor struct {
 	apEntries map[int]hv.Context
 	untCtx    func(int) hv.Context
 
+	// drainNotify, when set, raises the completion interrupt at the end of
+	// a ring drain whose submission header has the IRQ-enable flag set.
+	// The CVM wires it to hv.InjectInterrupt: delivery happens while
+	// Dom-SRV is still the current context, so the relay protocol decides
+	// where the handler actually runs (§6.2).
+	drainNotify func(vcpu int) error
+
 	kp             *attest.KeyPair
 	userCh         *attest.Channel
 	secureHandlers map[uint8]SecureHandler
@@ -135,20 +142,46 @@ func (mon *Monitor) UnprotectLabel(label string) { mon.regions.Remove(label) }
 // Sanitize validates an untrusted pointer range (§8.1).
 func (mon *Monitor) Sanitize(ptr, n uint64) error { return mon.regions.Sanitize(ptr, n) }
 
+// SetDrainNotifier installs (or, with nil, removes) the completion-interrupt
+// hook drainRing fires after publishing a batch whose submitter enabled ring
+// IRQs. It is called while Dom-SRV is still current — exactly when a real
+// device interrupt would arrive — so hostile relay modes get their shot.
+func (mon *Monitor) SetDrainNotifier(fn func(vcpu int) error) { mon.drainNotify = fn }
+
+// haltOnInterrupt models an interrupt forced into a trusted domain that
+// cannot host the OS handler (the hostile RefuseRelay mode of Table 2): the
+// handler's pages are unmapped above VMPL3, delivery faults, the CVM halts.
+func (mon *Monitor) haltOnInterrupt(vmpl snp.VMPL) error {
+	const osHandlerVirt = 0x0000_7FFF_FF00_0000
+	f := &snp.Fault{
+		Kind: snp.FaultNPF, VMPL: vmpl, CPL: snp.CPL0,
+		Access: snp.AccessExec, Virt: osHandlerVirt,
+		Why: fmt.Sprintf("interrupt vector unreachable from VMPL%d domain (refused relay)", vmpl),
+	}
+	return mon.m.Halt(f)
+}
+
 // BootContext returns the hv context for the launch VCPU: booting VeilMon
 // on first entry and dispatching Dom-MON requests afterwards.
 func (mon *Monitor) BootContext() hv.Context {
 	return hv.ContextFunc(func(r hv.Reason) error {
-		if r == hv.ReasonBoot {
+		switch r {
+		case hv.ReasonBoot:
 			return mon.boot()
+		case hv.ReasonInterrupt:
+			return mon.haltOnInterrupt(snp.VMPL0)
+		default:
+			return mon.dispatchMon(0)
 		}
-		return mon.dispatchMon(0)
 	})
 }
 
 // monCtx is the Dom-MON replica context for non-boot VCPUs.
 func (mon *Monitor) monCtx(vcpu int) hv.Context {
 	return hv.ContextFunc(func(r hv.Reason) error {
+		if r == hv.ReasonInterrupt {
+			return mon.haltOnInterrupt(snp.VMPL0)
+		}
 		return mon.dispatchMon(vcpu)
 	})
 }
@@ -157,10 +190,14 @@ func (mon *Monitor) monCtx(vcpu int) hv.Context {
 // switch, or a full ring drain per doorbell.
 func (mon *Monitor) srvCtx(vcpu int) hv.Context {
 	return hv.ContextFunc(func(r hv.Reason) error {
-		if r == hv.ReasonDoorbell {
+		switch r {
+		case hv.ReasonDoorbell:
 			return mon.drainRing(vcpu)
+		case hv.ReasonInterrupt:
+			return mon.haltOnInterrupt(snp.VMPL1)
+		default:
+			return mon.dispatchSrv(vcpu)
 		}
-		return mon.dispatchSrv(vcpu)
 	})
 }
 

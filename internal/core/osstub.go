@@ -24,6 +24,12 @@ type OSStub struct {
 	// mon is simulation wiring only: BootAP must hand VeilMon the Go
 	// context that stands in for the code at the new VCPU's entry point.
 	mon *Monitor
+
+	// disp, when set, receives doorbells from DoorbellAsync instead of the
+	// ring being drained synchronously (the SMP scheduler's deferred-drain
+	// queue). irq mirrors the ring header's interrupt-enable flag.
+	disp Dispatcher
+	irq  bool
 }
 
 // NewOSStub creates the kernel-side stub for one VCPU.

@@ -18,6 +18,45 @@ import (
 // before submitting more. This is the ring's backpressure.
 var ErrRingFull = errors.New("core: submission ring full")
 
+// ErrWouldBlock is returned by WaitIntr while the completion has not been
+// published yet: the caller should block its VCPU and wait for the
+// completion interrupt instead of spinning.
+var ErrWouldBlock = errors.New("core: completion pending; block for interrupt")
+
+// CyclesRingPoll models one busy-wait check of the completion head — the
+// cycles a spinning core burns per poll iteration while it waits. The
+// interrupt-driven path never pays it; that asymmetry is the trade the smp
+// benchmark measures.
+const CyclesRingPoll = 60
+
+// Dispatcher is the scheduler-facing half of the asynchronous doorbell
+// path: DoorbellAsync posts the drain here instead of performing it inline,
+// and the dispatcher runs it later, charged to the owning VCPU. expectWake
+// says the submitter enabled ring IRQs and will block on WaitIntr — the
+// dispatcher must verify the completion interrupt actually woke it.
+type Dispatcher interface {
+	PostDrain(vcpu int, expectWake bool, fire func() error)
+}
+
+// SetDispatcher routes subsequent DoorbellAsync calls through d (nil
+// restores the synchronous N=1 behaviour).
+func (s *OSStub) SetDispatcher(d Dispatcher) { s.disp = d }
+
+// EnableRingIRQ sets or clears the submission header's interrupt-enable
+// flag: when set, every drain of this VCPU's ring ends with a completion
+// interrupt relayed per the hypervisor's interrupt mode.
+func (s *OSStub) EnableRingIRQ(on bool) error {
+	var v uint32
+	if on {
+		v = 1
+	}
+	if err := ringWriteU32(s.m, snp.VMPL3, snp.CPL0, s.lay.RingSub(s.vcpu)+ringIRQOff, v); err != nil {
+		return err
+	}
+	s.irq = on
+	return nil
+}
+
 // PendingCall identifies one in-flight ring submission for later polling.
 type PendingCall struct {
 	Seq uint32
@@ -87,6 +126,44 @@ func (s *OSStub) Doorbell() error {
 		}
 	}
 	return callErr
+}
+
+// DoorbellAsync posts the doorbell to the dispatcher's deferred-drain queue
+// and returns immediately; the drain (and its domain switch) happens later,
+// charged to this VCPU. Without a dispatcher it degrades to the synchronous
+// Doorbell — the single-VCPU special case.
+func (s *OSStub) DoorbellAsync() error {
+	if s.disp == nil {
+		return s.Doorbell()
+	}
+	s.disp.PostDrain(s.vcpu, s.irq, s.Doorbell)
+	return nil
+}
+
+// WaitIntr is the interrupt-driven completion check: it returns the
+// response if the completion is already published, or ErrWouldBlock when
+// the caller should block its VCPU until the completion interrupt arrives.
+// Unlike Poll it charges nothing while pending — a blocked VCPU burns no
+// cycles, which is the entire point of the interrupt path.
+func (s *OSStub) WaitIntr(pc PendingCall) (Response, error) {
+	r, done, err := s.Poll(pc)
+	if err != nil {
+		return Response{}, err
+	}
+	if !done {
+		return Response{}, ErrWouldBlock
+	}
+	return r, nil
+}
+
+// PollSpin is Poll plus the honest cost of getting there: spins busy-wait
+// iterations at CyclesRingPoll each, charged before the check. Poll-mode
+// schedulers use it so spinning shows up in the cycle ledger.
+func (s *OSStub) PollSpin(pc PendingCall, spins int) (Response, bool, error) {
+	if spins > 0 {
+		s.m.Clock().Charge(snp.CostCompute, uint64(spins)*CyclesRingPoll)
+	}
+	return s.Poll(pc)
 }
 
 // Poll checks one in-flight submission. It returns (response, true) once

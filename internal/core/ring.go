@@ -48,6 +48,14 @@ const (
 	ringDescLen = 64
 	ringCompLen = 16
 
+	// ringIRQOff is the submission header's interrupt-enable flag (u32 at
+	// offset 4, after the tail). When non-zero, drainRing raises the
+	// completion interrupt through the monitor's drain notifier after
+	// publishing the batch. OS-owned and therefore untrusted: lying only
+	// hurts the OS (a spurious interrupt, or a lost wake-up the scheduler
+	// detects and refuses).
+	ringIRQOff = 4
+
 	// CyclesRingValidate models VeilMon's per-descriptor drain work:
 	// sequence/length checks, the sanitizer lookup and the RMP re-read.
 	CyclesRingValidate = 120
@@ -266,6 +274,10 @@ func (mon *Monitor) drainRing(vcpu int) error {
 	if pending > RingSlots {
 		pending = RingSlots // hostile tail jump: never trust more than capacity
 	}
+	irq, err := ringReadU32(m, snp.VMPL1, snp.CPL0, sub+ringIRQOff)
+	if err != nil {
+		return err
+	}
 
 	drainStart := m.Clock().Cycles()
 	drainRef := m.BeginSpan()
@@ -297,6 +309,13 @@ func (mon *Monitor) drainRing(vcpu int) error {
 		}
 	}
 	m.ObserveRingDrain(snp.VMPL1, drained, refused, drainStart, drainRef)
+	// Completions are published; raise the interrupt the submitter asked
+	// for. Dom-SRV is still current here, so where the handler runs is the
+	// relay protocol's call — under RefuseRelay it lands right back in this
+	// domain and halts via srvCtx.
+	if irq != 0 && mon.drainNotify != nil {
+		return mon.drainNotify(vcpu)
+	}
 	return nil
 }
 

@@ -66,12 +66,15 @@ type CVM struct {
 	K   *kernel.Kernel
 
 	// Veil-mode components (nil when native).
-	Mon  *core.Monitor
-	KCI  *kci.Service
-	ENC  *enc.Service
-	LOG  *vlog.Service
-	Stub *core.OSStub
-	Lay  core.Layout
+	Mon *core.Monitor
+	KCI *kci.Service
+	ENC *enc.Service
+	LOG *vlog.Service
+	// Stub is VCPU 0's kernel stub; Stubs holds one per VCPU so SMP
+	// callers can drive every ring (Stubs[0] == Stub).
+	Stub  *core.OSStub
+	Stubs []*core.OSStub
+	Lay   core.Layout
 
 	// ModulePriv is the module vendor's signing key (kept off-platform in
 	// reality; exposed here so tests and examples can build signed
@@ -89,6 +92,11 @@ type CVM struct {
 	// application stub).
 	ocallByVCPU   map[int]func(vcpu int) error
 	ocallOverride func(vcpu int) error
+
+	// intrNotify, when set, runs inside the Dom-UNT interrupt handler
+	// after the handler cost is charged — the SMP scheduler hangs its
+	// Wake here so relayed completion interrupts unblock WaitIntr waiters.
+	intrNotify func(vcpu int)
 }
 
 // Boot builds and boots a CVM.
@@ -163,6 +171,7 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 				switch r {
 				case hv.ReasonInterrupt:
 					m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+					c.notifyInterrupt(vcpu)
 					return nil
 				default:
 					if !booted {
@@ -180,8 +189,13 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	c.Mon = mon
 
 	// The kernel object exists before launch (its code is part of the
-	// boot image); it runs when the monitor switches into Dom-UNT.
-	stub := core.NewOSStub(mon, 0)
+	// boot image); it runs when the monitor switches into Dom-UNT. One
+	// stub per VCPU: each owns its own ring and GHCB.
+	c.Stubs = make([]*core.OSStub, opts.VCPUs)
+	for v := range c.Stubs {
+		c.Stubs[v] = core.NewOSStub(mon, v)
+	}
+	stub := c.Stubs[0]
 	c.Stub = stub
 	k, err = kernel.New(m, hyp, kernel.Config{
 		VMPL:         snp.VMPL3,
@@ -200,6 +214,7 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 					return dflt.Invoke(r)
 				case hv.ReasonInterrupt:
 					m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+					c.notifyInterrupt(vcpu)
 					return nil
 				default:
 					return c.dispatchOcall(vcpu)
@@ -248,6 +263,9 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 		}
 	}
 	hyp.SetInterruptRelay(hv.RelayToUntrusted, core.DomUNT)
+	// Ring drains whose submitter enabled IRQs raise their completion
+	// interrupt through the relay protocol — same path, same hostile modes.
+	mon.SetDrainNotifier(func(v int) error { return hyp.InjectInterrupt(v) })
 
 	if opts.AuditRules != nil {
 		k.Audit().SetRules(opts.AuditRules)
@@ -297,6 +315,7 @@ func bootNative(opts Options, rng io.Reader) (*CVM, error) {
 			return k.Boot()
 		case hv.ReasonInterrupt:
 			m.Clock().Charge(snp.CostCompute, CyclesInterruptHandler)
+			c.notifyInterrupt(0)
 			return nil
 		default:
 			return c.dispatchOcall(0)
@@ -368,6 +387,26 @@ func (c *CVM) SwapOcallServer(vcpu int, fn func(vcpu int) error) func(vcpu int) 
 	prev := c.ocallByVCPU[vcpu]
 	c.ocallByVCPU[vcpu] = fn
 	return prev
+}
+
+// OnInterrupt installs (or, with nil, removes) a callback invoked from the
+// Dom-UNT interrupt handler after a relayed interrupt is serviced on a
+// VCPU. The SMP scheduler registers its Wake here.
+func (c *CVM) OnInterrupt(fn func(vcpu int)) { c.intrNotify = fn }
+
+func (c *CVM) notifyInterrupt(vcpu int) {
+	if c.intrNotify != nil {
+		c.intrNotify(vcpu)
+	}
+}
+
+// StubFor returns the kernel stub owning the given VCPU's ring and GHCB
+// (nil for out-of-range VCPUs or native CVMs).
+func (c *CVM) StubFor(vcpu int) *core.OSStub {
+	if vcpu < 0 || vcpu >= len(c.Stubs) {
+		return nil
+	}
+	return c.Stubs[vcpu]
 }
 
 // Tick injects n timer interrupts on VCPU 0.

@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"sort"
 
 	"veil/internal/snp"
 )
@@ -241,6 +242,17 @@ func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
 	if h.m.Halted() != nil {
 		return snp.ErrHalted
 	}
+	switch h.interruptMode {
+	case DropInterrupt:
+		// Hostile: the host never delivers the interrupt. Nothing runs in
+		// the guest and no cycles are charged; whoever was waiting on the
+		// wake-up must detect the loss themselves.
+		return nil
+	case MisrouteVCPU:
+		// Hostile: deliver to the lowest-numbered other started VCPU. The
+		// relay below then proceeds normally — just on the wrong VCPU.
+		vcpuID = h.otherStartedVCPU(vcpuID)
+	}
 	c, ok := h.vcpus[vcpuID]
 	if !ok {
 		return fmt.Errorf("hv: interrupt for unknown VCPU %d", vcpuID)
@@ -276,6 +288,23 @@ func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
 	c.currentVMSA = interrupted
 	h.chargeEnter()
 	return err
+}
+
+// otherStartedVCPU returns the lowest-numbered started VCPU other than id,
+// or id itself when it is the only one. The map is never iterated without
+// sorting, so hostile misrouting is as deterministic as honest delivery.
+func (h *Hypervisor) otherStartedVCPU(id int) int {
+	ids := make([]int, 0, len(h.vcpus))
+	for i, c := range h.vcpus {
+		if c.started && i != id {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		return id
+	}
+	sort.Ints(ids)
+	return ids[0]
 }
 
 // AttemptVMSATamper is the Table 2 hypervisor attack: try to overwrite a

@@ -109,6 +109,17 @@ const (
 	// OS interrupt handler is unmapped/unexecutable there, the CVM halts
 	// with #NPF — the defence the paper describes.
 	RefuseRelay
+	// MisrouteVCPU is a second hostile mode: the host delivers the
+	// interrupt to a different VCPU than the one the device targeted. The
+	// wrong VCPU's OS handler runs (harmlessly); the intended VCPU never
+	// sees its completion wake-up. The guest cannot prevent this — the
+	// SMP scheduler must detect the lost wake-up and refuse to keep
+	// scheduling rather than deadlock.
+	MisrouteVCPU
+	// DropInterrupt is the quietest hostile mode: the host swallows the
+	// injection entirely. Nothing executes in the guest; as with
+	// MisrouteVCPU, detection is the scheduler's job.
+	DropInterrupt
 )
 
 // AttestationSigner abstracts the AMD PSP: it signs attestation reports

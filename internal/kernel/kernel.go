@@ -81,6 +81,11 @@ type Kernel struct {
 	procs   map[int]*Process
 	nextPID int
 
+	// placement maps runnable processes to VCPUs (place.go); placeLoad is
+	// the per-VCPU count the least-loaded choice reads. Lazily allocated.
+	placement map[int]int
+	placeLoad []int
+
 	booted   bool
 	apOnline int
 

@@ -1,0 +1,54 @@
+package kernel
+
+import "fmt"
+
+// Runnable-process-to-VCPU placement: the kernel-side half of SMP
+// scheduling. The simulator's sched package decides *when* each VCPU runs;
+// this decides *where* a runnable process lives. Placement is deterministic
+// — least-loaded VCPU, lowest id on ties — so identically-seeded SMP runs
+// assign identical processes to identical VCPUs.
+
+// PlaceProcess assigns a process to a VCPU and returns the choice. Placing
+// an already-placed process migrates it (its old VCPU's load drops first).
+func (k *Kernel) PlaceProcess(pid int) (int, error) {
+	if _, ok := k.procs[pid]; !ok {
+		return 0, fmt.Errorf("kernel: place: no process %d", pid)
+	}
+	if k.placeLoad == nil {
+		k.placeLoad = make([]int, k.cfg.VCPUs)
+		k.placement = make(map[int]int)
+	}
+	if old, ok := k.placement[pid]; ok {
+		k.placeLoad[old]--
+	}
+	best := 0
+	for v := 1; v < len(k.placeLoad); v++ {
+		if k.placeLoad[v] < k.placeLoad[best] {
+			best = v
+		}
+	}
+	k.placeLoad[best]++
+	k.placement[pid] = best
+	return best, nil
+}
+
+// ProcessVCPU reports where a process was placed.
+func (k *Kernel) ProcessVCPU(pid int) (int, bool) {
+	v, ok := k.placement[pid]
+	return v, ok
+}
+
+// UnplaceProcess removes a process from its VCPU (process exit).
+func (k *Kernel) UnplaceProcess(pid int) {
+	if v, ok := k.placement[pid]; ok {
+		k.placeLoad[v]--
+		delete(k.placement, pid)
+	}
+}
+
+// VCPULoads returns a copy of the per-VCPU runnable-process counts.
+func (k *Kernel) VCPULoads() []int {
+	out := make([]int, k.cfg.VCPUs)
+	copy(out, k.placeLoad)
+	return out
+}

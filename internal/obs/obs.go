@@ -79,6 +79,10 @@ const (
 	// monitor domain (Arg1 = descriptors drained, Arg2 = descriptors
 	// refused by re-validation).
 	ClassRingDrain
+	// ClassSchedSlice spans one SMP-scheduler slice: a bounded burst of
+	// work charged to one VCPU (Arg1 = VCPU, Arg2 = slice kind: 0 = task,
+	// 1 = deferred ring drain).
+	ClassSchedSlice
 
 	// NumClasses is the number of defined event classes.
 	NumClasses
@@ -88,7 +92,7 @@ var classNames = [NumClasses]string{
 	"vmgexit", "vmenter", "vmcall", "vmgexit-roundtrip", "domain-switch",
 	"rmpadjust", "pvalidate", "syscall", "audit-emit", "interrupt",
 	"enclave-exit", "fault", "page-state", "service", "enclave-enter",
-	"denied", "invariant", "ring-submit", "ring-drain",
+	"denied", "invariant", "ring-submit", "ring-drain", "sched-slice",
 }
 
 func (c Class) String() string {

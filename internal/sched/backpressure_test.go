@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+)
+
+// Satellite isolation under ring backpressure: one VCPU jams its own
+// submission ring (ErrRingFull, doorbell never rung) while a second VCPU
+// keeps completing interrupt-driven batches. The full ring must stay a
+// per-VCPU problem — the jammed submitter's backpressure cannot stall the
+// other VCPU's drains or wake-ups, and the machine must stay alive.
+func TestRingFullOnOneVCPUDoesNotStallAnother(t *testing.T) {
+	c, err := cvm.Boot(cvm.Options{VCPUs: 2, Veil: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Machine: c.M, VCPUs: 2, Seed: 99, DrainLatency: 3})
+	c.OnInterrupt(s.Wake)
+
+	// VCPU 0: fill the submission ring to backpressure and hold it there.
+	jammed := c.StubFor(0)
+	filled := 0
+	for {
+		_, err := jammed.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend,
+			Payload: []byte(fmt.Sprintf("jam %d", filled))})
+		if errors.Is(err, core.ErrRingFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", filled, err)
+		}
+		filled++
+	}
+	if filled != core.RingSlots {
+		t.Fatalf("ring jammed after %d submissions, want %d", filled, core.RingSlots)
+	}
+	const batches, batchSize = 3, 8
+	var pending []core.PendingCall
+	done, ops, jamRounds := 0, 0, 0
+
+	// The jammer stays runnable (never draining, so the jam persists) and
+	// re-verifies the backpressure each slice; it finishes only once the
+	// worker does, so Run terminates.
+	if err := s.Add(0, 1, TaskFunc(func(vcpu int) (Status, error) {
+		jamRounds++
+		if done >= batches {
+			return Done, nil
+		}
+		if _, err := jammed.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend}); !errors.Is(err, core.ErrRingFull) {
+			return Done, fmt.Errorf("jammed ring accepted a submission: %v", err)
+		}
+		return Yield, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	// VCPU 1: interrupt-driven batches through the scheduler.
+	worker := c.StubFor(1)
+	worker.SetDispatcher(s)
+	if err := worker.EnableRingIRQ(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1, 1, TaskFunc(func(vcpu int) (Status, error) {
+		if len(pending) == 0 {
+			if done >= batches {
+				return Done, nil
+			}
+			for j := 0; j < batchSize; j++ {
+				pc, err := worker.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend,
+					Payload: []byte(fmt.Sprintf("ok b%d op%d", done, j))})
+				if err != nil {
+					return Yield, err
+				}
+				pending = append(pending, pc)
+			}
+			if err := worker.DoorbellAsync(); err != nil {
+				return Yield, err
+			}
+			return Yield, nil
+		}
+		if _, err := worker.WaitIntr(pending[len(pending)-1]); err != nil {
+			if errors.Is(err, core.ErrWouldBlock) {
+				return Blocked, nil
+			}
+			return Yield, err
+		}
+		for _, pc := range pending {
+			r, ok, err := worker.Poll(pc)
+			if err != nil || !ok || r.Status != core.StatusOK {
+				return Yield, fmt.Errorf("seq %d: ok=%v status=%v err=%v", pc.Seq, ok, r.Status, err)
+			}
+			ops++
+		}
+		pending = pending[:0]
+		done++
+		return Yield, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops != batches*batchSize {
+		t.Fatalf("worker completed %d ops, want %d", ops, batches*batchSize)
+	}
+	if st.PerVCPU[1].Wakeups != batches {
+		t.Fatalf("worker wakeups = %d, want %d (one per batch)", st.PerVCPU[1].Wakeups, batches)
+	}
+	if jamRounds == 0 {
+		t.Fatal("jammer never ran — the interleaving was not concurrent")
+	}
+	if f := c.M.Halted(); f != nil {
+		t.Fatalf("machine halted: %v", f)
+	}
+	// Backpressure released: one doorbell drains the jammed ring normally.
+	if err := jammed.Doorbell(); err != nil {
+		t.Fatalf("draining the jammed ring: %v", err)
+	}
+	if _, err := jammed.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend}); err != nil {
+		t.Fatalf("ring still jammed after drain: %v", err)
+	}
+}

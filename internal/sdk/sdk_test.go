@@ -205,7 +205,7 @@ func TestHostileInterruptRelayHaltsCVM(t *testing.T) {
 		return 0
 	})
 	a, _ := launch(t, c, prog)
-	c.HV.SetInterruptRelay(2 /* hv.RefuseRelay */, 3)
+	c.HV.SetInterruptRelay(1 /* hv.RefuseRelay */, 3)
 	_, err := a.Enter()
 	if err == nil && c.M.Halted() == nil {
 		t.Fatal("hostile interrupt relay should halt the CVM")

@@ -275,6 +275,11 @@ const (
 	// re-validation (bad sequence, oversized lengths, payload pointers
 	// into protected regions, or RMP permissions the submitter lacks).
 	DeniedRing
+	// DeniedIntrRoute: the SMP scheduler detected that a completion
+	// interrupt never reached the VCPU blocked on it (the host misrouted
+	// it to another VCPU or swallowed it), and refused to keep scheduling
+	// rather than deadlock (context = the stranded VCPU).
+	DeniedIntrRoute
 )
 
 // ObserveDenied records one refused-but-survivable operation: sanitizer
@@ -305,6 +310,18 @@ func (m *Machine) ObserveRingSubmit(vmpl VMPL, seq uint64, svc uint64) {
 func (m *Machine) ObserveRingDrain(vmpl VMPL, drained, refused uint64, startCycles uint64, ref obs.SpanRef) {
 	m.EndSpan(ref)
 	m.emitSpan(obs.ClassRingDrain, obs.Span, m.clock.total-startCycles, int16(vmpl), drained, refused, ref)
+}
+
+// ObserveSchedSlice records the span of one SMP-scheduler slice that began
+// at startCycles: a bounded burst of work (kind 0 = task step, 1 = deferred
+// ring drain) whose cycles are charged to the given VCPU. Like a domain
+// switch it is a leaf span: it never parents other events.
+func (m *Machine) ObserveSchedSlice(vcpu int, kind uint64, startCycles uint64) {
+	var ref obs.SpanRef
+	if m.observing() {
+		ref = m.spans.Leaf()
+	}
+	m.emitSpan(obs.ClassSchedSlice, obs.Span, m.clock.total-startCycles, -1, uint64(vcpu), kind, ref)
 }
 
 // ObservePageState records one hypervisor page-state change batch starting
