@@ -1,10 +1,21 @@
 package main
 
-// The -compare mode: diff two -json result files and fail on virtual-cycle
-// regressions. Keys present only in the NEW file (a freshly-added experiment
-// or field) are deliberately not failures: an old baseline cannot have an
-// opinion about results it never produced. They are surfaced as warnings so
-// a missing baseline is visible, not silent.
+// The -compare mode: diff two -json result files and fail on regressions.
+// Two families of leaves are gated, each with rules suited to its noise
+// profile:
+//
+//   - virtual-cycle values (key contains "Cycles"): deterministic, so the
+//     bound is a fixed >10% relative growth — generous headroom for
+//     intentional cost-model tuning, zero tolerance for drift.
+//   - observability overhead percentages (key contains "OverheadPct"):
+//     host-time ratios, so they carry measurement noise even on the CPU
+//     clock. They are gated on absolute percentage-point growth against a
+//     -tol budget (default defaultOverheadTolPP).
+//
+// Keys present only in the NEW file (a freshly-added experiment or field)
+// are deliberately not failures: an old baseline cannot have an opinion
+// about results it never produced. They are surfaced as warnings so a
+// missing baseline is visible, not silent.
 
 import (
 	"encoding/json"
@@ -14,13 +25,17 @@ import (
 	"strings"
 )
 
-// runCompare loads two -json result files and fails if any virtual-cycle
-// value (a numeric field whose name contains "Cycles") regressed by more
-// than 10%. Wall-clock fields never match the pattern, so the check is
-// deterministic across hosts.
-func runCompare(args []string) int {
+// defaultOverheadTolPP is the default -tol value: how many absolute
+// percentage points an OverheadPct leaf may grow before -compare fails.
+// Sized to the observed run-to-run spread of the obs experiment's host-time
+// ratios on a shared CI machine (±4-5pp even on the thread CPU clock).
+const defaultOverheadTolPP = 5.0
+
+// runCompare loads two -json result files and fails on any gated
+// regression. tolPP is the OverheadPct budget in percentage points.
+func runCompare(args []string, tolPP float64) int {
 	if len(args) != 2 {
-		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare [-tol pp] old.json new.json\n")
 		return 2
 	}
 	load := func(path string) (any, error) {
@@ -44,36 +59,39 @@ func runCompare(args []string) int {
 		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
 		return 2
 	}
-	compared, regressions, newOnly := compareResults(oldV, newV)
+	compared, regressions, newOnly := compareResults(oldV, newV, tolPP)
 	for _, k := range newOnly {
-		fmt.Fprintf(os.Stderr, "veil-bench: warning: %s has cycle values but no baseline in %s; not compared\n",
+		fmt.Fprintf(os.Stderr, "veil-bench: warning: %s has gated values but no baseline in %s; not compared\n",
 			k, args[0])
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
 		}
-		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d cycle values regressed >10%%\n",
-			len(regressions), compared)
+		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d gated values regressed (cycles >10%%, overhead >%.1fpp)\n",
+			len(regressions), compared, tolPP)
 		return 1
 	}
-	fmt.Printf("veil-bench: compare ok: %d cycle values within 10%%\n", compared)
+	fmt.Printf("veil-bench: compare ok: %d gated values within bounds (cycles 10%%, overhead %.1fpp)\n",
+		compared, tolPP)
 	return 0
 }
 
-// compareResults walks both JSON trees in lockstep, checking every numeric
-// leaf whose key mentions Cycles. Regressions (>10% growth) and new-only
-// keys (subtrees the new file has, the old lacks, and that contain cycle
-// leaves) come back sorted; keys only the OLD side has are ignored —
-// retired experiments are not this check's business.
-func compareResults(oldV, newV any) (compared int, regressions, newOnly []string) {
-	compareCycles("", oldV, newV, &compared, &regressions, &newOnly)
+// compareResults walks both JSON trees in lockstep, checking every gated
+// numeric leaf: keys mentioning Cycles (>10% relative growth fails) and
+// keys mentioning OverheadPct (more than tolPP percentage points of
+// absolute growth fails). Regressions and new-only keys (subtrees the new
+// file has, the old lacks, and that contain gated leaves) come back
+// sorted; keys only the OLD side has are ignored — retired experiments are
+// not this check's business.
+func compareResults(oldV, newV any, tolPP float64) (compared int, regressions, newOnly []string) {
+	compareGated("", oldV, newV, tolPP, &compared, &regressions, &newOnly)
 	sort.Strings(regressions)
 	sort.Strings(newOnly)
 	return compared, regressions, newOnly
 }
 
-func compareCycles(path string, oldV, newV any, compared *int, regressions, newOnly *[]string) {
+func compareGated(path string, oldV, newV any, tolPP float64, compared *int, regressions, newOnly *[]string) {
 	switch o := oldV.(type) {
 	case map[string]any:
 		n, ok := newV.(map[string]any)
@@ -81,7 +99,7 @@ func compareCycles(path string, oldV, newV any, compared *int, regressions, newO
 			return
 		}
 		for k, nv := range n {
-			if _, ok := o[k]; !ok && hasCyclesLeaf(k, nv) {
+			if _, ok := o[k]; !ok && hasGatedLeaf(k, nv) {
 				*newOnly = append(*newOnly, path+"/"+k)
 			}
 		}
@@ -91,17 +109,23 @@ func compareCycles(path string, oldV, newV any, compared *int, regressions, newO
 				continue
 			}
 			p := path + "/" + k
-			if of, okO := ov.(float64); okO && strings.Contains(k, "Cycles") {
+			if of, okO := ov.(float64); okO && gatedKey(k) {
 				if nf, okN := nv.(float64); okN {
 					*compared++
-					if of > 0 && nf > of*1.10 {
+					switch {
+					case strings.Contains(k, "Cycles"):
+						if of > 0 && nf > of*1.10 {
+							*regressions = append(*regressions,
+								fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
+						}
+					case nf > of+tolPP:
 						*regressions = append(*regressions,
-							fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
+							fmt.Sprintf("%s: %.1f%% -> %.1f%% (+%.1fpp > %.1fpp tolerance)", p, of, nf, nf-of, tolPP))
 					}
 					continue
 				}
 			}
-			compareCycles(p, ov, nv, compared, regressions, newOnly)
+			compareGated(p, ov, nv, tolPP, compared, regressions, newOnly)
 		}
 	case []any:
 		n, ok := newV.([]any)
@@ -110,28 +134,33 @@ func compareCycles(path string, oldV, newV any, compared *int, regressions, newO
 		}
 		for i := range o {
 			if i < len(n) {
-				compareCycles(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], compared, regressions, newOnly)
+				compareGated(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], tolPP, compared, regressions, newOnly)
 			}
 		}
 	}
 }
 
-// hasCyclesLeaf reports whether the subtree rooted at (key, v) contains any
-// numeric leaf whose key mentions Cycles — the filter that keeps the
-// new-only warning to keys the comparison would actually have checked.
-func hasCyclesLeaf(key string, v any) bool {
+// gatedKey reports whether a leaf under this key is regression-gated.
+func gatedKey(k string) bool {
+	return strings.Contains(k, "Cycles") || strings.Contains(k, "OverheadPct")
+}
+
+// hasGatedLeaf reports whether the subtree rooted at (key, v) contains any
+// gated numeric leaf — the filter that keeps the new-only warning to keys
+// the comparison would actually have checked.
+func hasGatedLeaf(key string, v any) bool {
 	switch t := v.(type) {
 	case float64:
-		return strings.Contains(key, "Cycles")
+		return gatedKey(key)
 	case map[string]any:
 		for k, c := range t {
-			if hasCyclesLeaf(k, c) {
+			if hasGatedLeaf(k, c) {
 				return true
 			}
 		}
 	case []any:
 		for _, c := range t {
-			if hasCyclesLeaf(key, c) {
+			if hasGatedLeaf(key, c) {
 				return true
 			}
 		}

@@ -17,7 +17,7 @@ func mustJSON(t *testing.T, s string) any {
 func TestCompareResultsRegression(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"SyncPerCallCycles":100,"Rows":[{"Cycles":1000}]}}`)
 	newV := mustJSON(t, `{"batch":{"SyncPerCallCycles":150,"Rows":[{"Cycles":1005}]}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2", compared)
 	}
@@ -32,7 +32,7 @@ func TestCompareResultsRegression(t *testing.T) {
 func TestCompareResultsWithinTolerance(t *testing.T) {
 	oldV := mustJSON(t, `{"x":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"x":{"Cycles":1100}}`) // exactly +10%: allowed
-	_, regressions, _ := compareResults(oldV, newV)
+	_, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none at the 10%% boundary", regressions)
 	}
@@ -43,7 +43,7 @@ func TestCompareResultsWithinTolerance(t *testing.T) {
 func TestCompareResultsNewExperimentWarnsNotFails(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"batch":{"Cycles":1000},"smp":{"Idle":{"TotalCycles":5000}}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none", regressions)
 	}
@@ -55,13 +55,13 @@ func TestCompareResultsNewExperimentWarnsNotFails(t *testing.T) {
 	}
 }
 
-// New-only keys with no cycle leaves beneath are noise, not warnings.
-func TestCompareResultsNewKeyWithoutCyclesIgnored(t *testing.T) {
+// New-only keys with no gated leaves beneath are noise, not warnings.
+func TestCompareResultsNewKeyWithoutGatedLeavesIgnored(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"batch":{"Cycles":1000},"notes":{"Comment":"hi"},"batch2":{"Mode":"intr"}}`)
-	_, _, newOnly := compareResults(oldV, newV)
+	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
 	if len(newOnly) != 0 {
-		t.Fatalf("newOnly = %v, want none (no Cycles leaves under the new keys)", newOnly)
+		t.Fatalf("newOnly = %v, want none (no gated leaves under the new keys)", newOnly)
 	}
 }
 
@@ -70,7 +70,7 @@ func TestCompareResultsNewKeyWithoutCyclesIgnored(t *testing.T) {
 func TestCompareResultsNestedAndArrays(t *testing.T) {
 	oldV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":20}]}}`)
 	newV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":50},{"Cycles":99}],"SMPCycles":7}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2 (extra new row has no baseline)", compared)
 	}
@@ -79,5 +79,53 @@ func TestCompareResultsNestedAndArrays(t *testing.T) {
 	}
 	if len(newOnly) != 1 || newOnly[0] != "/e/SMPCycles" {
 		t.Fatalf("newOnly = %v, want [/e/SMPCycles]", newOnly)
+	}
+}
+
+// OverheadPct leaves gate on absolute percentage-point growth against the
+// tolerance, not on the cycle rule's relative 10%.
+func TestCompareResultsOverheadTolerance(t *testing.T) {
+	oldV := mustJSON(t, `{"obs":{"TracingOverheadPct":8.0,"AuditorOverheadPct":6.0}}`)
+
+	// +4.9pp: inside the 5pp default budget even though it is a +61%
+	// relative jump — the rule is absolute points, not ratio.
+	newV := mustJSON(t, `{"obs":{"TracingOverheadPct":12.9,"AuditorOverheadPct":6.0}}`)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 overhead leaves", compared)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none within 5pp", regressions)
+	}
+
+	// +5.1pp: out of budget.
+	newV = mustJSON(t, `{"obs":{"TracingOverheadPct":13.1,"AuditorOverheadPct":6.0}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the tracing leaf", regressions)
+	}
+
+	// A tighter explicit tolerance flips the in-budget case.
+	newV = mustJSON(t, `{"obs":{"TracingOverheadPct":10.5,"AuditorOverheadPct":6.0}}`)
+	_, regressions, _ = compareResults(oldV, newV, 2.0)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the tracing leaf at 2pp tolerance", regressions)
+	}
+}
+
+// Overhead improvements (including going negative) never regress, and a
+// new-only OverheadPct subtree warns like a cycle subtree would.
+func TestCompareResultsOverheadImprovementAndNewOnly(t *testing.T) {
+	oldV := mustJSON(t, `{"obs":{"TracingOverheadPct":10.0}}`)
+	newV := mustJSON(t, `{"obs":{"TracingOverheadPct":-1.0,"AuditorOverheadPct":9.0}}`)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1", compared)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none for an improvement", regressions)
+	}
+	if len(newOnly) != 1 || newOnly[0] != "/obs/AuditorOverheadPct" {
+		t.Fatalf("newOnly = %v, want [/obs/AuditorOverheadPct]", newOnly)
 	}
 }

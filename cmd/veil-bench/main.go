@@ -211,11 +211,29 @@ func main() {
 	flag.BoolVar(&stable, "stable", false,
 		"zero host wall-clock fields so two runs of the same build are byte-identical")
 	compare := flag.Bool("compare", false,
-		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10%")
+		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10% or any *OverheadPct* grew past -tol")
+	tol := flag.Float64("tol", defaultOverheadTolPP,
+		"compare mode: absolute percentage-point growth allowed on *OverheadPct* values before failing")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile covering the selected experiments to this path")
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(flag.Args()))
+		os.Exit(runCompare(flag.Args(), *tol))
+	}
+
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
 	}
 
 	if *auditOn {

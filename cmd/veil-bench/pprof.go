@@ -1,0 +1,42 @@
+package main
+
+// Host-side profiling hooks. The simulator's own flame graphs are in
+// virtual cycles (obs.WriteFlamegraph); these flags profile the *host*
+// CPU cost of running the simulation — the tool for hunting tracing
+// overhead, GC churn, or a hot helper in the machine itself.
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime/pprof"
+)
+
+// servePprof exposes net/http/pprof on addr for the lifetime of the
+// process (long -experiment all runs can be inspected live with
+// `go tool pprof http://addr/debug/pprof/profile`).
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+// startCPUProfile begins writing a CPU profile to path; the returned stop
+// function flushes and closes it.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

@@ -30,10 +30,26 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics on exit")
 	auditOn := flag.Bool("audit", false, "attach the security-invariant auditor for the whole run")
 	pmOut := flag.String("postmortem", "", "write the flight-recorder post-mortem (if one was frozen) to this path")
+	flameOut := flag.String("flame", "", "write a virtual-cycle flame graph (Brendan Gregg folded-stacks format) to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (host-CPU profiling, e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to this path")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatalf("veil-sim: %v", err)
+		}
+		stopProfile = stop
+		defer stop()
+	}
+
 	var rec *obs.Recorder
-	if *traceOut != "" || *causalOut != "" || *metrics {
+	if *traceOut != "" || *causalOut != "" || *metrics || *flameOut != "" {
 		rec = obs.NewRecorder(obs.DefaultCapacity)
 	}
 	c, a, err := run(*memMB<<20, *vcpus, rec, *auditOn)
@@ -89,13 +105,45 @@ func main() {
 				pm.Reason, len(pm.Events), *pmOut)
 		}
 	}
+	if *flameOut != "" {
+		if err := writeFlame(*flameOut, rec); err != nil {
+			log.Fatalf("veil-sim: flame graph: %v", err)
+		}
+		fmt.Printf("Flame graph written to %s (virtual cycles; render with flamegraph.pl or speedscope)\n", *flameOut)
+	}
 	if *metrics {
 		fmt.Println()
 		obs.WritePrometheus(os.Stdout, rec)
 	}
 	if violated {
+		stopProfile() // os.Exit skips the deferred stop
 		os.Exit(1)
 	}
+}
+
+// writeFlame exports the recorder's causal forest as folded stacks whose
+// sample counts are virtual self-cycles, with syscall numbers and service
+// ids resolved to names.
+func writeFlame(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteFlamegraph(f, rec, obs.FlamegraphOptions{
+		Root:        "veil-sim",
+		ServiceName: serviceName,
+		SyscallName: func(n uint64) string { return kernel.SysNo(n).Name() },
+	})
+}
+
+// serviceName resolves a protected-service id to its registry name.
+func serviceName(svc uint64) string {
+	names := core.ServiceNames()
+	if svc < uint64(len(names)) {
+		return names[svc]
+	}
+	return fmt.Sprintf("svc%d", svc)
 }
 
 // writeTrace exports the recorder as Chrome trace_event JSON, with

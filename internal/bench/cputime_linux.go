@@ -1,0 +1,37 @@
+//go:build linux
+
+package bench
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// CLOCK_PROCESS_CPUTIME_ID / CLOCK_THREAD_CPUTIME_ID, nanosecond
+// resolution.
+const (
+	clockProcessCPUTimeID = 2
+	clockThreadCPUTimeID  = 3
+)
+
+func cpuClock(id uintptr) float64 {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME, id, uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return wallSeconds()
+	}
+	return float64(ts.Sec) + float64(ts.Nsec)/1e9
+}
+
+// hostSeconds returns the process's accumulated CPU seconds. The obs
+// overhead percentages are ratios of ~tens of milliseconds, and on a
+// co-tenant CI host wall clock charges the measured side for its
+// neighbours' load; CPU time does not, which is what makes the regression
+// gate on those percentages meaningful.
+func hostSeconds() float64 { return cpuClock(clockProcessCPUTimeID) }
+
+// threadSeconds returns the calling OS thread's accumulated CPU seconds.
+// Callers must hold runtime.LockOSThread so both samples of a window read
+// the same thread. This is the tightest clock available: unlike process
+// CPU time it excludes the runtime's background GC workers, whose cycles
+// would otherwise land on whichever measured side tripped a collection.
+func threadSeconds() float64 { return cpuClock(clockThreadCPUTimeID) }

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"veil/internal/workloads"
+)
+
+// In-situ profiling benchmarks for the obs record path: one full SQLite
+// run per iteration, sized like the -experiment obs window. Run with
+// -cpuprofile and diff the two to see exactly where the tracing tax goes
+// (emitSpan fill, Recorder.Alloc, eviction fold) against the identical
+// dark machine work.
+
+func BenchmarkObsPathTracing(b *testing.B) {
+	w := workloads.SQLite(30000)
+	for i := 0; i < b.N; i++ {
+		if _, err := obsPathRun(w, 4242, obsTracing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsPathDark(b *testing.B) {
+	w := workloads.SQLite(30000)
+	for i := 0; i < b.N; i++ {
+		if _, err := obsPathRun(w, 4242, obsDark); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -170,6 +170,15 @@ func ReportSMP(w io.Writer, r SMPResult) {
 	row("single VCPU (idle)", r.SingleVCPU)
 	fmt.Fprintf(w, "  idle regime: intr mode %d wakeups over %d rounds; poll mode burned %d wait slices\n",
 		r.Idle.Intr.Wakeups, r.Idle.Intr.Rounds, pollWaitSlices(r.Idle.Poll))
+	im := r.Idle.Intr
+	fmt.Fprintf(w, "  idle intr telemetry: wake latency p50=%d p99=%d cyc (n=%d); drain wait p50=%d p99=%d rounds; runq mean=%.2f; slice occupancy=%.1f%%\n",
+		im.WakeLat.P50, im.WakeLat.P99, im.WakeLat.Count,
+		im.DrainWaitRounds.P50, im.DrainWaitRounds.P99, im.RunQueueMean, im.SliceOccupancyPct)
+	fmt.Fprintf(w, "  idle intr per-VCPU ring latency (cycles):\n")
+	for _, v := range im.PerVCPU {
+		fmt.Fprintf(w, "    vcpu %d: n=%d p50=%d p90=%d p99=%d\n",
+			v.VCPU, v.RingLat.Count, v.RingLat.P50, v.RingLat.P90, v.RingLat.P99)
+	}
 }
 
 func pollWaitSlices(m SMPModeResult) uint64 {
@@ -190,8 +199,25 @@ func ReportObsPath(w io.Writer, r ObsPathResult) {
 		r.HostSecondsDark, r.HostSecondsTracing, r.HostSecondsAudited)
 	fmt.Fprintf(w, "  tracing overhead vs dark: %.1f%%; auditor overhead vs tracing: %.1f%% (bound: <15%%)\n",
 		r.TracingOverheadPct, r.AuditorOverheadPct)
-	fmt.Fprintf(w, "  observed: %d events, flight %d retained/%d evicted\n",
-		r.EventsRecorded, r.FlightRetained, r.FlightDropped)
+	fmt.Fprintf(w, "  observed: %d events across %d shard(s) (ring cap %d/shard), flight tail %d retained/%d beyond tail\n",
+		r.EventsRecorded, r.Shards, r.RingCapacity, r.FlightRetained, r.FlightDropped)
 	fmt.Fprintf(w, "  auditor: %d fast passes, %d sweeps, %d violations\n",
 		r.AuditFastRuns, r.AuditSweeps, r.AuditViolations)
+	if r.RequestLat.Count > 0 {
+		fmt.Fprintf(w, "  request latency: n=%d p50=%d p90=%d p99=%d cyc; syscalls: n=%d p50=%d p99=%d cyc\n",
+			r.RequestLat.Count, r.RequestLat.P50, r.RequestLat.P90, r.RequestLat.P99,
+			r.SyscallLat.Count, r.SyscallLat.P50, r.SyscallLat.P99)
+	}
+	if len(r.ServiceLat) > 0 {
+		names := make([]string, 0, len(r.ServiceLat))
+		for n := range r.ServiceLat {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			l := r.ServiceLat[n]
+			fmt.Fprintf(w, "  service %-6s dispatch: n=%d p50=%d p90=%d p99=%d cyc\n",
+				n, l.Count, l.P50, l.P90, l.P99)
+		}
+	}
 }

@@ -44,6 +44,9 @@ type SMPVCPURow struct {
 	DrainCycles uint64
 	Wakeups     uint64
 	WaitSlices  uint64 // poll mode: slices burned spinning on a pending batch
+	// RingLat digests this VCPU's submit→complete ring latencies
+	// (virtual cycles from SubmitSrv to the first successful Poll).
+	RingLat LatSummary
 }
 
 // SMPModeResult is one (mode, latency, VCPU count) configuration.
@@ -60,7 +63,16 @@ type SMPModeResult struct {
 	// drains): 1.0 = perfectly fair. FairnessMinMax is min/max of the same.
 	FairnessJain   float64
 	FairnessMinMax float64
-	PerVCPU        []SMPVCPURow
+	// Scheduler telemetry for the run: wake latency (virtual cycles from
+	// block to wake — interrupt mode only populates it), drain queueing
+	// delay (scheduler rounds from post to execution), mean runnable-VCPU
+	// count per round, and the share of all virtual cycles charged inside
+	// scheduler slices.
+	WakeLat           LatSummary
+	DrainWaitRounds   LatSummary
+	RunQueueMean      float64
+	SliceOccupancyPct float64
+	PerVCPU           []SMPVCPURow
 }
 
 // SMPCompare pairs the two completion channels under one latency regime.
@@ -160,18 +172,20 @@ func (t *smpTask) Step(vcpu int) (sched.Status, error) {
 // smpRun boots a fresh Veil CVM with the given VCPU count and drives the
 // workload through the scheduler in the given mode and latency regime.
 func smpRun(vcpus int, intr bool, latency int, seed int64) (SMPModeResult, error) {
+	rec := obs.NewRecorder(benchRingCap)
 	c, err := cvm.Boot(cvm.Options{
 		MemBytes: benchMem,
 		VCPUs:    vcpus,
 		Veil:     true,
 		LogPages: 2048,
 		Rand:     rng(seed),
-		Recorder: obs.NewRecorder(benchRingCap),
+		Recorder: rec,
 	})
 	if err != nil {
 		return SMPModeResult{}, err
 	}
 	s := sched.New(sched.Config{Machine: c.M, VCPUs: vcpus, Seed: seed, DrainLatency: latency})
+	s.RegisterGauges(rec)
 	c.OnInterrupt(s.Wake)
 
 	tasks := make([]*smpTask, vcpus)
@@ -210,6 +224,12 @@ func smpRun(vcpus int, intr bool, latency int, seed int64) (SMPModeResult, error
 		Rounds: stats.Rounds, Drains: stats.Drains, Wakeups: stats.Wakeups,
 		PerVCPU: make([]SMPVCPURow, vcpus),
 	}
+	met := rec.Metrics()
+	tel := s.Telemetry()
+	r.WakeLat = latSummary(&tel.WakeLatency)
+	r.DrainWaitRounds = latSummary(&tel.DrainWait)
+	r.RunQueueMean = tel.RunQueue.Mean()
+	r.SliceOccupancyPct = s.SliceOccupancyPct()
 	charged := make([]uint64, vcpus)
 	for i, vs := range stats.PerVCPU {
 		r.PerVCPU[i] = SMPVCPURow{
@@ -217,6 +237,7 @@ func smpRun(vcpus int, intr bool, latency int, seed int64) (SMPModeResult, error
 			Slices: vs.Slices, SliceCycles: vs.SliceCycles,
 			Drains: vs.Drains, DrainCycles: vs.DrainCycles,
 			Wakeups: vs.Wakeups, WaitSlices: tasks[i].waits,
+			RingLat: latSummary(met.RingLatHist(i)),
 		}
 		r.Ops += tasks[i].ops
 		charged[i] = vs.SliceCycles + vs.DrainCycles

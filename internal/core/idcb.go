@@ -20,6 +20,13 @@ const (
 	SvcLOG uint8 = 3 // VeilS-Log
 )
 
+// ServiceNames returns the display names of the protocol's service ids,
+// indexed by id — the table observability layers (per-service latency
+// histograms, flame-graph frames) resolve Event.Arg1 against.
+func ServiceNames() []string {
+	return []string{"mon", "kci", "enc", "log"}
+}
+
 // Monitor operations.
 const (
 	OpPValidate uint8 = 1

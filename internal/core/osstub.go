@@ -30,6 +30,16 @@ type OSStub struct {
 	// queue). irq mirrors the ring header's interrupt-enable flag.
 	disp Dispatcher
 	irq  bool
+
+	// submitTS remembers the virtual cycle each in-flight slot was
+	// submitted at; Poll reports submit→complete latency from it to the
+	// machine's observability layer. latNext is the first sequence number
+	// whose latency has not been observed yet — a request polled twice
+	// (WaitIntr then a later collect pass) is counted once, at the first
+	// successful poll. Pure instrumentation: neither field affects the
+	// protocol or the cycle ledger.
+	submitTS [RingSlots]uint64
+	latNext  uint32
 }
 
 // NewOSStub creates the kernel-side stub for one VCPU.

@@ -108,6 +108,7 @@ func (s *OSStub) SubmitSrv(req Request) (PendingCall, error) {
 		return PendingCall{}, err
 	}
 	s.m.ObserveRingSubmit(snp.VMPL3, uint64(tail), uint64(req.Svc))
+	s.submitTS[tail%RingSlots] = s.m.Clock().Cycles()
 	return PendingCall{Seq: tail, Svc: req.Svc, Op: req.Op}, nil
 }
 
@@ -199,6 +200,10 @@ func (s *OSStub) Poll(pc PendingCall) (Response, bool, error) {
 		resp.Payload = append([]byte(nil), src...)
 	}
 	s.m.Clock().Charge(snp.CostPageCopy, uint64(c.Len)*snp.CyclesPageCopy4K/snp.PageSize+1)
+	if int32(pc.Seq-s.latNext) >= 0 {
+		s.m.ObserveRingLatency(s.m.Clock().Cycles() - s.submitTS[pc.Seq%RingSlots])
+		s.latNext = pc.Seq + 1
+	}
 	return resp, true, nil
 }
 

@@ -141,6 +141,7 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	attachFlight(m, opts)
 	if opts.Recorder != nil {
 		m.SetRecorder(opts.Recorder)
+		opts.Recorder.SetServiceNames(core.ServiceNames())
 	}
 	psp, err := attest.NewPSP(rng)
 	if err != nil {
@@ -291,6 +292,7 @@ func bootNative(opts Options, rng io.Reader) (*CVM, error) {
 	attachFlight(m, opts)
 	if opts.Recorder != nil {
 		m.SetRecorder(opts.Recorder)
+		opts.Recorder.SetServiceNames(core.ServiceNames())
 	}
 	psp, err := attest.NewPSP(rng)
 	if err != nil {

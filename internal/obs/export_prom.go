@@ -37,6 +37,61 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 		bw.printf("veil_span_cycles_count{class=%q} %d\n", c.String(), h.Count())
 	}
 
+	bw.printf("# HELP veil_service_latency_cycles Protected-service dispatch latency in virtual cycles.\n")
+	bw.printf("# TYPE veil_service_latency_cycles summary\n")
+	for s := 0; s < MaxServices; s++ {
+		h := m.ServiceHist(s)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		name := m.ServiceName(s)
+		if name == "" {
+			name = "service-" + strconv.Itoa(s)
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			bw.printf("veil_service_latency_cycles{service=%q,quantile=%q} %d\n", name, q.label, h.Quantile(q.q))
+		}
+		bw.printf("veil_service_latency_cycles_sum{service=%q} %d\n", name, h.Sum())
+		bw.printf("veil_service_latency_cycles_count{service=%q} %d\n", name, h.Count())
+	}
+
+	bw.printf("# HELP veil_request_latency_cycles Root-span (per-request) latency per VCPU in virtual cycles.\n")
+	bw.printf("# TYPE veil_request_latency_cycles summary\n")
+	for v := 0; v < m.VCPUs(); v++ {
+		h := m.RequestHist(v)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			bw.printf("veil_request_latency_cycles{vcpu=\"%d\",quantile=%q} %d\n", v, q.label, h.Quantile(q.q))
+		}
+		bw.printf("veil_request_latency_cycles_sum{vcpu=\"%d\"} %d\n", v, h.Sum())
+		bw.printf("veil_request_latency_cycles_count{vcpu=\"%d\"} %d\n", v, h.Count())
+	}
+
+	bw.printf("# HELP veil_ring_latency_cycles Batched-ring submit-to-completion latency per VCPU in virtual cycles.\n")
+	bw.printf("# TYPE veil_ring_latency_cycles summary\n")
+	for v := 0; v < m.VCPUs(); v++ {
+		h := m.RingLatHist(v)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			bw.printf("veil_ring_latency_cycles{vcpu=\"%d\",quantile=%q} %d\n", v, q.label, h.Quantile(q.q))
+		}
+		bw.printf("veil_ring_latency_cycles_sum{vcpu=\"%d\"} %d\n", v, h.Sum())
+		bw.printf("veil_ring_latency_cycles_count{vcpu=\"%d\"} %d\n", v, h.Count())
+	}
+
 	bw.printf("# HELP veil_cycles_total Virtual cycles attributed per cost kind.\n")
 	bw.printf("# TYPE veil_cycles_total counter\n")
 	byKind := m.CyclesByKind()
@@ -67,5 +122,13 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 	bw.printf("# HELP veil_trace_dropped_total Events evicted from the trace ring.\n")
 	bw.printf("# TYPE veil_trace_dropped_total counter\n")
 	bw.printf("veil_trace_dropped_total %d\n", r.Dropped())
+
+	bw.printf("# HELP veil_trace_dropped_by_class_total Events evicted from the trace ring, per class.\n")
+	bw.printf("# TYPE veil_trace_dropped_by_class_total counter\n")
+	for c := Class(0); c < NumClasses; c++ {
+		if n := m.DroppedByClass(c); n > 0 {
+			bw.printf("veil_trace_dropped_by_class_total{class=%q} %d\n", c.String(), n)
+		}
+	}
 	return bw.err
 }

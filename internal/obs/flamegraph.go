@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strings"
+)
+
+// The collapsed-stack ("folded") flame-graph exporter: the causal request
+// forest rendered as `frame;frame;frame value` lines, one per unique
+// stack, with the value in virtual self-cycles — the span's duration
+// minus its direct child spans, the same self-time accounting
+// CriticalPaths uses, so nothing is double-counted across nesting levels.
+// The output feeds flamegraph.pl, speedscope, inferno and friends
+// unchanged.
+
+// FlamegraphOptions customises frame naming.
+type FlamegraphOptions struct {
+	// Root is the synthetic root frame every stack hangs under
+	// ("veil" when empty).
+	Root string
+	// ServiceName resolves a ClassService span's Arg1 (service id) to a
+	// display name; nil leaves the bare class name.
+	ServiceName func(svc uint64) string
+	// SyscallName resolves a ClassSyscall span's Arg1 (syscall number);
+	// nil leaves the bare class name.
+	SyscallName func(sysno uint64) string
+}
+
+// frameName renders one span's flame-graph frame. Semicolons separate
+// frames in the folded format, so they are scrubbed from resolved names.
+func (o *FlamegraphOptions) frameName(e *Event) string {
+	name := e.Class.String()
+	switch {
+	case e.Class == ClassService && o.ServiceName != nil:
+		if s := o.ServiceName(e.Arg1); s != "" {
+			name += ":" + s
+		}
+	case e.Class == ClassSyscall && o.SyscallName != nil:
+		if s := o.SyscallName(e.Arg1); s != "" {
+			name += ":" + s
+		}
+	}
+	return strings.ReplaceAll(name, ";", "_")
+}
+
+// WriteFlamegraph writes the recorder's span trees as collapsed
+// flame-graph stacks. Stacks are emitted in sorted order with exact
+// virtual-cycle values, so identical runs export byte-identical files.
+func WriteFlamegraph(w io.Writer, r *Recorder, opts FlamegraphOptions) error {
+	if opts.Root == "" {
+		opts.Root = "veil"
+	}
+	f := BuildCausalForest(r.Events())
+	stacks := map[string]uint64{}
+	for _, root := range f.Roots {
+		foldNode(&opts, root, opts.Root, stacks)
+	}
+	keys := make([]string, 0, len(stacks))
+	for k := range stacks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := &errWriter{w: w}
+	for _, k := range keys {
+		bw.printf("%s %d\n", k, stacks[k])
+	}
+	return bw.err
+}
+
+// foldNode accumulates one span node's self cycles under its stack path
+// and recurses into its children. Instants carry no cycles and only
+// extend paths for their own span-bearing children (there are none by
+// construction), so they are skipped.
+func foldNode(opts *FlamegraphOptions, n *CausalNode, prefix string, stacks map[string]uint64) {
+	if n.Event.Kind != Span {
+		return
+	}
+	path := prefix + ";" + opts.frameName(&n.Event)
+	var childCycles uint64
+	for _, c := range n.Children {
+		if c.Event.Kind == Span {
+			childCycles += c.Event.Dur
+		}
+		foldNode(opts, c, path, stacks)
+	}
+	self := n.Event.Dur
+	if childCycles < self {
+		self -= childCycles
+	} else {
+		self = 0
+	}
+	if self > 0 {
+		stacks[path] += self
+	}
+}

@@ -17,6 +17,10 @@ type Flight struct {
 	next    int
 	full    bool
 	dropped uint64
+	// droppedByClass breaks the evictions down per event class: on a busy
+	// run almost everything rolls out of the 512-slot ring, and the
+	// breakdown says *what* the post-mortem can no longer show.
+	droppedByClass [NumClasses]uint64
 }
 
 // NewFlight creates a flight ring holding capacity events
@@ -35,6 +39,9 @@ func (f *Flight) Record(e Event) {
 	}
 	if f.full {
 		f.dropped++
+		if c := f.buf[f.next].Class; c < NumClasses {
+			f.droppedByClass[c]++
+		}
 	}
 	f.buf[f.next] = e
 	f.next++
@@ -69,6 +76,15 @@ func (f *Flight) Dropped() uint64 {
 		return 0
 	}
 	return f.dropped
+}
+
+// DroppedByClass returns the per-class eviction counts. Nil-safe
+// (returns zeros).
+func (f *Flight) DroppedByClass() [NumClasses]uint64 {
+	if f == nil {
+		return [NumClasses]uint64{}
+	}
+	return f.droppedByClass
 }
 
 // Events returns the retained events, oldest first.

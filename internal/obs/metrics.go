@@ -57,6 +57,26 @@ func (h *Histogram) Observe(v uint64) {
 	h.n++
 }
 
+// Merge accumulates another histogram into this one (bucket-wise; min and
+// max combine respecting emptiness). Deterministic and order-independent,
+// which is what lets per-shard histograms merge into one snapshot.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for b := 0; b < numBuckets; b++ {
+		h.counts[b] += o.counts[b]
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n }
 
@@ -123,32 +143,34 @@ func (h *Histogram) Quantile(q float64) uint64 {
 // reallocating on the hot path.
 const MaxKinds = 32
 
-// Metrics is the registry every Recorder carries: per-class event counters,
-// per-class span histograms, and the cycle-attribution table fed by the
-// virtual clock's Charge hook.
+// MaxServices bounds the per-service latency histograms; the IDCB
+// protocol defines four service ids, so 8 leaves headroom.
+const MaxServices = 8
+
+// Metrics is a detached snapshot of a Recorder's aggregation state:
+// per-class event counters, per-class span histograms, per-service and
+// per-request (root span) latency histograms, per-VCPU ring-request
+// latency, the per-class drop counters and the cycle-attribution table
+// fed by the virtual clock's Charge hook. Build one with
+// Recorder.Metrics(); it does not change as recording continues.
 type Metrics struct {
-	counts     [NumClasses]uint64
-	spans      [NumClasses]Histogram
-	kindCycles [MaxKinds]uint64
-	kindNames  []string
+	agg            shardAgg
+	dropped        uint64
+	droppedByClass [NumClasses]uint64
+	requests       []Histogram // per-VCPU root-span latency (index = VCPU)
+	ringLat        []Histogram // per-VCPU ring submit→complete latency
+	kindCycles     [MaxKinds]uint64
+	kindNames      []string
+	svcNames       []string
 }
 
-func (m *Metrics) observe(e Event) {
-	if e.Class >= NumClasses {
-		return
-	}
-	m.counts[e.Class]++
-	if e.Kind == Span {
-		m.spans[e.Class].Observe(e.Dur)
-	}
-}
-
-// Count returns the number of recorded events of class c.
+// Count returns the number of recorded events of class c (retained plus
+// evicted — eviction never loses metrics).
 func (m *Metrics) Count(c Class) uint64 {
 	if m == nil || c >= NumClasses {
 		return 0
 	}
-	return m.counts[c]
+	return m.agg.counts[c]
 }
 
 // SpanHist returns the duration histogram of span class c (nil when the
@@ -157,7 +179,86 @@ func (m *Metrics) SpanHist(c Class) *Histogram {
 	if m == nil || c >= NumClasses {
 		return nil
 	}
-	return &m.spans[c]
+	return &m.agg.spans[c]
+}
+
+// ServiceHist returns the dispatch-latency histogram of service id svc
+// (ClassService span durations keyed by Arg1), or nil when out of range.
+func (m *Metrics) ServiceHist(svc int) *Histogram {
+	if m == nil || svc < 0 || svc >= MaxServices {
+		return nil
+	}
+	return &m.agg.svc[svc]
+}
+
+// ServiceName returns the display name registered for service id svc
+// (empty when none was registered).
+func (m *Metrics) ServiceName(svc int) string {
+	if m == nil || svc < 0 || svc >= len(m.svcNames) {
+		return ""
+	}
+	return m.svcNames[svc]
+}
+
+// NumServices returns how many service names are registered.
+func (m *Metrics) NumServices() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.svcNames)
+}
+
+// RequestHist returns the per-request latency histogram of one VCPU: the
+// durations of its root spans (span open→close of top-level requests).
+// Nil when the registry is nil or the VCPU has no shard.
+func (m *Metrics) RequestHist(vcpu int) *Histogram {
+	if m == nil || vcpu < 0 || vcpu >= len(m.requests) {
+		return nil
+	}
+	return &m.requests[vcpu]
+}
+
+// RequestHistAll returns the root-span latency histogram merged over all
+// VCPUs.
+func (m *Metrics) RequestHistAll() *Histogram {
+	if m == nil {
+		return nil
+	}
+	return &m.agg.requests
+}
+
+// RingLatHist returns one VCPU's batched-ring request latency histogram
+// (virtual cycles from SubmitSrv to the completion being observed), fed
+// by Recorder.RecordRingLatency. Nil when the VCPU has no shard.
+func (m *Metrics) RingLatHist(vcpu int) *Histogram {
+	if m == nil || vcpu < 0 || vcpu >= len(m.ringLat) {
+		return nil
+	}
+	return &m.ringLat[vcpu]
+}
+
+// VCPUs returns the number of shards the snapshot covers.
+func (m *Metrics) VCPUs() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.requests)
+}
+
+// Dropped returns the total evicted-event count at snapshot time.
+func (m *Metrics) Dropped() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.dropped
+}
+
+// DroppedByClass returns how many events of class c were evicted.
+func (m *Metrics) DroppedByClass(c Class) uint64 {
+	if m == nil || c >= NumClasses {
+		return 0
+	}
+	return m.droppedByClass[c]
 }
 
 // CyclesByKind returns a copy of the attribution table (index = the

@@ -1,8 +1,9 @@
-// Package obs is the simulator's observability substrate: a bounded
-// ring-buffer event tracer plus a metrics registry (monotonic counters,
-// log₂-bucketed latency histograms and a per-cost-kind cycle-attribution
-// table), with exporters for Chrome trace_event JSON, Prometheus text
-// exposition and a compact human summary.
+// Package obs is the simulator's observability substrate: a sharded
+// per-VCPU ring-buffer event tracer plus a metrics registry (monotonic
+// counters, log₂-bucketed latency histograms and a per-cost-kind
+// cycle-attribution table), with exporters for Chrome trace_event JSON,
+// Prometheus text exposition, collapsed flame-graph stacks and a compact
+// human summary.
 //
 // The package is deliberately zero-dependency within the repository: it
 // knows nothing about SEV-SNP, VMPLs or the cost model. Producers (the snp
@@ -11,10 +12,32 @@
 // cmd/veil-bench, tests) pick the exporter they need. Everything is
 // deterministic: identical simulations produce byte-identical exports.
 //
+// # The v3 record path
+//
+// Recording is sharded: each VCPU owns a private event ring, and the hot
+// path is a sequence stamp plus one fixed-size slot write — no global
+// ring, no lock, and no per-event metrics folding. Aggregation is
+// deferred: an event's contribution to the counters and histograms is
+// folded in either when the event is evicted from its shard (the ring
+// wrapped) or when Metrics() scans the retained events at export time.
+// Folded plus scanned together always equal exactly what eager per-event
+// aggregation would have produced, so eviction never loses metrics — only
+// raw events.
+//
+// At export, Events() merges the shards back into one virtual-time
+// ordered stream using the per-event sequence number, so every exporter
+// (and every golden file pinned against one) sees the same byte-identical
+// order a single global ring would have produced.
+//
 // A nil *Recorder is a valid recorder that records nothing; every method
 // has a nil fast path that performs no allocation, so the simulator can be
 // instrumented unconditionally and pay nothing when tracing is off.
 package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Class is the event taxonomy: one value per kind of architectural or
 // framework event the simulator emits. The taxonomy mirrors the paper's
@@ -123,7 +146,14 @@ type Event struct {
 	Dur uint64
 	// Arg1, Arg2 carry class-specific payload (see the Class constants).
 	Arg1, Arg2 uint64
-	// VCPU is the hardware VCPU the event occurred on.
+	// Seq is the global record sequence number, stamped by the Recorder
+	// at Record time (1, 2, 3, …). It is the tiebreak key the export-time
+	// shard merge sorts on: the virtual clock is non-decreasing across a
+	// run, so ordering by Seq reproduces the exact record order a single
+	// global ring would have retained.
+	Seq uint64
+	// VCPU is the hardware VCPU the event occurred on; it selects the
+	// recorder shard the event lands in.
 	VCPU int32
 	// VMPL is the privilege level of the acting context, or -1 when the
 	// producer does not know it.
@@ -144,21 +174,126 @@ type Event struct {
 // Start returns the span's start timestamp (TS for instants).
 func (e Event) Start() uint64 { return e.TS - e.Dur }
 
-// DefaultCapacity is the ring size used when NewRecorder is given a
-// non-positive capacity: large enough to hold a full small-machine boot
-// sweep plus a demo run (~48 B/event ⇒ ~12 MiB).
+// DefaultCapacity is the per-shard ring size used when NewRecorder is
+// given a non-positive capacity: large enough to hold a full
+// small-machine boot sweep plus a demo run (~72 B/event ⇒ ~19 MiB).
 const DefaultCapacity = 1 << 18
 
-// Recorder is the bounded event ring plus its metrics registry. It is not
-// safe for concurrent use — the simulator is single-threaded by design.
-//
-// A nil *Recorder is valid: Record, Charge and the accessors all no-op.
-type Recorder struct {
+// shardAgg is the deferred aggregation state of one shard: per-class
+// event counts, per-class span-duration histograms, per-service dispatch
+// latency and the per-request (root span) latency distribution. A shard
+// keeps one shardAgg holding everything evicted from its ring; Metrics()
+// copies it and folds the retained events on top, so the snapshot always
+// covers the full run.
+type shardAgg struct {
+	total    uint64
+	counts   [NumClasses]uint64
+	spans    [NumClasses]Histogram
+	svc      [MaxServices]Histogram
+	requests Histogram
+}
+
+// fold adds one event's metrics contribution.
+func (a *shardAgg) fold(e *Event) {
+	a.total++
+	if e.Class >= NumClasses {
+		return
+	}
+	a.counts[e.Class]++
+	if e.Kind != Span {
+		return
+	}
+	a.spans[e.Class].Observe(e.Dur)
+	if e.Class == ClassService && e.Arg1 < MaxServices {
+		a.svc[e.Arg1].Observe(e.Dur)
+	}
+	if e.Span != 0 && e.Parent == 0 {
+		a.requests.Observe(e.Dur)
+	}
+}
+
+// merge accumulates another aggregate into this one.
+func (a *shardAgg) merge(o *shardAgg) {
+	a.total += o.total
+	for c := 0; c < int(NumClasses); c++ {
+		a.counts[c] += o.counts[c]
+		a.spans[c].Merge(&o.spans[c])
+	}
+	for s := 0; s < MaxServices; s++ {
+		a.svc[s].Merge(&o.svc[s])
+	}
+	a.requests.Merge(&o.requests)
+}
+
+// shard is one VCPU's private event ring plus its evicted-event
+// aggregate. Exactly one producer writes a shard at a time (the VCPU the
+// simulator is currently stepping), so no slot is ever contended.
+type shard struct {
 	buf     []Event
 	next    int // next write position
 	full    bool
-	dropped uint64
-	met     Metrics
+	evicted shardAgg  // metrics of events that rolled out of the ring
+	ringLat Histogram // submit→complete ring latency, fed by RecordRingLatency
+}
+
+func newShard(capacity int) *shard {
+	sh := &shard{buf: make([]Event, capacity)}
+	// Fault the ring in now, one touch per page: large rings come from the
+	// OS as unmapped zero pages, and taking ~16 first-touch faults per MiB
+	// lazily would land inside whatever window the caller is measuring.
+	for i := 0; i < capacity; i += 32 {
+		sh.buf[i].TS = 0
+	}
+	return sh
+}
+
+func (sh *shard) len() int {
+	if sh.full {
+		return len(sh.buf)
+	}
+	return sh.next
+}
+
+// events appends the shard's retained events, oldest first, to out.
+func (sh *shard) events(out []Event) []Event {
+	if sh.full {
+		out = append(out, sh.buf[sh.next:]...)
+	}
+	return append(out, sh.buf[:sh.next]...)
+}
+
+// Recorder is the sharded event ring plus its metrics registry. In the
+// default mode it is single-threaded like the machine it instruments; see
+// SetConcurrent for the multi-producer mode the race tests exercise.
+//
+// A nil *Recorder is valid: Record, Charge and the accessors all no-op.
+type Recorder struct {
+	shards   []*shard
+	shardCap int
+	seq      uint64 // last assigned record sequence number
+
+	// concurrent switches Record to atomic sequence allocation for
+	// multi-goroutine producers (one goroutine per VCPU). The per-shard
+	// state needs no synchronization either way: a shard has exactly one
+	// writer.
+	concurrent bool
+
+	// lastVCPU/lastShard cache the most recent shard lookup: the
+	// simulator steps one VCPU for many events at a time, so the common
+	// Record skips the slice indexing entirely. Disabled in concurrent
+	// mode (the cache itself would be shared state).
+	lastVCPU  int32
+	lastShard *shard
+
+	// kindCycles is the cycle-attribution table fed by Charge. Producers
+	// that already keep their own attribution (the virtual clock does)
+	// should register it with SetCycleSource instead: the snapshot then
+	// reads the producer's table at export time and the per-charge mirror
+	// call disappears from the hot path entirely.
+	kindCycles [MaxKinds]uint64
+	cycleSrc   func() []uint64
+	kindNames  []string
+	svcNames   []string
 
 	// aux holds pull-based sources of producer-owned named counters (e.g.
 	// the snp machine's TLB statistics, the invariant auditor's check
@@ -169,33 +304,148 @@ type Recorder struct {
 	gauges []func() (names []string, values []float64)
 }
 
-// NewRecorder creates a recorder whose ring holds capacity events
-// (DefaultCapacity if capacity <= 0). When the ring is full the oldest
-// event is evicted and the drop counter incremented; metrics are never
-// dropped.
+// NewRecorder creates a recorder whose shards each hold capacity events
+// (DefaultCapacity if capacity <= 0). Shard 0 exists from the start;
+// further shards appear the first time an event carries their VCPU id.
+// When a shard's ring is full the oldest event is evicted (folded into
+// the shard's aggregate) and the drop counter incremented; metrics are
+// never dropped.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Recorder{buf: make([]Event, capacity)}
+	r := &Recorder{shardCap: capacity}
+	r.shards = append(r.shards, newShard(capacity))
+	r.lastVCPU, r.lastShard = 0, r.shards[0]
+	return r
 }
 
-// Record appends one event, evicting the oldest if the ring is full.
-// Recording on a nil recorder is a no-op.
+// SetConcurrent pre-creates shards for VCPUs 0..vcpus-1 and switches
+// sequence allocation to an atomic counter, making Record safe to call
+// from one goroutine per VCPU simultaneously. Events for VCPUs outside
+// the pre-created range are clamped into it (shard growth cannot be done
+// locklessly). Aggregation reads — Metrics, Events, the exporters — must
+// still happen after the producers quiesce.
+func (r *Recorder) SetConcurrent(vcpus int) {
+	if r == nil {
+		return
+	}
+	for len(r.shards) < vcpus {
+		r.shards = append(r.shards, newShard(r.shardCap))
+	}
+	r.concurrent = true
+	r.lastShard = nil
+}
+
+// shardOf returns (growing if needed) the shard for VCPU v.
+func (r *Recorder) shardOf(v int32) *shard {
+	if sh := r.lastShard; sh != nil && v == r.lastVCPU {
+		return sh
+	}
+	i := int(v)
+	if i < 0 {
+		i = 0
+	}
+	for i >= len(r.shards) {
+		r.shards = append(r.shards, newShard(r.shardCap))
+	}
+	sh := r.shards[i]
+	r.lastVCPU, r.lastShard = v, sh
+	return sh
+}
+
+// Record appends one event to its VCPU's shard, stamping the global
+// sequence number. If the shard ring is full the oldest event is folded
+// into the shard's metrics aggregate and overwritten. Recording on a nil
+// recorder is a no-op; a live Record never allocates (the zero-alloc pin
+// in the tests).
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
-	r.met.observe(e)
-	if r.full {
-		r.dropped++
+	var sh *shard
+	if r.concurrent {
+		e.Seq = atomic.AddUint64(&r.seq, 1)
+		i := int(e.VCPU)
+		if i < 0 {
+			i = 0
+		} else if i >= len(r.shards) {
+			i = len(r.shards) - 1
+		}
+		sh = r.shards[i]
+	} else {
+		r.seq++
+		e.Seq = r.seq
+		sh = r.shardOf(e.VCPU)
 	}
-	r.buf[r.next] = e
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
+	if sh.full {
+		sh.evicted.fold(&sh.buf[sh.next])
 	}
+	sh.buf[sh.next] = e
+	sh.next++
+	if sh.next == len(sh.buf) {
+		sh.next = 0
+		sh.full = true
+	}
+}
+
+// Alloc claims the next ring slot for an event on the given VCPU and
+// returns it with Seq stamped: the zero-copy fast path for hot producers,
+// who must assign EVERY other field in place (the slot is returned dirty
+// — it still holds whatever event occupied it last time around the ring).
+// The evicted occupant is folded into the shard's aggregate first, exactly
+// as Record would. Unlike the other methods Alloc is NOT nil-safe: the
+// producer's own recorder-attached check is the nil gate.
+func (r *Recorder) Alloc(vcpu int32) *Event {
+	var sh *shard
+	var seq uint64
+	if r.concurrent {
+		seq = atomic.AddUint64(&r.seq, 1)
+		i := int(vcpu)
+		if i < 0 {
+			i = 0
+		} else if i >= len(r.shards) {
+			i = len(r.shards) - 1
+		}
+		sh = r.shards[i]
+	} else {
+		r.seq++
+		seq = r.seq
+		sh = r.shardOf(vcpu)
+	}
+	if sh.full {
+		sh.evicted.fold(&sh.buf[sh.next])
+	}
+	e := &sh.buf[sh.next]
+	sh.next++
+	if sh.next == len(sh.buf) {
+		sh.next = 0
+		sh.full = true
+	}
+	e.Seq = seq
+	return e
+}
+
+// RecordRingLatency feeds one batched-ring request latency — virtual
+// cycles from SubmitSrv to the submitter first observing the completion —
+// into the VCPU's shard histogram. It records no event: latency
+// distributions must cover the whole run regardless of ring eviction.
+// Nil-safe.
+func (r *Recorder) RecordRingLatency(vcpu int32, cycles uint64) {
+	if r == nil {
+		return
+	}
+	if r.concurrent {
+		i := int(vcpu)
+		if i < 0 {
+			i = 0
+		} else if i >= len(r.shards) {
+			i = len(r.shards) - 1
+		}
+		r.shards[i].ringLat.Observe(cycles)
+		return
+	}
+	r.shardOf(vcpu).ringLat.Observe(cycles)
 }
 
 // Charge adds cycles to the attribution table under the producer-defined
@@ -205,8 +455,19 @@ func (r *Recorder) Charge(kind int, cycles uint64) {
 		return
 	}
 	if kind >= 0 && kind < MaxKinds {
-		r.met.kindCycles[kind] += cycles
+		r.kindCycles[kind] += cycles
 	}
+}
+
+// SetCycleSource registers a pull-based cycle-attribution source read at
+// snapshot time (Metrics). When set it replaces the Charge-fed table —
+// the natural wiring for a producer whose clock already attributes every
+// cycle by kind, since it costs nothing per charge. Nil-safe.
+func (r *Recorder) SetCycleSource(src func() []uint64) {
+	if r == nil {
+		return
+	}
+	r.cycleSrc = src
 }
 
 // SetKindNames installs the display names for the attribution table's cost
@@ -215,7 +476,16 @@ func (r *Recorder) SetKindNames(names []string) {
 	if r == nil {
 		return
 	}
-	r.met.kindNames = names
+	r.kindNames = names
+}
+
+// SetServiceNames installs display names for the per-service latency
+// histograms (index = the protocol's service id). Nil-safe.
+func (r *Recorder) SetServiceNames(names []string) {
+	if r == nil {
+		return
+	}
+	r.svcNames = names
 }
 
 // SetAuxCounters resets the counter registry to the single given source
@@ -279,49 +549,149 @@ func (r *Recorder) AuxGauges() (names []string, values []float64) {
 	return names, values
 }
 
-// Len returns the number of events currently held.
+// Len returns the number of events currently retained across all shards.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	if r.full {
-		return len(r.buf)
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.len()
 	}
-	return r.next
+	return n
 }
 
-// Cap returns the ring capacity.
+// Cap returns the total ring capacity (per-shard capacity × live shards).
 func (r *Recorder) Cap() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.buf)
+	return r.shardCap * len(r.shards)
 }
 
-// Dropped returns how many events were evicted due to ring overflow.
+// ShardCap returns the per-shard ring capacity.
+func (r *Recorder) ShardCap() int {
+	if r == nil {
+		return 0
+	}
+	return r.shardCap
+}
+
+// Shards returns the number of live shards (VCPUs seen so far).
+func (r *Recorder) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// Total returns how many events have ever been recorded (retained +
+// evicted) — the current value of the sequence counter.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	if r.concurrent {
+		return atomic.LoadUint64(&r.seq)
+	}
+	return r.seq
+}
+
+// Dropped returns how many events were evicted due to ring overflow,
+// summed over the shards.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.dropped
+	var n uint64
+	for _, sh := range r.shards {
+		n += sh.evicted.total
+	}
+	return n
 }
 
-// Events returns the retained events, oldest first.
+// DroppedByClass returns the per-class eviction counts, summed over the
+// shards. Nil-safe (returns zeros).
+func (r *Recorder) DroppedByClass() [NumClasses]uint64 {
+	var out [NumClasses]uint64
+	if r == nil {
+		return out
+	}
+	for _, sh := range r.shards {
+		for c := 0; c < int(NumClasses); c++ {
+			out[c] += sh.evicted.counts[c]
+		}
+	}
+	return out
+}
+
+// Events returns the retained events merged across shards into global
+// record order (ascending Seq — equivalently virtual-time order with the
+// record sequence as tiebreak). The merge is what keeps every exporter
+// byte-identical to the single-ring pipeline it replaced.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	out := make([]Event, 0, r.Len())
-	if r.full {
-		out = append(out, r.buf[r.next:]...)
+	for _, sh := range r.shards {
+		out = sh.events(out)
 	}
-	return append(out, r.buf[:r.next]...)
+	if len(r.shards) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	}
+	return out
 }
 
-// Metrics returns the registry fed by Record and Charge.
+// Tail returns the last n events in global record order (all of them when
+// fewer are retained). Because every shard retains its own newest events,
+// the globally newest n are always present as long as n does not exceed
+// the per-shard capacity — the property the flight-recorder shadow relies
+// on.
+func (r *Recorder) Tail(n int) []Event {
+	evs := r.Events()
+	if n >= 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Metrics computes the registry snapshot: evicted-event aggregates plus a
+// scan over the retained rings, merged across shards. The result is
+// exactly what eager per-event folding would have accumulated — eviction
+// moves an event's contribution, it never loses it. The snapshot is
+// detached: it does not change as further events are recorded.
 func (r *Recorder) Metrics() *Metrics {
 	if r == nil {
 		return nil
 	}
-	return &r.met
+	m := &Metrics{
+		kindCycles: r.kindCycles,
+		kindNames:  r.kindNames,
+		svcNames:   r.svcNames,
+		requests:   make([]Histogram, len(r.shards)),
+		ringLat:    make([]Histogram, len(r.shards)),
+	}
+	if r.cycleSrc != nil {
+		copy(m.kindCycles[:], r.cycleSrc())
+	}
+	for i, sh := range r.shards {
+		agg := sh.evicted // copy, then fold retained events on top
+		if sh.full {
+			for j := sh.next; j < len(sh.buf); j++ {
+				agg.fold(&sh.buf[j])
+			}
+		}
+		for j := 0; j < sh.next; j++ {
+			agg.fold(&sh.buf[j])
+		}
+		m.agg.merge(&agg)
+		for c := 0; c < int(NumClasses); c++ {
+			m.droppedByClass[c] += sh.evicted.counts[c]
+		}
+		m.dropped += sh.evicted.total
+		m.requests[i] = agg.requests
+		m.ringLat[i] = sh.ringLat
+	}
+	return m
 }

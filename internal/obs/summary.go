@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"sort"
+	"strconv"
 )
 
 // WriteSummary writes a compact human-readable digest of a run: the event
@@ -12,14 +13,14 @@ func WriteSummary(w io.Writer, r *Recorder) error {
 	bw := &errWriter{w: w}
 	m := r.Metrics()
 
-	bw.printf("observability summary (%d events retained, %d dropped)\n", r.Len(), r.Dropped())
+	bw.printf("observability summary (%d events retained, %d dropped, %d shards)\n", r.Len(), r.Dropped(), r.Shards())
 	if d := r.Dropped(); d > 0 {
 		bw.printf("  WARNING: trace ring overflowed; the oldest %d events were evicted (raise the capacity or trim the workload)\n", d)
 	}
-	bw.printf("  %-18s %12s\n", "event class", "count")
+	bw.printf("  %-18s %12s %12s\n", "event class", "count", "dropped")
 	for c := Class(0); c < NumClasses; c++ {
 		if n := m.Count(c); n > 0 {
-			bw.printf("  %-18s %12d\n", c.String(), n)
+			bw.printf("  %-18s %12d %12d\n", c.String(), n, m.DroppedByClass(c))
 		}
 	}
 
@@ -36,6 +37,27 @@ func WriteSummary(w io.Writer, r *Recorder) error {
 		}
 		bw.printf("  %-18s %10d %10.0f %10d %10d %10d\n",
 			c.String(), h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+	}
+
+	if h := m.RequestHistAll(); h != nil && h.Count() > 0 {
+		bw.printf("  request latency (root spans, virtual cycles): n=%d p50=%d p90=%d p99=%d\n",
+			h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		for v := 0; v < m.VCPUs(); v++ {
+			if hv := m.RequestHist(v); hv != nil && hv.Count() > 0 && m.VCPUs() > 1 {
+				bw.printf("    vcpu %d: n=%d p50=%d p90=%d p99=%d\n",
+					v, hv.Count(), hv.Quantile(0.5), hv.Quantile(0.9), hv.Quantile(0.99))
+			}
+		}
+	}
+	for s := 0; s < MaxServices; s++ {
+		if h := m.ServiceHist(s); h != nil && h.Count() > 0 {
+			name := m.ServiceName(s)
+			if name == "" {
+				name = "service-" + strconv.Itoa(s)
+			}
+			bw.printf("  service %-12s dispatch latency: n=%d p50=%d p90=%d p99=%d\n",
+				name, h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		}
 	}
 
 	byKind := m.CyclesByKind()

@@ -98,8 +98,11 @@ type vcpuState struct {
 	// wake latches a Wake that arrived while the task was runnable, so a
 	// wake-up delivered between "completion published" and "task blocks"
 	// is never lost: the next Blocked return is cancelled instead.
-	wake  bool
-	stats VCPUStats
+	wake bool
+	// blockedAt is the virtual cycle the VCPU entered stateBlocked, for
+	// the wake-latency histogram.
+	blockedAt uint64
+	stats     VCPUStats
 }
 
 type runState int
@@ -136,6 +139,7 @@ type drainReq struct {
 	vcpu       int
 	expectWake bool
 	due        uint64 // round when the drain becomes eligible
+	posted     uint64 // round PostDrain enqueued it (drain-wait telemetry)
 	fire       func() error
 }
 
@@ -150,6 +154,7 @@ type Scheduler struct {
 	rng    *rand.Rand
 	drains []drainReq // FIFO by post order
 	round  uint64
+	tel    Telemetry
 }
 
 // New creates a scheduler. Panics on a nil machine or VCPUs < 1 — both are
@@ -203,7 +208,7 @@ func (s *Scheduler) Add(vcpu int, weight int, t Task) error {
 func (s *Scheduler) PostDrain(vcpu int, expectWake bool, fire func() error) {
 	s.drains = append(s.drains, drainReq{
 		vcpu: vcpu, expectWake: expectWake,
-		due: s.round + uint64(s.cfg.DrainLatency), fire: fire,
+		due: s.round + uint64(s.cfg.DrainLatency), posted: s.round, fire: fire,
 	})
 }
 
@@ -219,6 +224,7 @@ func (s *Scheduler) Wake(vcpu int) {
 	if v.state == stateBlocked {
 		v.state = stateRunnable
 		v.stats.Wakeups++
+		s.tel.WakeLatency.Observe(s.m.Clock().Cycles() - v.blockedAt)
 		return
 	}
 	v.wake = true
@@ -247,6 +253,14 @@ func (s *Scheduler) Run() (Stats, error) {
 			}
 			progressed = true
 		}
+
+		runnable := 0
+		for _, v := range s.vcpus {
+			if v.state == stateRunnable {
+				runnable++
+			}
+		}
+		s.tel.RunQueue.Observe(uint64(runnable))
 
 		if v := s.pick(); v != nil {
 			if err := s.runSlice(v); err != nil {
@@ -315,6 +329,7 @@ func (s *Scheduler) runSlice(v *vcpuState) error {
 	elapsed := s.m.Clock().Cycles() - start
 	v.stats.Slices++
 	v.stats.SliceCycles += elapsed
+	s.tel.SliceCycles.Observe(elapsed)
 	s.m.ObserveSchedSlice(v.id, SliceTask, start)
 	if err != nil {
 		return fmt.Errorf("sched: VCPU %d: %w", v.id, err)
@@ -330,6 +345,7 @@ func (s *Scheduler) runSlice(v *vcpuState) error {
 			v.state = stateRunnable
 		} else {
 			v.state = stateBlocked
+			v.blockedAt = s.m.Clock().Cycles()
 		}
 	default:
 		v.state = stateRunnable
@@ -350,6 +366,7 @@ func (s *Scheduler) runDrain(d drainReq) error {
 	elapsed := s.m.Clock().Cycles() - start
 	v.stats.Drains++
 	v.stats.DrainCycles += elapsed
+	s.tel.DrainWait.Observe(s.round - d.posted)
 	s.m.ObserveSchedSlice(d.vcpu, SliceDrain, start)
 	if err != nil {
 		return fmt.Errorf("sched: drain on VCPU %d: %w", d.vcpu, err)

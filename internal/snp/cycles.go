@@ -3,8 +3,6 @@ package snp
 import (
 	"encoding/json"
 	"fmt"
-
-	"veil/internal/obs"
 )
 
 // This file is the single source of truth for the simulator's cost model.
@@ -115,14 +113,14 @@ const (
 // Clock is the machine's virtual cycle counter with per-kind attribution.
 // It is not safe for concurrent use; the simulator is single-threaded by
 // design so that every run is deterministic.
+//
+// An attached obs recorder reads the attribution table pull-based via
+// SetCycleSource (wired in Machine.SetRecorder); Charge itself carries no
+// recorder hook, so the cost model's hottest function is identical with
+// and without tracing.
 type Clock struct {
 	total  uint64
 	byKind [numCostKinds]uint64
-
-	// rec mirrors every charge into the attached recorder's attribution
-	// table (nil-safe; set via Machine.SetRecorder). Snapshots copy the
-	// pointer but are never charged, so only the live clock feeds it.
-	rec *obs.Recorder
 }
 
 // Charge advances the clock by n cycles attributed to kind k.
@@ -131,7 +129,6 @@ func (c *Clock) Charge(k CostKind, n uint64) {
 	if k >= 0 && int(k) < len(c.byKind) {
 		c.byKind[k] += n
 	}
-	c.rec.Charge(int(k), n)
 }
 
 // Cycles returns the total elapsed virtual cycles.

@@ -10,13 +10,20 @@ import "veil/internal/obs"
 // clock, the current VCPU, the acting VMPL and — new in obs v2 — the
 // causal span context.
 //
-// Three sinks can be attached independently: the trace Recorder (large
-// ring + metrics, veil-sim -trace), the Flight ring (small, always-on,
-// feeds the post-mortem dump), and the audit hook (the online invariant
-// auditor paces itself off the event stream). With none attached (the
-// default for a bare Machine) every helper is a counter bump plus a nil
-// check: the fast path performs no allocation, which
+// Three sinks can be attached independently: the trace Recorder (sharded
+// per-VCPU rings + metrics, veil-sim -trace), the Flight ring (small,
+// always-on, feeds the post-mortem dump), and the audit hook (the online
+// invariant auditor paces itself off the event stream). With none
+// attached (the default for a bare Machine) every helper is a counter
+// bump plus a nil check: the fast path performs no allocation, which
 // TestNilRecorderMachineZeroAllocs pins with testing.AllocsPerRun.
+//
+// When a Recorder is attached it shadows the flight ring: the recorder's
+// shards already retain at least the newest DefaultFlightCapacity events
+// per VCPU, so the machine skips the second ring write on the hot path
+// and the Flight* accessors derive the post-mortem tail (and its drop
+// accounting) from the recorder instead. With no recorder the flight
+// ring is fed directly, exactly as before — the always-on cheap path.
 
 // SetRecorder attaches (or, with nil, detaches) an event recorder. The
 // recorder also receives cycle attribution from the Clock, the cost-kind
@@ -24,18 +31,103 @@ import "veil/internal/obs"
 // its exporters.
 func (m *Machine) SetRecorder(r *obs.Recorder) {
 	m.rec = r
-	m.clock.rec = r
+	r.SetCycleSource(func() []uint64 { return m.clock.byKind[:] })
 	r.SetKindNames(CostKindNames())
 	r.SetAuxCounters(m.memCounters)
 	r.AddAuxGauges(m.memGauges)
 }
 
 // SetFlight attaches (or, with nil, detaches) the always-on flight ring
-// that feeds the post-mortem dump.
+// that feeds the post-mortem dump. While a Recorder is also attached the
+// ring is shadowed (see the package comment): it stays empty and the
+// Flight* accessors read the recorder's tail instead.
 func (m *Machine) SetFlight(f *obs.Flight) { m.flight = f }
 
-// Flight returns the attached flight ring (nil when detached).
+// Flight returns the attached flight ring (nil when detached). Consumers
+// that want the post-mortem event tail should use FlightTail and the
+// FlightDropped* accessors, which also work when a recorder shadows the
+// ring.
 func (m *Machine) Flight() *obs.Flight { return m.flight }
+
+// flightTailCap returns how many trailing events the post-mortem keeps.
+func (m *Machine) flightTailCap() int {
+	if m.flight != nil {
+		return m.flight.Cap()
+	}
+	return obs.DefaultFlightCapacity
+}
+
+// FlightTail returns the newest flight-recorder events, oldest first:
+// the recorder's merged tail when one is attached (shadow mode), the
+// flight ring's contents otherwise.
+func (m *Machine) FlightTail() []obs.Event {
+	if m.rec != nil {
+		return m.rec.Tail(m.flightTailCap())
+	}
+	return m.flight.Events()
+}
+
+// FlightTailLen returns how many events FlightTail would yield.
+func (m *Machine) FlightTailLen() int {
+	if m.rec != nil {
+		n := int(m.rec.Total())
+		if cap := m.flightTailCap(); n > cap {
+			n = cap
+		}
+		if retained := m.rec.Len(); n > retained {
+			n = retained
+		}
+		return n
+	}
+	return m.flight.Len()
+}
+
+// FlightDropped returns how many events the post-mortem tail can no
+// longer show: everything ever recorded minus the tail.
+func (m *Machine) FlightDropped() uint64 {
+	if m.rec != nil {
+		total := m.rec.Total()
+		if tail := uint64(m.FlightTailLen()); total > tail {
+			return total - tail
+		}
+		return 0
+	}
+	return m.flight.Dropped()
+}
+
+// FlightDroppedByClass breaks FlightDropped down per event class. In
+// shadow mode it is the recorder's full-run class totals minus the tail's
+// class counts; otherwise the flight ring's own eviction counters.
+func (m *Machine) FlightDroppedByClass() [obs.NumClasses]uint64 {
+	if m.rec != nil {
+		met := m.rec.Metrics()
+		var out [obs.NumClasses]uint64
+		for c := obs.Class(0); c < obs.NumClasses; c++ {
+			out[c] = met.Count(c)
+		}
+		for _, e := range m.FlightTail() {
+			if e.Class < obs.NumClasses && out[e.Class] > 0 {
+				out[e.Class]--
+			}
+		}
+		return out
+	}
+	return m.flight.DroppedByClass()
+}
+
+// hasFlightSource reports whether a post-mortem event tail exists at all.
+func (m *Machine) hasFlightSource() bool { return m.flight != nil || m.rec != nil }
+
+// ObserveRingLatency feeds one batched-ring request latency (virtual
+// cycles from SubmitSrv to the submitter observing the completion) into
+// the recorder's per-VCPU latency histogram. No event is recorded and no
+// cycles are charged — the latency layer must never perturb the cycle
+// ledger the dark/tracing comparison pins.
+func (m *Machine) ObserveRingLatency(cycles uint64) {
+	if m.rec != nil {
+		m.rec.RecordRingLatency(m.obsVCPU, cycles)
+	}
+}
 
 // SetAuditHook installs (or, with nil, removes) the online invariant
 // auditor's pacing hook. The hook runs after every recorded event; the
@@ -117,16 +209,31 @@ func (m *Machine) emitSpan(class obs.Class, kind obs.EventKind, dur uint64, vmpl
 	if ref.ID == 0 {
 		parent = m.spans.Current()
 	}
-	e := obs.Event{
-		TS: m.clock.total, Dur: dur, Arg1: a1, Arg2: a2,
-		VCPU: m.obsVCPU, VMPL: vmpl, Class: class, Kind: kind,
-		Span: ref.ID, Parent: parent,
+	var ev obs.Event
+	if m.rec != nil {
+		// Zero-copy fast path: fill the ring slot in place (the recorder's
+		// shards double as the flight tail, so no second ring write). Every
+		// Event field must be assigned — Alloc returns the slot dirty.
+		e := m.rec.Alloc(m.obsVCPU)
+		e.TS, e.Dur, e.Arg1, e.Arg2 = m.clock.total, dur, a1, a2
+		e.VCPU, e.VMPL = m.obsVCPU, vmpl
+		e.Class, e.Kind = class, kind
+		e.Span, e.Parent = ref.ID, parent
+		if m.auditHook == nil {
+			return
+		}
+		ev = *e
+	} else {
+		ev = obs.Event{
+			TS: m.clock.total, Dur: dur, Arg1: a1, Arg2: a2,
+			VCPU: m.obsVCPU, VMPL: vmpl, Class: class, Kind: kind,
+			Span: ref.ID, Parent: parent,
+		}
+		m.flight.Record(ev)
 	}
-	m.rec.Record(e)
-	m.flight.Record(e)
 	if m.auditHook != nil && !m.inAudit {
 		m.inAudit = true
-		m.auditHook(e)
+		m.auditHook(ev)
 		m.inAudit = false
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"veil/internal/obs"
 )
 
 // Post-mortem flight recording.
@@ -83,8 +85,15 @@ type PostMortem struct {
 	OpenSpans []uint64 `json:"open_spans,omitempty"`
 	// Events is the flight ring's content at freeze time, oldest first.
 	Events []PMEvent `json:"events"`
-	// DroppedEvents counts flight-ring evictions before the freeze.
+	// DroppedEvents counts events the tail can no longer show (flight-ring
+	// evictions, or everything beyond the tail when a trace recorder
+	// shadows the flight ring).
 	DroppedEvents uint64 `json:"dropped_events"`
+	// DroppedByClass breaks DroppedEvents down per event class (classes
+	// with zero drops are omitted): on a busy run almost everything rolls
+	// out of the bounded tail, and this says *what kind* of evidence the
+	// dump is missing.
+	DroppedByClass map[string]uint64 `json:"dropped_by_class,omitempty"`
 	// RMPDiff lists pages whose RMP entry differs from the post-launch
 	// baseline (at most pmRMPDiffMax; RMPDiffTruncated counts the rest).
 	RMPDiff          []PMRMPDiff `json:"rmp_diff,omitempty"`
@@ -103,8 +112,8 @@ func (m *Machine) SnapshotRMPBaseline() {
 	m.rmpBaseline = append([]RMPEntry(nil), m.rmp...)
 }
 
-// TriggerPostMortem freezes a post-mortem dump now, if a flight ring is
-// attached and no dump exists yet. The invariant auditor calls it on the
+// TriggerPostMortem freezes a post-mortem dump now, if an event-tail
+// source (flight ring or recorder) is attached and no dump exists yet. The invariant auditor calls it on the
 // first violation; tests and tools may call it to capture a healthy run.
 func (m *Machine) TriggerPostMortem(reason string) {
 	m.buildPostMortem(reason, nil)
@@ -113,20 +122,29 @@ func (m *Machine) TriggerPostMortem(reason string) {
 // PostMortem returns the frozen dump, or nil if nothing froze one.
 func (m *Machine) PostMortem() *PostMortem { return m.pm }
 
-// buildPostMortem freezes the dump once. It needs the flight ring — the
-// dump's whole value is the event tail — so a bare machine without one
-// skips silently.
+// buildPostMortem freezes the dump once. It needs an event-tail source —
+// the dump's whole value is the event tail — so a bare machine with
+// neither a flight ring nor a recorder skips silently.
 func (m *Machine) buildPostMortem(reason string, f *Fault) {
-	if m.pm != nil || m.flight == nil {
+	if m.pm != nil || !m.hasFlightSource() {
 		return
 	}
 	pm := &PostMortem{
 		Reason:         reason,
 		Cycles:         m.clock.total,
 		OpenSpans:      m.spans.Open(),
-		DroppedEvents:  m.flight.Dropped(),
+		DroppedEvents:  m.FlightDropped(),
 		VMSAPages:      m.VMSAPages(),
 		ValidatedPages: m.validatedCount,
+	}
+	if pm.DroppedEvents > 0 {
+		byClass := m.FlightDroppedByClass()
+		pm.DroppedByClass = make(map[string]uint64)
+		for c := obs.Class(0); c < obs.NumClasses; c++ {
+			if byClass[c] > 0 {
+				pm.DroppedByClass[c.String()] = byClass[c]
+			}
+		}
 	}
 	if f != nil {
 		pm.Fault = &PMFault{
@@ -134,7 +152,7 @@ func (m *Machine) buildPostMortem(reason string, f *Fault) {
 			Access: f.Access.String(), Virt: f.Virt, Phys: f.Phys, Why: f.Why,
 		}
 	}
-	events := m.flight.Events()
+	events := m.FlightTail()
 	pm.Events = make([]PMEvent, len(events))
 	for i, e := range events {
 		pm.Events[i] = PMEvent{
