@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp smp-determinism parallel-check clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp bench-fleet smp-determinism fleet-determinism parallel-check clean
 
 all: vet test
 
@@ -71,6 +71,23 @@ bench-mempath:
 # virtual cycles from fixed seeds, so no -stable is needed.
 bench-smp:
 	$(GO) run ./cmd/veil-bench -experiment smp -json BENCH_smp.json
+
+# Regenerate the committed multi-CVM fleet measurement (BENCH_fleet.json):
+# attested VeilS-Channel sessions over the simulated fabric plus local
+# VeilS-Log tenants. Every value is virtual cycles from fixed seeds; the
+# merged per-machine Chrome trace is pinned by its sha256 in the file.
+bench-fleet:
+	$(GO) run ./cmd/veil-bench -experiment fleet -json BENCH_fleet.json
+
+# The fleet determinism gate: the multi-machine stepper runs one goroutine
+# per CVM, so the claim under test is that host parallelism cannot leak
+# into results — different GOMAXPROCS, byte-identical JSON (including the
+# merged-trace digest), and -compare agrees the gated values match.
+fleet-determinism:
+	GOMAXPROCS=1 $(GO) run ./cmd/veil-bench -experiment fleet -json /tmp/veil-fleet-a.json
+	$(GO) run ./cmd/veil-bench -experiment fleet -json /tmp/veil-fleet-b.json
+	cmp /tmp/veil-fleet-a.json /tmp/veil-fleet-b.json
+	$(GO) run ./cmd/veil-bench -compare /tmp/veil-fleet-a.json /tmp/veil-fleet-b.json
 
 # The SMP determinism gate: two identically-seeded runs of the scheduler
 # experiment must produce byte-identical JSON.

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	veil-attack -suite all          # framework + enclave + validation + tlb + ring + interrupt
+//	veil-attack -suite all          # framework + enclave + validation + tlb + ring + interrupt + fleet
 //	veil-attack -suite framework    # Table 1
 //	veil-attack -suite enclave     # Table 2
 //	veil-attack -suite validation  # §8.3
 //	veil-attack -suite tlb         # stale-TLB translations
 //	veil-attack -suite ring        # batched service-ring forgeries
 //	veil-attack -suite interrupt   # hostile completion-interrupt delivery
+//	veil-attack -suite fleet       # cross-CVM VeilS-Channel attacks
 //	veil-attack -audit             # attach the invariant auditor to every CVM
 //	veil-attack -evidence          # print per-attack flight-recorder evidence
 //
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|ring|interrupt|all")
+	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|ring|interrupt|fleet|all")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every attack CVM")
 	evidence := flag.Bool("evidence", false, "print and require flight-recorder evidence per attack")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 	run("tlb", attacks.TLB)
 	run("ring", attacks.Ring)
 	run("interrupt", attacks.Interrupts)
+	run("fleet", attacks.Fleet)
 
 	breached, unobserved := 0, 0
 	for _, r := range results {

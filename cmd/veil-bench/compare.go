@@ -11,6 +11,9 @@ package main
 //     host-time ratios, so they carry measurement noise even on the CPU
 //     clock. They are gated on absolute percentage-point growth against a
 //     -tol budget (default defaultOverheadTolPP).
+//   - fairness indices (key contains "Fairness"): Jain-style values in
+//     [0, 1] where higher is better. They fail on a DROP of more than
+//     -tol/100 (the same budget, rescaled to the index's unit interval).
 //
 // Keys present only in the NEW file (a freshly-added experiment or field)
 // are deliberately not failures: an old baseline cannot have an opinion
@@ -68,12 +71,12 @@ func runCompare(args []string, tolPP float64) int {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
 		}
-		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d gated values regressed (cycles >10%%, overhead >%.1fpp)\n",
-			len(regressions), compared, tolPP)
+		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d gated values regressed (cycles >10%%, overhead >%.1fpp, fairness -%.4f)\n",
+			len(regressions), compared, tolPP, tolPP/100)
 		return 1
 	}
-	fmt.Printf("veil-bench: compare ok: %d gated values within bounds (cycles 10%%, overhead %.1fpp)\n",
-		compared, tolPP)
+	fmt.Printf("veil-bench: compare ok: %d gated values within bounds (cycles 10%%, overhead %.1fpp, fairness %.4f)\n",
+		compared, tolPP, tolPP/100)
 	return 0
 }
 
@@ -118,6 +121,11 @@ func compareGated(path string, oldV, newV any, tolPP float64, compared *int, reg
 							*regressions = append(*regressions,
 								fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", p, of, nf, 100*(nf-of)/of))
 						}
+					case strings.Contains(k, "Fairness"):
+						if nf < of-tolPP/100 {
+							*regressions = append(*regressions,
+								fmt.Sprintf("%s: %.4f -> %.4f (-%.4f > %.4f tolerance)", p, of, nf, of-nf, tolPP/100))
+						}
 					case nf > of+tolPP:
 						*regressions = append(*regressions,
 							fmt.Sprintf("%s: %.1f%% -> %.1f%% (+%.1fpp > %.1fpp tolerance)", p, of, nf, nf-of, tolPP))
@@ -142,7 +150,8 @@ func compareGated(path string, oldV, newV any, tolPP float64, compared *int, reg
 
 // gatedKey reports whether a leaf under this key is regression-gated.
 func gatedKey(k string) bool {
-	return strings.Contains(k, "Cycles") || strings.Contains(k, "OverheadPct")
+	return strings.Contains(k, "Cycles") || strings.Contains(k, "OverheadPct") ||
+		strings.Contains(k, "Fairness")
 }
 
 // hasGatedLeaf reports whether the subtree rooted at (key, v) contains any

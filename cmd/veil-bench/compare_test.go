@@ -82,6 +82,43 @@ func TestCompareResultsNestedAndArrays(t *testing.T) {
 	}
 }
 
+// Fairness leaves gate on an absolute DROP of more than tol/100 (the
+// index lives on [0, 1]); growth and small dips pass.
+func TestCompareResultsFairnessDrop(t *testing.T) {
+	oldV := mustJSON(t, `{"fleet":{"FairnessJain":0.98}}`)
+
+	// -0.04: inside the default 5pp/100 = 0.05 budget.
+	newV := mustJSON(t, `{"fleet":{"FairnessJain":0.94}}`)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 fairness leaf", compared)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none within the budget", regressions)
+	}
+
+	// -0.06: out of budget.
+	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.92}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the fairness leaf", regressions)
+	}
+
+	// Improvement never regresses, even at zero tolerance.
+	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.99}}`)
+	_, regressions, _ = compareResults(oldV, newV, 0)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none on improvement", regressions)
+	}
+
+	// A new-only fairness subtree warns like a cycle subtree would.
+	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.98},"smp2":{"FairnessMinMax":0.9}}`)
+	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	if len(newOnly) != 1 || newOnly[0] != "/smp2" {
+		t.Fatalf("newOnly = %v, want [/smp2]", newOnly)
+	}
+}
+
 // OverheadPct leaves gate on absolute percentage-point growth against the
 // tolerance, not on the cycle rule's relative 10%.
 func TestCompareResultsOverheadTolerance(t *testing.T) {

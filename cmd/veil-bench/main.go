@@ -196,11 +196,21 @@ var experiments = []experiment{
 		}
 		return r, nil
 	}},
+	{"fleet", func(w io.Writer) (any, error) {
+		r, err := bench.Fleet()
+		if err != nil {
+			return nil, err
+		}
+		if text {
+			bench.ReportFleet(w, r)
+		}
+		return r, nil
+	}},
 }
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|smp|all")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|smp|fleet|all")
 	flag.IntVar(&iters, "iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	flag.Uint64Var(&memMB, "mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
@@ -211,7 +221,7 @@ func main() {
 	flag.BoolVar(&stable, "stable", false,
 		"zero host wall-clock fields so two runs of the same build are byte-identical")
 	compare := flag.Bool("compare", false,
-		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10% or any *OverheadPct* grew past -tol")
+		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10%, any *OverheadPct* grew past -tol, or any *Fairness* index dropped by more than -tol/100")
 	tol := flag.Float64("tol", defaultOverheadTolPP,
 		"compare mode: absolute percentage-point growth allowed on *OverheadPct* values before failing")
 	pprofAddr := flag.String("pprof", "",

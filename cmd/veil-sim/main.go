@@ -25,6 +25,7 @@ import (
 func main() {
 	memMB := flag.Uint64("mem", 64, "guest memory (MiB)")
 	vcpus := flag.Int("vcpus", 2, "VCPUs")
+	fleet := flag.Int("fleet", 0, "boot N CVMs as a fleet and run the attested VeilS-Channel ring demo (N >= 2)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path")
 	causalOut := flag.String("causal", "", "write the causal request forest (per-request critical paths) to this path")
 	metrics := flag.Bool("metrics", false, "print Prometheus-format metrics on exit")
@@ -46,6 +47,18 @@ func main() {
 		}
 		stopProfile = stop
 		defer stop()
+	}
+
+	if *fleet > 0 {
+		// Fleet mode swaps the single-CVM demo for the multi-machine ring;
+		// single-machine exporters do not apply to it.
+		if *causalOut != "" || *pmOut != "" || *flameOut != "" || *metrics {
+			log.Fatal("veil-sim: -fleet supports -trace and -audit only (no -causal/-postmortem/-flame/-metrics)")
+		}
+		if err := runFleet(*fleet, *memMB<<20, *traceOut, *auditOn); err != nil {
+			log.Fatalf("veil-sim: %v", err)
+		}
+		return
 	}
 
 	var rec *obs.Recorder

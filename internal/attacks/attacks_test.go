@@ -107,3 +107,18 @@ func TestStaleTLBAttackHasTeeth(t *testing.T) {
 		t.Fatalf("stale-TLB attack reported defended on a no-invalidate TLB (%s)", detail)
 	}
 }
+
+func TestFleetAttacksAllDefended(t *testing.T) {
+	results := Fleet()
+	if len(results) != 5 {
+		t.Fatalf("fleet suite has %d attacks, want 5", len(results))
+	}
+	assertAllDefended(t, results)
+	// Every fleet defence must be auditor-visible: the refusing machine
+	// records a DeniedChannel event in its flight ring.
+	for _, r := range results {
+		if r.Evidence.Denied == 0 {
+			t.Errorf("no denial evidence for %q: %s", r.Attack, r.Evidence)
+		}
+	}
+}

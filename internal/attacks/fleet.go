@@ -1,0 +1,297 @@
+package attacks
+
+// Fleet attacks: the cross-CVM rows of the security analysis. The
+// adversary here is the host fabric between two Veil machines — it can
+// tamper with, replay, duplicate, and reorder frames at will — plus the
+// classic mismeasured-peer case where the remote CVM simply is not running
+// the image the local trust policy expects. Every defence is VeilS-Channel
+// refusing, with a DeniedChannel record in the victim's flight ring as the
+// auditor-visible evidence.
+
+import (
+	"errors"
+	"fmt"
+
+	"veil/internal/audit"
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/fabric"
+	"veil/internal/sched"
+	"veil/internal/services/chn"
+)
+
+// freshFleet boots a 2-machine fleet and marks one machine as the attack's
+// victim: its flight ring is what execute() collects evidence from.
+func freshFleet(victim int) (*cvm.Fleet, error) {
+	seedCounter++
+	f, err := cvm.BootFleet(cvm.FleetOptions{
+		Machines: 2,
+		Seed:     seedCounter,
+		// A deep flight ring: the hostile run continues for its full slice
+		// budget after the refusal, and the denial event must survive to
+		// be collected as evidence.
+		Base: cvm.Options{MemBytes: 24 << 20, VCPUs: 1, LogPages: 8, FlightCapacity: 1 << 14},
+		Link: fabric.LinkModel{BaseLatency: 2_000, Jitter: 200},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lastBoot, lastAuditor = f.CVMs[victim], nil
+	if auditing {
+		lastAuditor = audit.Attach(f.CVMs[victim].M, audit.Config{})
+	}
+	return f, nil
+}
+
+// fleetPeer drives one machine through a hostile handshake: machine 0
+// initiates `dials` sessions toward machine 1 and bursts `pings` data
+// messages into each one that establishes. Every slice costs budget, so a
+// refused or black-holed handshake winds down instead of stalling the
+// stepper — the attacks assert on the service counters afterwards.
+type fleetPeer struct {
+	c         *cvm.CVM
+	st        *core.OSStub
+	peer      int
+	initiator bool
+	dials     int
+	pings     int
+	budget    int
+
+	dialed   int
+	sent     map[uint32]int
+	received int
+}
+
+func (p *fleetPeer) Step(vcpu int) (sched.Status, error) {
+	p.budget--
+	if p.budget <= 0 {
+		return sched.Done, nil
+	}
+	// A denied delivery IS the defence under test — VeilS-Channel refusing
+	// the hostile frame. Only unexpected failures abort the run.
+	for _, fr := range p.c.DrainNetFrames() {
+		if err := p.st.ChnDeliver(fr); err != nil && !errors.Is(err, core.ErrDenied) {
+			return sched.Done, err
+		}
+	}
+	if p.initiator && p.dialed < p.dials {
+		if _, err := p.st.ChnDial(p.peer); err != nil {
+			return sched.Done, err
+		}
+		p.dialed++
+		return sched.Yield, nil
+	}
+	for sid := uint32(0); sid < uint32(p.dials); sid++ {
+		state, err := p.st.ChnState(0, sid)
+		if err != nil {
+			return sched.Done, err
+		}
+		if state != chn.StateEstablished {
+			continue
+		}
+		for {
+			_, ok, err := p.st.ChnRecv(0, sid)
+			if err != nil {
+				return sched.Done, err
+			}
+			if !ok {
+				break
+			}
+			p.received++
+		}
+		if p.initiator {
+			for p.sent[sid] < p.pings {
+				msg := fmt.Sprintf("ping-%d-s%d", p.sent[sid]+1, sid)
+				if err := p.st.ChnSend(0, sid, []byte(msg)); err != nil {
+					return sched.Done, err
+				}
+				p.sent[sid]++
+			}
+		}
+	}
+	return sched.Yield, nil
+}
+
+// runFleetPair runs initiator and responder to budget exhaustion (or
+// completion) under the fleet stepper.
+func runFleetPair(f *cvm.Fleet, dials, pings int) (*fleetPeer, *fleetPeer, error) {
+	a := &fleetPeer{
+		c: f.CVMs[0], st: f.CVMs[0].Stub, peer: 1,
+		initiator: true, dials: dials, pings: pings, budget: 120,
+		sent: map[uint32]int{},
+	}
+	b := &fleetPeer{
+		c: f.CVMs[1], st: f.CVMs[1].Stub, peer: 0,
+		dials: dials, budget: 120, sent: map[uint32]int{},
+	}
+	scheds := []*sched.Scheduler{
+		sched.New(sched.Config{Machine: f.CVMs[0].M, VCPUs: 1, Seed: seedCounter}),
+		sched.New(sched.Config{Machine: f.CVMs[1].M, VCPUs: 1, Seed: seedCounter + 1}),
+	}
+	if err := scheds[0].Add(0, 1, a); err != nil {
+		return nil, nil, err
+	}
+	if err := scheds[1].Add(0, 1, b); err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Run(scheds); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// offerReportOffset is where the attested-report field starts inside a
+// FrameOffer payload: 13-byte header + 16-byte nonce (+4-byte length).
+const offerReportOffset = 13 + 16
+
+// Fleet runs the cross-CVM attacks.
+func Fleet() []Result {
+	return execute([]attack{
+		{
+			name:    "Dial from mismeasured peer CVM",
+			defence: "VeilS-Channel directory check refuses the report",
+			run: func() (bool, string) {
+				f, err := freshFleet(1)
+				if err != nil {
+					return false, err.Error()
+				}
+				// The victim's trust policy expects a different image for
+				// machine 0 than the one actually running (the attacker
+				// booted modified code; its true measurement differs).
+				dir := map[int][32]byte{1: f.Directory[1]}
+				var wrong [32]byte
+				wrong[0] = 0xEE
+				dir[0] = wrong
+				f.CVMs[1].CHN.SetDirectory(dir)
+				if _, _, err := runFleetPair(f, 1, 1); err != nil {
+					return false, err.Error()
+				}
+				st := f.CVMs[1].CHN.Stats()
+				return st.Established == 0 && st.Refused >= 1,
+					fmt.Sprintf("victim established=%d refused=%d", st.Established, st.Refused)
+			},
+		},
+		{
+			name:    "MitM key substitution in attestation report",
+			defence: "PSP signature check refuses the doctored report",
+			run: func() (bool, string) {
+				f, err := freshFleet(0)
+				if err != nil {
+					return false, err.Error()
+				}
+				// The host rewrites the responder's Offer in flight,
+				// substituting key material inside the attested report —
+				// the classic MitM that unauthenticated DH would miss.
+				f.Fab.SetInterceptor(func(m fabric.Message) []fabric.Message {
+					if len(m.Payload) > offerReportOffset+16 && m.Payload[0] == chn.FrameOffer {
+						p := append([]byte(nil), m.Payload...)
+						p[offerReportOffset+16] ^= 0xFF
+						m.Payload = p
+					}
+					return []fabric.Message{m}
+				})
+				if _, _, err := runFleetPair(f, 1, 1); err != nil {
+					return false, err.Error()
+				}
+				st0, st1 := f.CVMs[0].CHN.Stats(), f.CVMs[1].CHN.Stats()
+				return st0.Established == 0 && st1.Established == 0 && st0.Refused >= 1,
+					fmt.Sprintf("initiator refused=%d; no session on either side", st0.Refused)
+			},
+		},
+		{
+			name:    "Replay stale attestation report across sessions",
+			defence: "Transcript hash in ReportData binds nonces and session",
+			run: func() (bool, string) {
+				f, err := freshFleet(0)
+				if err != nil {
+					return false, err.Error()
+				}
+				// Session 0 handshakes honestly; for session 1 the host
+				// grafts session 0's (validly signed) report into the new
+				// Offer. Only the transcript binding can tell them apart.
+				var firstOffer []byte
+				f.Fab.SetInterceptor(func(m fabric.Message) []fabric.Message {
+					if len(m.Payload) > offerReportOffset && m.Payload[0] == chn.FrameOffer {
+						if firstOffer == nil {
+							firstOffer = append([]byte(nil), m.Payload...)
+						} else {
+							p := append([]byte(nil), m.Payload[:offerReportOffset]...)
+							p = append(p, firstOffer[offerReportOffset:]...)
+							m.Payload = p
+						}
+					}
+					return []fabric.Message{m}
+				})
+				if _, _, err := runFleetPair(f, 2, 0); err != nil {
+					return false, err.Error()
+				}
+				st0 := f.CVMs[0].CHN.Stats()
+				return st0.Established == 1 && st0.Refused >= 1,
+					fmt.Sprintf("honest session established; replayed session refused=%d", st0.Refused)
+			},
+		},
+		{
+			name:    "Replay sealed data frame on the fabric",
+			defence: "AEAD sequence window refuses the duplicate",
+			run: func() (bool, string) {
+				f, err := freshFleet(1)
+				if err != nil {
+					return false, err.Error()
+				}
+				dup := false
+				f.Fab.SetInterceptor(func(m fabric.Message) []fabric.Message {
+					if !dup && len(m.Payload) > 0 && m.Payload[0] == chn.FrameData && m.Dst == 1 {
+						dup = true
+						cp := m
+						cp.Payload = append([]byte(nil), m.Payload...)
+						cp.Arrive = m.Arrive + 1
+						return []fabric.Message{m, cp}
+					}
+					return []fabric.Message{m}
+				})
+				_, b, err := runFleetPair(f, 1, 2)
+				if err != nil {
+					return false, err.Error()
+				}
+				st := f.CVMs[1].CHN.Stats()
+				return b.received == 2 && st.Dropped >= 1 && st.Received == 2,
+					fmt.Sprintf("victim received=%d dropped=%d", st.Received, st.Dropped)
+			},
+		},
+		{
+			name:    "Reorder sealed data frames on the fabric",
+			defence: "Directional nonce sequence refuses out-of-order frames",
+			run: func() (bool, string) {
+				f, err := freshFleet(1)
+				if err != nil {
+					return false, err.Error()
+				}
+				// Hold the first data frame and release it behind the
+				// second: the receiver must refuse the leapfrogged frame
+				// rather than decrypt out of sequence.
+				var held *fabric.Message
+				f.Fab.SetInterceptor(func(m fabric.Message) []fabric.Message {
+					if len(m.Payload) > 0 && m.Payload[0] == chn.FrameData && m.Dst == 1 {
+						if held == nil {
+							cp := m
+							held = &cp
+							return nil
+						}
+						h := *held
+						held = nil
+						h.Arrive = m.Arrive + 1
+						return []fabric.Message{m, h}
+					}
+					return []fabric.Message{m}
+				})
+				_, _, err = runFleetPair(f, 1, 2)
+				if err != nil {
+					return false, err.Error()
+				}
+				st := f.CVMs[1].CHN.Stats()
+				return st.Dropped >= 1 && st.Received >= 1,
+					fmt.Sprintf("victim received=%d dropped=%d (in-sequence frame still accepted)", st.Received, st.Dropped)
+			},
+		},
+	})
+}

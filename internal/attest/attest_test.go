@@ -3,6 +3,7 @@ package attest
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -106,7 +107,10 @@ func TestSecureChannelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sealed := monCh.Seal([]byte("log batch 1"))
+	sealed, err := monCh.Seal([]byte("log batch 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := userCh.Open(sealed)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +119,10 @@ func TestSecureChannelRoundTrip(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 	// And the reverse direction.
-	s2 := userCh.Seal([]byte("ack"))
+	s2, err := userCh.Seal([]byte("ack"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got2, err := monCh.Open(s2)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +138,7 @@ func TestSecureChannelReplayRejected(t *testing.T) {
 	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
 	userCh, _ := user.OpenChannel(mon.PublicBytes(), false)
 
-	s1 := monCh.Seal([]byte("first"))
+	s1, _ := monCh.Seal([]byte("first"))
 	if _, err := userCh.Open(s1); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +154,7 @@ func TestSecureChannelTamperRejected(t *testing.T) {
 	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
 	userCh, _ := user.OpenChannel(mon.PublicBytes(), false)
 
-	s := monCh.Seal([]byte("payload"))
+	s, _ := monCh.Seal([]byte("payload"))
 	s[0] ^= 0xFF
 	if _, err := userCh.Open(s); err == nil {
 		t.Fatal("tampered ciphertext accepted")
@@ -162,12 +169,77 @@ func TestChannelDirectionsDoNotCollide(t *testing.T) {
 
 	// Same plaintext, same sequence number, opposite directions: the
 	// ciphertexts must differ and must not decrypt as each other's.
-	a := monCh.Seal([]byte("x"))
-	b := userCh.Seal([]byte("x"))
+	a, _ := monCh.Seal([]byte("x"))
+	b, _ := userCh.Seal([]byte("x"))
 	if bytes.Equal(a, b) {
 		t.Fatal("directional nonces collided")
 	}
 	if _, err := userCh.Open(b); err == nil {
 		t.Fatal("message from wrong direction accepted")
+	}
+}
+
+func TestChannelOutOfOrderRejectedWithoutWindowAdvance(t *testing.T) {
+	mon, _ := NewKeyPair(newDetRand(12))
+	user, _ := NewKeyPair(newDetRand(13))
+	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
+	userCh, _ := user.OpenChannel(mon.PublicBytes(), false)
+
+	first, _ := monCh.Seal([]byte("first"))
+	second, _ := monCh.Seal([]byte("second"))
+
+	// Delivering the second message first (a reordered network) must fail
+	// and must not advance the receive window...
+	if _, err := userCh.Open(second); err == nil {
+		t.Fatal("out-of-order ciphertext accepted")
+	}
+	if got := userCh.RecvSeq(); got != 0 {
+		t.Fatalf("failed Open advanced recvSeq to %d", got)
+	}
+	// ...so the true next message still opens, and then the deferred one.
+	if got, err := userCh.Open(first); err != nil || string(got) != "first" {
+		t.Fatalf("in-order open after reorder refusal: %v %q", err, got)
+	}
+	if got, err := userCh.Open(second); err != nil || string(got) != "second" {
+		t.Fatalf("second open: %v %q", err, got)
+	}
+}
+
+func TestChannelReplayDoesNotAdvanceWindow(t *testing.T) {
+	mon, _ := NewKeyPair(newDetRand(14))
+	user, _ := NewKeyPair(newDetRand(15))
+	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
+	userCh, _ := user.OpenChannel(mon.PublicBytes(), false)
+
+	s1, _ := monCh.Seal([]byte("one"))
+	s2, _ := monCh.Seal([]byte("two"))
+	if _, err := userCh.Open(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := userCh.Open(s1); err == nil {
+		t.Fatal("replay accepted")
+	}
+	if got := userCh.RecvSeq(); got != 1 {
+		t.Fatalf("replayed Open moved recvSeq to %d", got)
+	}
+	if got, err := userCh.Open(s2); err != nil || string(got) != "two" {
+		t.Fatalf("stream did not survive replay attempt: %v %q", err, got)
+	}
+}
+
+func TestChannelSendCounterOverflowGuard(t *testing.T) {
+	mon, _ := NewKeyPair(newDetRand(16))
+	user, _ := NewKeyPair(newDetRand(17))
+	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
+
+	monCh.sendSeq = maxSeq - 1
+	if _, err := monCh.Seal([]byte("last")); err != nil {
+		t.Fatalf("seal at ceiling-1: %v", err)
+	}
+	if _, err := monCh.Seal([]byte("past")); !errors.Is(err, ErrChannelExhausted) {
+		t.Fatalf("seal past 2^63 returned %v, want ErrChannelExhausted", err)
+	}
+	if got := monCh.SendSeq(); got != maxSeq {
+		t.Fatalf("refused Seal consumed a sequence number: %d", got)
 	}
 }

@@ -91,15 +91,32 @@ func (c *Channel) nonce(dir byte, seq uint64) []byte {
 	return n
 }
 
+// maxSeq is the send-counter ceiling: a channel refuses to seal its 2^63rd
+// message rather than let the counter creep toward nonce reuse. No session
+// gets near it in practice; the guard exists so overflow is a refusal, not
+// a silent wrap.
+const maxSeq = uint64(1) << 63
+
+// ErrChannelExhausted is returned by Seal when the send counter reaches the
+// 2^63 ceiling. The channel must be re-keyed (a new handshake), never
+// wrapped.
+var ErrChannelExhausted = errors.New("attest: channel send counter exhausted")
+
 // Seal encrypts and authenticates msg with the next send sequence number.
-func (c *Channel) Seal(msg []byte) []byte {
+// It fails — without consuming a sequence number — once the send counter
+// reaches the 2^63 ceiling.
+func (c *Channel) Seal(msg []byte) ([]byte, error) {
+	if c.sendSeq >= maxSeq {
+		return nil, ErrChannelExhausted
+	}
 	out := c.aead.Seal(nil, c.nonce(c.sendDir, c.sendSeq), msg, nil)
 	c.sendSeq++
-	return out
+	return out, nil
 }
 
-// Open authenticates and decrypts the next message from the peer. A replay
-// or tamper fails authentication and does not advance the window.
+// Open authenticates and decrypts the next message from the peer. A
+// replayed, reordered or tampered ciphertext fails authentication and does
+// not advance the window: the next in-order message still opens.
 func (c *Channel) Open(sealed []byte) ([]byte, error) {
 	msg, err := c.aead.Open(nil, c.nonce(c.recvDir, c.recvSeq), sealed, nil)
 	if err != nil {
@@ -108,3 +125,11 @@ func (c *Channel) Open(sealed []byte) ([]byte, error) {
 	c.recvSeq++
 	return msg, nil
 }
+
+// SendSeq returns the number of messages sealed so far (tests assert the
+// overflow guard consumes nothing).
+func (c *Channel) SendSeq() uint64 { return c.sendSeq }
+
+// RecvSeq returns the number of messages successfully opened so far (tests
+// assert failed Opens do not advance the window).
+func (c *Channel) RecvSeq() uint64 { return c.recvSeq }

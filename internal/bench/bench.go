@@ -148,12 +148,19 @@ func bootFor(mode Mode, seed int64) (*cvm.CVM, error) {
 	if err != nil {
 		return nil, err
 	}
+	auditBoot(c)
+	return c, nil
+}
+
+// auditBoot attaches the invariant auditor to a freshly booted CVM when
+// -audit is on (also used by the fleet experiment, whose machines come
+// from cvm.BootFleet rather than bootFor).
+func auditBoot(c *cvm.CVM) {
 	auditMu.Lock()
 	if auditing {
 		benchedAuditors = append(benchedAuditors, audit.Attach(c.M, audit.Config{}))
 	}
 	auditMu.Unlock()
-	return c, nil
 }
 
 // Run executes one workload under a mode on a fresh CVM.

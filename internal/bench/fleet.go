@@ -1,0 +1,329 @@
+// The fleet experiment: three Veil CVMs booted as one fleet, exchanging
+// attested VeilS-Channel traffic over the simulated fabric while each
+// machine also serves a local VeilS-Log tenant — the mixed-tenant shape a
+// protected-services deployment actually runs. Sessions form a triangle
+// (0→1, 0→2, 1→2); every initiator plays lockstep request/echo rounds, so
+// the message count is fixed and every cycle number is deterministic. The
+// merged per-machine Chrome trace is hashed into the result, which is how
+// CI pins "same seed → byte-identical fleet timeline" across -j and
+// GOMAXPROCS settings.
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/fabric"
+	"veil/internal/obs"
+	"veil/internal/sched"
+	"veil/internal/services/chn"
+	"veil/internal/snp"
+)
+
+const (
+	fleetMachines = 3
+	// fleetRounds is the request/echo rounds per session; with the
+	// triangle topology the fleet exchanges 2 * 3 * fleetRounds sealed
+	// data messages (plus the handshake frames).
+	fleetRounds = 4
+	// fleetLocalLogs is each machine's local-tenant VeilS-Log quota: one
+	// append per scheduler slice, interleaved with channel frames.
+	fleetLocalLogs = 8
+	fleetSeed      = 9900
+	// Link model: ~0.5 ms base latency (datacenter RTT at SimClockHz) with
+	// jitter, no loss — the honest fleet (the attack suite exercises the
+	// hostile fabric). The latency is deliberately larger than a scheduler
+	// slice so machines genuinely park on the fabric and the rendezvous
+	// idle accounting shows up in the result.
+	fleetBaseLatency = 1_000_000
+	fleetJitter      = 100_000
+)
+
+// FleetMachineRow is one machine's share of the fleet run.
+type FleetMachineRow struct {
+	Machine    int
+	Cycles     uint64 // final virtual clock, rendezvous idle included
+	IdleCycles uint64 // CostIdle share: parked waiting on the fabric
+	BusyCycles uint64 // Cycles - IdleCycles
+
+	ChnEstablished uint64
+	ChnSent        uint64 // data messages sealed here
+	ChnReceived    uint64 // data messages opened here
+	LogAppends     uint64 // local VeilS-Log tenant traffic
+}
+
+// FleetResult is the whole experiment.
+type FleetResult struct {
+	Machines  int
+	Sessions  int
+	Rounds    int
+	LocalLogs int
+
+	// Stepper/fabric shape of the run.
+	Steps           uint64
+	IdleJumps       uint64
+	FabricSent      uint64
+	FabricDelivered uint64
+	FabricDropped   uint64
+	FabricReordered uint64
+
+	// MakespanCycles is the slowest machine's final clock — the fleet's
+	// virtual wall-clock. Messages counts sealed data messages opened
+	// fleet-wide; CyclesPerMessage = makespan / messages.
+	MakespanCycles   uint64
+	Messages         uint64
+	CyclesPerMessage uint64
+	// FairnessJain is Jain's index over per-machine busy (non-idle)
+	// cycles: 1.0 = the fleet's work is perfectly balanced.
+	FairnessJain float64
+
+	PerMachine []FleetMachineRow
+
+	// MergedTraceSHA256 digests the merged per-machine Chrome trace
+	// (obs.WriteFleetChromeTrace). Byte-determinism of the whole fleet
+	// timeline collapses to equality of this one string.
+	MergedTraceSHA256 string
+}
+
+// fleetEnd is one machine's view of one session.
+type fleetEnd struct {
+	init, peer int // session initiator machine and the remote end
+	sid        uint32
+	initiator  bool
+	dialed     bool
+	sent       int
+	received   int
+}
+
+func (e *fleetEnd) done() bool {
+	if e.initiator {
+		return e.sent >= fleetRounds && e.received >= fleetRounds
+	}
+	return e.received >= fleetRounds
+}
+
+// fleetTask drives one machine: relay fabric frames to VeilS-Channel, feed
+// the local log tenant, and pump every session this machine participates
+// in. Cooperative state machine, stepped by the machine's scheduler.
+type fleetTask struct {
+	c    *cvm.CVM
+	st   *core.OSStub
+	self int
+	ends []*fleetEnd
+	logs int
+}
+
+func (t *fleetTask) Step(vcpu int) (sched.Status, error) {
+	frames := t.c.DrainNetFrames()
+	for _, fr := range frames {
+		if err := t.st.ChnDeliver(fr); err != nil {
+			return sched.Done, err
+		}
+	}
+	progressed := len(frames) > 0
+
+	// Local tenant: one VeilS-Log append per slice until the quota is
+	// done, so Dom-SRV serves interleaved local and cross-CVM requests.
+	if t.logs < fleetLocalLogs {
+		rec := fmt.Sprintf("fleet m%d local-log %d", t.self, t.logs)
+		if err := t.st.AuditEmit([]byte(rec)); err != nil {
+			return sched.Done, err
+		}
+		t.logs++
+		progressed = true
+	}
+
+	allDone := t.logs >= fleetLocalLogs
+	for _, e := range t.ends {
+		if e.initiator && !e.dialed {
+			sid, err := t.st.ChnDial(e.peer)
+			if err != nil {
+				return sched.Done, err
+			}
+			if sid != e.sid {
+				return sched.Done, fmt.Errorf("bench: fleet m%d dial to m%d got sid %d, want %d", t.self, e.peer, sid, e.sid)
+			}
+			e.dialed = true
+			progressed = true
+		}
+		state, err := t.st.ChnState(e.init, e.sid)
+		if err != nil {
+			return sched.Done, err
+		}
+		if state != chn.StateEstablished {
+			allDone = false
+			continue
+		}
+		for {
+			msg, ok, err := t.st.ChnRecv(e.init, e.sid)
+			if err != nil {
+				return sched.Done, err
+			}
+			if !ok {
+				break
+			}
+			e.received++
+			progressed = true
+			if !e.initiator {
+				reply := append([]byte("echo:"), msg...)
+				if err := t.st.ChnSend(e.init, e.sid, reply); err != nil {
+					return sched.Done, err
+				}
+				e.sent++
+			}
+		}
+		// Lockstep rounds: the initiator sends the next request only after
+		// the previous echo landed, so in-flight traffic stays bounded and
+		// the message count is exact.
+		if e.initiator && e.sent < fleetRounds && e.sent == e.received {
+			msg := fmt.Sprintf("msg-i%d-s%d-r%d", e.init, e.sid, e.sent+1)
+			if err := t.st.ChnSend(e.init, e.sid, []byte(msg)); err != nil {
+				return sched.Done, err
+			}
+			e.sent++
+			progressed = true
+		}
+		if !e.done() {
+			allDone = false
+		}
+	}
+	if allDone {
+		return sched.Done, nil
+	}
+	if progressed {
+		return sched.Yield, nil
+	}
+	return sched.Blocked, nil
+}
+
+// fleetTopology builds the triangle: per machine, the session ends it
+// participates in. Session ids follow each initiator's dial order (machine
+// 0 dials 1 then 2 → sids 0, 1; machine 1 dials 2 → its sid 0).
+func fleetTopology() [][]*fleetEnd {
+	s01 := func() *fleetEnd { return &fleetEnd{init: 0, peer: 1, sid: 0} }
+	s02 := func() *fleetEnd { return &fleetEnd{init: 0, peer: 2, sid: 1} }
+	s12 := func() *fleetEnd { return &fleetEnd{init: 1, peer: 2, sid: 0} }
+	m0 := []*fleetEnd{s01(), s02()}
+	m0[0].initiator, m0[1].initiator = true, true
+	e10, e12 := s01(), s12()
+	e10.peer = 0
+	e12.initiator = true
+	m1 := []*fleetEnd{e10, e12}
+	e20, e21 := s02(), s12()
+	e20.peer = 0
+	e21.peer = 1
+	m2 := []*fleetEnd{e20, e21}
+	return [][]*fleetEnd{m0, m1, m2}
+}
+
+// Fleet runs the experiment from fixed seeds.
+func Fleet() (FleetResult, error) {
+	recs := make([]*obs.Recorder, fleetMachines)
+	for i := range recs {
+		recs[i] = obs.NewRecorder(benchRingCap)
+	}
+	f, err := cvm.BootFleet(cvm.FleetOptions{
+		Machines:  fleetMachines,
+		Seed:      fleetSeed,
+		Base:      cvm.Options{MemBytes: 32 << 20, VCPUs: 1, LogPages: 256},
+		Link:      fabric.LinkModel{BaseLatency: fleetBaseLatency, Jitter: fleetJitter},
+		Recorders: recs,
+	})
+	if err != nil {
+		return FleetResult{}, err
+	}
+	for _, c := range f.CVMs {
+		auditBoot(c)
+	}
+
+	topo := fleetTopology()
+	tasks := make([]*fleetTask, fleetMachines)
+	scheds := make([]*sched.Scheduler, fleetMachines)
+	for id := 0; id < fleetMachines; id++ {
+		tasks[id] = &fleetTask{c: f.CVMs[id], st: f.CVMs[id].Stub, self: id, ends: topo[id]}
+		scheds[id] = sched.New(sched.Config{Machine: f.CVMs[id].M, VCPUs: 1, Seed: fleetSeed + int64(id)})
+		if err := scheds[id].Add(0, 1, tasks[id]); err != nil {
+			return FleetResult{}, err
+		}
+	}
+	stats, err := f.Run(scheds)
+	if err != nil {
+		return FleetResult{}, err
+	}
+
+	sessions := 0
+	for _, ends := range topo {
+		for _, e := range ends {
+			if e.initiator {
+				sessions++
+			}
+		}
+	}
+	r := FleetResult{
+		Machines: fleetMachines, Sessions: sessions, Rounds: fleetRounds, LocalLogs: fleetLocalLogs,
+		Steps: stats.Steps, IdleJumps: stats.IdleJumps,
+		FabricSent: stats.Fabric.Sent, FabricDelivered: stats.Fabric.Delivered,
+		FabricDropped: stats.Fabric.Dropped, FabricReordered: stats.Fabric.Reordered,
+	}
+	busy := make([]uint64, fleetMachines)
+	for i, m := range stats.Machines {
+		cs := f.CVMs[i].CHN.Stats()
+		if cs.Refused != 0 || cs.Dropped != 0 {
+			return r, fmt.Errorf("bench: fleet m%d refused=%d dropped=%d on the honest run", i, cs.Refused, cs.Dropped)
+		}
+		if want := uint64(len(topo[i])); cs.Established != want {
+			return r, fmt.Errorf("bench: fleet m%d established %d sessions, want %d", i, cs.Established, want)
+		}
+		for _, e := range tasks[i].ends {
+			if !e.done() {
+				return r, fmt.Errorf("bench: fleet m%d session (init %d, sid %d) incomplete: sent %d received %d",
+					i, e.init, e.sid, e.sent, e.received)
+			}
+		}
+		row := FleetMachineRow{
+			Machine: m.ID, Cycles: m.Cycles, IdleCycles: m.IdleCycles, BusyCycles: m.Cycles - m.IdleCycles,
+			ChnEstablished: cs.Established, ChnSent: cs.Sent, ChnReceived: cs.Received,
+			LogAppends: uint64(tasks[i].logs),
+		}
+		r.PerMachine = append(r.PerMachine, row)
+		busy[i] = row.BusyCycles
+		r.Messages += cs.Received
+		if m.Cycles > r.MakespanCycles {
+			r.MakespanCycles = m.Cycles
+		}
+	}
+	if want := uint64(2 * r.Sessions * fleetRounds); r.Messages != want {
+		return r, fmt.Errorf("bench: fleet exchanged %d data messages, want %d", r.Messages, want)
+	}
+	r.CyclesPerMessage = r.MakespanCycles / r.Messages
+	r.FairnessJain = sched.JainIndex(busy)
+
+	h := sha256.New()
+	if err := obs.WriteFleetChromeTrace(h, recs, obs.ChromeOptions{CyclesPerMicrosecond: snp.SimClockHz / 1e6}); err != nil {
+		return r, err
+	}
+	r.MergedTraceSHA256 = hex.EncodeToString(h.Sum(nil))
+	return r, nil
+}
+
+// ReportFleet prints the experiment.
+func ReportFleet(w io.Writer, r FleetResult) {
+	fmt.Fprintf(w, "Fleet — %d CVMs, %d attested VeilS-Channel sessions, %d echo rounds each, %d local log appends per machine\n",
+		r.Machines, r.Sessions, r.Rounds, r.LocalLogs)
+	fmt.Fprintf(w, "  fabric: %d sent, %d delivered, %d reordered, %d dropped; stepper: %d steps, %d idle jumps\n",
+		r.FabricSent, r.FabricDelivered, r.FabricReordered, r.FabricDropped, r.Steps, r.IdleJumps)
+	fmt.Fprintf(w, "  makespan %d cycles for %d sealed messages (%d cycles/message), busy-cycle fairness %.4f\n",
+		r.MakespanCycles, r.Messages, r.CyclesPerMessage, r.FairnessJain)
+	fmt.Fprintf(w, "  %-8s %14s %14s %14s  %5s %5s %5s %5s\n",
+		"machine", "cycles", "busy", "idle", "estab", "sent", "recv", "logs")
+	for _, m := range r.PerMachine {
+		fmt.Fprintf(w, "  m%-7d %14d %14d %14d  %5d %5d %5d %5d\n",
+			m.Machine, m.Cycles, m.BusyCycles, m.IdleCycles,
+			m.ChnEstablished, m.ChnSent, m.ChnReceived, m.LogAppends)
+	}
+	fmt.Fprintf(w, "  merged trace sha256 %s\n", r.MergedTraceSHA256)
+}

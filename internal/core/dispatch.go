@@ -178,7 +178,11 @@ func (mon *Monitor) serveUserMessage(sealed []byte) Response {
 	if err != nil {
 		return Response{Status: StatusError}
 	}
-	return Response{Status: StatusOK, Payload: mon.userCh.Seal(reply)}
+	sealedReply, err := mon.userCh.Seal(reply)
+	if err != nil {
+		return Response{Status: StatusError}
+	}
+	return Response{Status: StatusOK, Payload: sealedReply}
 }
 
 // dispatchSrv serves one Dom-SRV entry: requests from the OS to protected
@@ -208,9 +212,47 @@ func (mon *Monitor) AttestationReport(vcpu int) ([]byte, error) {
 	if mon.kp == nil {
 		return nil, fmt.Errorf("core: monitor keys not initialized")
 	}
-	pub := mon.kp.PublicBytes()
-	g := &snp.GHCB{ExitCode: hv.ExitGuestRequest, SwScratch: uint64(len(pub))}
-	copy(g.Payload[:], pub)
+	return mon.attestationReport(vcpu, mon.kp.PublicBytes())
+}
+
+// ServiceAttestationReport mints a report binding caller-chosen data on
+// behalf of a protected service. Services run in Dom-SRV; only VeilMon's
+// VMPL0 context can issue the guest request, so the call costs a full
+// SRV→MON→SRV switch pair — the same delegation shape as enclave VMSA
+// creation. VeilS-Channel uses it to bind session keys and handshake
+// transcripts into reports.
+func (mon *Monitor) ServiceAttestationReport(vcpu int, data []byte) ([]byte, error) {
+	monVMSA, ok := mon.replicas[vcpu][DomMON]
+	if !ok {
+		return nil, fmt.Errorf("core: VCPU %d has no Dom-MON replica", vcpu)
+	}
+	mon.ChargeServiceSwitch()
+	// The switch is architectural, not just an accounting entry: the guest
+	// request is issued while the VCPU executes the Dom-MON instance, so
+	// the PSP sees VMPL0 from the exiting VMSA. Restore the caller's
+	// instance afterwards — the second half of the charged round trip.
+	prev, _ := mon.hv.CurrentVMSA(vcpu)
+	if err := mon.hv.Resume(vcpu, monVMSA); err != nil {
+		return nil, err
+	}
+	report, err := mon.attestationReport(vcpu, data)
+	if prev != 0 {
+		if rerr := mon.hv.Resume(vcpu, prev); err == nil && rerr != nil {
+			err = rerr
+		}
+	}
+	return report, err
+}
+
+// attestationReport issues the guest-request hypercall from the monitor's
+// context with the given report data. The PSP stamps the requester VMPL
+// from the exiting VMSA — VMPL0 here — never from the request.
+func (mon *Monitor) attestationReport(vcpu int, data []byte) ([]byte, error) {
+	if len(data) > len((&snp.GHCB{}).Payload) {
+		return nil, fmt.Errorf("core: report data %d bytes too large", len(data))
+	}
+	g := &snp.GHCB{ExitCode: hv.ExitGuestRequest, SwScratch: uint64(len(data))}
+	copy(g.Payload[:], data)
 	if err := mon.hypercall(vcpu, g); err != nil {
 		return nil, err
 	}

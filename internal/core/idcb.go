@@ -18,13 +18,14 @@ const (
 	SvcKCI uint8 = 1 // VeilS-Kci
 	SvcENC uint8 = 2 // VeilS-Enc management interface
 	SvcLOG uint8 = 3 // VeilS-Log
+	SvcCHN uint8 = 4 // VeilS-Channel (attested inter-CVM sessions)
 )
 
 // ServiceNames returns the display names of the protocol's service ids,
 // indexed by id — the table observability layers (per-service latency
 // histograms, flame-graph frames) resolve Event.Arg1 against.
 func ServiceNames() []string {
-	return []string{"mon", "kci", "enc", "log"}
+	return []string{"mon", "kci", "enc", "log", "chn"}
 }
 
 // Monitor operations.

@@ -31,6 +31,10 @@ type OSStub struct {
 	disp Dispatcher
 	irq  bool
 
+	// netTx, when set, transmits VeilS-Channel frames onto the fleet
+	// fabric (the OS as untrusted NIC driver; see osstub_net.go).
+	netTx func(dst int, frame []byte) error
+
 	// submitTS remembers the virtual cycle each in-flight slot was
 	// submitted at; Poll reports submit→complete latency from it to the
 	// machine's observability layer. latNext is the first sequence number

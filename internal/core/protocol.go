@@ -50,6 +50,34 @@ const (
 	OpEncSyncPermsBatch uint8 = 6
 )
 
+// VeilS-Channel operations: attested sessions between the CVMs of a fleet.
+// The OS is the network driver — it relays sealed frames between the
+// service and the fabric but can neither read nor forge them; every
+// handshake and data frame it hands in is verified inside Dom-SRV.
+const (
+	// OpChnDial starts a session to a peer machine (payload: peer u32).
+	// Response: session id u32, then the dial frame to transmit.
+	OpChnDial uint8 = 1
+	// OpChnDeliver hands the service one frame received from the fabric
+	// (payload: raw frame). Response: u8 has-reply; when 1, dst u32 and
+	// the reply frame to transmit. StatusDenied means the frame was
+	// refused (bad report, replay, unknown peer) — with auditor evidence.
+	OpChnDeliver uint8 = 2
+	// OpChnSend seals one application message for an established session
+	// (payload: init u32, session u32, message bytes). Response: dst u32,
+	// then the sealed data frame to transmit.
+	OpChnSend uint8 = 3
+	// OpChnRecv pops the next decrypted inbound message of a session
+	// (payload: init u32, session u32). Response: u8 has-message, bytes.
+	OpChnRecv uint8 = 4
+	// OpChnState queries a session (payload: init u32, session u32).
+	// Response: u8 state (0 none, 1 dialing, 2 established).
+	OpChnState uint8 = 5
+	// OpChnStats returns the service counters (6 × u64: dialed,
+	// established, refused, sent, received, dropped).
+	OpChnStats uint8 = 6
+)
+
 // VeilS-Log operations (§6.3).
 const (
 	// OpLogAppend appends one audit record (payload: record bytes).

@@ -75,7 +75,11 @@ func (u *RemoteUser) Request(stub *OSStub, msg []byte) ([]byte, error) {
 	if u.ch == nil {
 		return nil, fmt.Errorf("core: user not connected")
 	}
-	resp, err := stub.CallMon(Request{Svc: SvcMon, Op: OpUserMessage, Payload: u.ch.Seal(msg)})
+	sealed, err := u.ch.Seal(msg)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := stub.CallMon(Request{Svc: SvcMon, Op: OpUserMessage, Payload: sealed})
 	if err != nil {
 		return nil, err
 	}

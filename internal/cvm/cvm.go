@@ -15,6 +15,7 @@ import (
 	"veil/internal/hv"
 	"veil/internal/kernel"
 	"veil/internal/obs"
+	"veil/internal/services/chn"
 	"veil/internal/services/enc"
 	"veil/internal/services/kci"
 	"veil/internal/services/vlog"
@@ -56,6 +57,22 @@ type Options struct {
 	// FlightCapacity overrides the flight ring size
 	// (obs.DefaultFlightCapacity if zero).
 	FlightCapacity int
+	// PSP, when non-nil, supplies a pre-built platform security processor
+	// instead of minting one from Rand. A fleet boots every machine
+	// against one shared PSP identity — the analogue of chips signed by
+	// the same vendor chain — so each member can verify its peers'
+	// reports.
+	PSP *attest.PSP
+	// Fleet, when non-nil, marks this CVM as a fleet member: VeilS-Channel
+	// is installed with this identity (part of the measured image, like
+	// every protected service).
+	Fleet *FleetMember
+}
+
+// FleetMember is a CVM's fleet identity.
+type FleetMember struct {
+	// ID is the machine's fleet/fabric endpoint id.
+	ID int
 }
 
 // CVM is a booted machine with all its software layers.
@@ -70,6 +87,8 @@ type CVM struct {
 	KCI *kci.Service
 	ENC *enc.Service
 	LOG *vlog.Service
+	// CHN is the VeilS-Channel instance (nil unless Options.Fleet was set).
+	CHN *chn.Service
 	// Stub is VCPU 0's kernel stub; Stubs holds one per VCPU so SMP
 	// callers can drive every ring (Stubs[0] == Stub).
 	Stub  *core.OSStub
@@ -97,6 +116,13 @@ type CVM struct {
 	// after the handler cost is charged — the SMP scheduler hangs its
 	// Wake here so relayed completion interrupts unblock WaitIntr waiters.
 	intrNotify func(vcpu int)
+
+	// netRx is the OS-visible receive queue of fleet fabric frames: the
+	// fleet stepper pushes arrivals here (the NIC's DMA ring) and raises a
+	// completion interrupt; the OS drains it and relays each frame to
+	// VeilS-Channel. Frames are ciphertext — queue contents are exactly
+	// what a hostile host could already see on the wire.
+	netRx [][]byte
 }
 
 // Boot builds and boots a CVM.
@@ -143,9 +169,12 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 		m.SetRecorder(opts.Recorder)
 		opts.Recorder.SetServiceNames(core.ServiceNames())
 	}
-	psp, err := attest.NewPSP(rng)
-	if err != nil {
-		return nil, err
+	psp := opts.PSP
+	if psp == nil {
+		var err error
+		if psp, err = attest.NewPSP(rng); err != nil {
+			return nil, err
+		}
 	}
 	hyp := hv.New(m, psp)
 
@@ -232,6 +261,13 @@ func bootVeil(opts Options, rng io.Reader) (*CVM, error) {
 	c.KCI = kci.New(mon, pub, k.Modules().SymbolTable())
 	c.LOG = vlog.New(mon, opts.LogPages)
 	c.ENC = enc.New(mon, rng)
+	if opts.Fleet != nil {
+		c.CHN = chn.New(mon, chn.Config{
+			MachineID: opts.Fleet.ID,
+			PSPPub:    psp.PublicKey(),
+			Rand:      rng,
+		})
+	}
 	k.Modules().SetSigningKey(pub)
 
 	// Kernel W⊕X activates during monitor boot, once the sweep has
@@ -410,6 +446,23 @@ func (c *CVM) StubFor(vcpu int) *core.OSStub {
 	}
 	return c.Stubs[vcpu]
 }
+
+// PushNetFrame enqueues one received fabric frame on the OS-visible
+// receive queue. The fleet stepper calls it (followed by an interrupt
+// injection) from the machine's own clock domain.
+func (c *CVM) PushNetFrame(frame []byte) { c.netRx = append(c.netRx, frame) }
+
+// DrainNetFrames pops every queued receive frame in arrival order. The
+// OS-side workload calls it from its interrupt-driven receive path and
+// relays each frame to VeilS-Channel via the stub.
+func (c *CVM) DrainNetFrames() [][]byte {
+	out := c.netRx
+	c.netRx = nil
+	return out
+}
+
+// PendingNetFrames returns the receive-queue depth.
+func (c *CVM) PendingNetFrames() int { return len(c.netRx) }
 
 // Tick injects n timer interrupts on VCPU 0.
 func (c *CVM) Tick(n int) error {

@@ -1,0 +1,229 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func TestDeliveryOrderedByArrivalThenSeq(t *testing.T) {
+	f := mustNew(t, Config{Machines: 3, Seed: 1, Default: LinkModel{BaseLatency: 100}})
+	// Two frames from different sources landing at the same arrival cycle:
+	// Seq (global send order) breaks the tie.
+	if err := f.Send(1, 0, []byte("first"), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, 0, []byte("second"), 50); err != nil {
+		t.Fatal(err)
+	}
+	// A later send that arrives earlier must still come out first.
+	if err := f.Send(1, 0, []byte("early"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Pending(0); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	if ar, ok := f.NextArrival(0); !ok || ar != 100 {
+		t.Fatalf("NextArrival = %d,%v, want 100,true", ar, ok)
+	}
+	if due := f.Due(0, 99); due != nil {
+		t.Fatalf("Due before arrival delivered %d frames", len(due))
+	}
+	due := f.Due(0, 150)
+	if len(due) != 3 {
+		t.Fatalf("Due = %d frames, want 3", len(due))
+	}
+	want := []string{"early", "first", "second"}
+	for i, m := range due {
+		if string(m.Payload) != want[i] {
+			t.Fatalf("delivery[%d] = %q, want %q", i, m.Payload, want[i])
+		}
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", f.InFlight())
+	}
+	st := f.Stats()
+	if st.Sent != 3 || st.Delivered != 3 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPayloadCopiedOnSend(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Seed: 1, Default: LinkModel{BaseLatency: 1}})
+	buf := []byte("original")
+	if err := f.Send(0, 1, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "scrambld")
+	due := f.Due(1, 10)
+	if len(due) != 1 || string(due[0].Payload) != "original" {
+		t.Fatalf("payload aliased sender buffer: %q", due[0].Payload)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Seed: 1})
+	if err := f.Send(0, 0, nil, 0); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := f.Send(0, 2, nil, 0); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if err := f.Send(-1, 0, nil, 0); err == nil {
+		t.Fatal("out-of-range src accepted")
+	}
+	if _, err := New(Config{Machines: 0}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// trafficTrace runs a fixed send schedule against a fabric and returns a
+// textual log of every delivery — the determinism fingerprint.
+func trafficTrace(f *Fabric) string {
+	var log bytes.Buffer
+	for step := uint64(0); step < 200; step++ {
+		src := int(step) % f.Machines()
+		dst := (src + 1 + int(step)%(f.Machines()-1)) % f.Machines()
+		payload := []byte(fmt.Sprintf("m%d", step))
+		if err := f.Send(src, dst, payload, step*7); err != nil {
+			fmt.Fprintf(&log, "err %v\n", err)
+		}
+		for d := 0; d < f.Machines(); d++ {
+			for _, m := range f.Due(d, step*7) {
+				fmt.Fprintf(&log, "%d<-%d seq=%d sent=%d arrive=%d %s\n",
+					m.Dst, m.Src, m.Seq, m.Sent, m.Arrive, m.Payload)
+			}
+		}
+	}
+	st := f.Stats()
+	fmt.Fprintf(&log, "stats %+v inflight=%d\n", st, f.InFlight())
+	return log.String()
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		Machines: 4,
+		Seed:     42,
+		Default:  LinkModel{BaseLatency: 30, Jitter: 20, DropPerMil: 100, ReorderPerMil: 150},
+	}
+	a := trafficTrace(mustNew(t, cfg))
+	b := trafficTrace(mustNew(t, cfg))
+	if a != b {
+		t.Fatal("same seed, same schedule, different traffic traces")
+	}
+	cfg.Seed = 43
+	c := trafficTrace(mustNew(t, cfg))
+	if a == c {
+		t.Fatal("different seeds produced identical jittery traces")
+	}
+}
+
+func TestDropAndReorderModels(t *testing.T) {
+	f := mustNew(t, Config{
+		Machines: 2,
+		Seed:     7,
+		Default:  LinkModel{BaseLatency: 10, DropPerMil: 500, ReorderPerMil: 250},
+	})
+	const sends = 2000
+	for i := 0; i < sends; i++ {
+		if err := f.Send(0, 1, []byte{byte(i)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Sent != sends {
+		t.Fatalf("Sent = %d", st.Sent)
+	}
+	// ~50% drop: allow a generous band, the point is the model engages.
+	if st.Dropped < sends/3 || st.Dropped > 2*sends/3 {
+		t.Fatalf("Dropped = %d of %d, outside [1/3, 2/3] band", st.Dropped, sends)
+	}
+	if st.Reordered == 0 {
+		t.Fatal("reorder model never engaged")
+	}
+	if uint64(f.Pending(1))+st.Dropped != sends {
+		t.Fatalf("pending %d + dropped %d != sent %d", f.Pending(1), st.Dropped, sends)
+	}
+	// Drain everything and check delivery respects (Arrive, Seq) order.
+	due := f.Due(1, 1<<62)
+	var lastArrive, lastSeq uint64
+	for i, m := range due {
+		if i > 0 && (m.Arrive < lastArrive || (m.Arrive == lastArrive && m.Seq < lastSeq)) {
+			t.Fatalf("delivery %d out of (Arrive, Seq) order", i)
+		}
+		lastArrive, lastSeq = m.Arrive, m.Seq
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	f := mustNew(t, Config{
+		Machines: 3,
+		Seed:     1,
+		Default:  LinkModel{BaseLatency: 10},
+		Links:    map[[2]int]LinkModel{{0, 1}: {BaseLatency: 1000}},
+	})
+	if err := f.Send(0, 1, []byte("slow"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 2, []byte("fast"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if ar, _ := f.NextArrival(1); ar != 1000 {
+		t.Fatalf("overridden link arrival = %d, want 1000", ar)
+	}
+	if ar, _ := f.NextArrival(2); ar != 10 {
+		t.Fatalf("default link arrival = %d, want 10", ar)
+	}
+}
+
+func TestInterceptorSwallowRewriteDuplicate(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Seed: 1, Default: LinkModel{BaseLatency: 5}})
+
+	// Swallow: host drops the frame silently.
+	f.SetInterceptor(func(m Message) []Message { return nil })
+	if err := f.Send(0, 1, []byte("gone"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pending(1) != 0 {
+		t.Fatal("swallowed frame still enqueued")
+	}
+
+	// Rewrite + duplicate: host tampers and replays in one step.
+	f.SetInterceptor(func(m Message) []Message {
+		evil := m
+		evil.Payload = append([]byte(nil), m.Payload...)
+		evil.Payload[0] ^= 0xff
+		replay := m
+		replay.Arrive += 100
+		return []Message{evil, replay}
+	})
+	if err := f.Send(0, 1, []byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	due := f.Due(1, 1000)
+	if len(due) != 2 {
+		t.Fatalf("interceptor fan-out delivered %d frames, want 2", len(due))
+	}
+	if due[0].Payload[0] != 'd'^0xff || string(due[1].Payload) != "data" {
+		t.Fatalf("unexpected tampered deliveries: %q %q", due[0].Payload, due[1].Payload)
+	}
+	if f.Stats().Injected != 1 {
+		t.Fatalf("Injected = %d, want 1", f.Stats().Injected)
+	}
+
+	// Inject: out-of-thin-air forgery.
+	f.SetInterceptor(nil)
+	f.Inject(Message{Src: 0, Dst: 1, Payload: []byte("forged"), Arrive: 1})
+	if f.Pending(1) != 1 {
+		t.Fatal("injected frame not enqueued")
+	}
+}

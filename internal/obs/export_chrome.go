@@ -23,8 +23,10 @@ type ChromeOptions struct {
 
 // WriteChromeTrace writes the recorder's events as Chrome trace_event JSON
 // (the "JSON Array Format" with one object), loadable in chrome://tracing
-// and Perfetto. Events land on one track per VCPU. The output is fully
-// deterministic: two identical simulations export byte-identical files.
+// and Perfetto. Events land on one track per VCPU; the recorder's machine
+// id (SetMachine) becomes the process id, so single-machine recorders
+// export pid 0 exactly as before. The output is fully deterministic: two
+// identical simulations export byte-identical files.
 func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 	if opts.ProcessName == "" {
 		opts.ProcessName = "veil"
@@ -33,6 +35,49 @@ func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 	if cpm <= 0 {
 		cpm = 1000
 	}
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, r.Dropped())
+	flowID := 0
+	writeChromeProcess(bw, r, opts.ProcessName, cpm, opts.SyscallName, &flowID, true)
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// WriteFleetChromeTrace merges the per-machine recorders of a fleet run
+// into one Chrome trace: one process per machine (pid = machine id,
+// process_name "<name>/m<id>"), machines emitted in slice order. Virtual
+// time is the shared fleet clock, so cross-CVM exchanges line up on the
+// common timeline. Deterministic for a deterministic fleet run.
+func WriteFleetChromeTrace(w io.Writer, recs []*Recorder, opts ChromeOptions) error {
+	if opts.ProcessName == "" {
+		opts.ProcessName = "veil"
+	}
+	cpm := opts.CyclesPerMicrosecond
+	if cpm <= 0 {
+		cpm = 1000
+	}
+	var dropped uint64
+	for _, r := range recs {
+		dropped += r.Dropped()
+	}
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, dropped)
+	flowID := 0
+	for i, r := range recs {
+		name := fmt.Sprintf("%s/m%d", opts.ProcessName, r.Machine())
+		writeChromeProcess(bw, r, name, cpm, opts.SyscallName, &flowID, i == 0)
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// writeChromeProcess emits one machine's worth of trace rows: process and
+// thread metadata, every retained event, and intra-machine causal flow
+// arrows. first suppresses the leading comma of the very first row of the
+// file; flowID is shared across machines so arrow ids stay unique in a
+// merged trace.
+func writeChromeProcess(bw *errWriter, r *Recorder, name string, cpm float64, sysName func(uint64) string, flowID *int, first bool) {
+	pid := r.Machine()
 	events := r.Events()
 
 	// One metadata row per observed VCPU, in ascending order, so tracks
@@ -56,45 +101,43 @@ func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 		}
 	}
 
-	bw := &errWriter{w: w}
-	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, r.Dropped())
-	bw.printf("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}", opts.ProcessName)
+	if !first {
+		bw.printf(",\n")
+	}
+	bw.printf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}", pid, name)
 	for _, v := range vcpus {
-		bw.printf(",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"vcpu%d\"}}", v, v)
+		bw.printf(",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"vcpu%d\"}}", pid, v, v)
 	}
 	us := func(cycles uint64) string {
 		return strconv.FormatFloat(float64(cycles)/cpm, 'f', 3, 64)
 	}
-	flowID := 0
 	for _, e := range events {
 		bw.printf(",\n")
-		writeChromeEvent(bw, e, cpm, opts.SyscallName)
+		writeChromeEvent(bw, e, pid, cpm, sysName)
 		// One flow arrow per nested span: parent span start → child span
 		// start, so Perfetto renders the request tree across tracks.
 		if e.Kind == Span && e.Span != 0 && e.Parent != 0 {
 			if p, ok := bySpan[e.Parent]; ok {
-				flowID++
-				bw.printf(",\n{\"ph\":\"s\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":0,\"tid\":%d,\"ts\":%s}",
-					flowID, p.VCPU, us(p.Start()))
-				bw.printf(",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":0,\"tid\":%d,\"ts\":%s}",
-					flowID, e.VCPU, us(e.Start()))
+				*flowID++
+				bw.printf(",\n{\"ph\":\"s\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+					*flowID, pid, p.VCPU, us(p.Start()))
+				bw.printf(",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+					*flowID, pid, e.VCPU, us(e.Start()))
 			}
 		}
 	}
-	bw.printf("\n]}\n")
-	return bw.err
 }
 
-func writeChromeEvent(bw *errWriter, e Event, cpm float64, sysName func(uint64) string) {
+func writeChromeEvent(bw *errWriter, e Event, pid int, cpm float64, sysName func(uint64) string) {
 	us := func(cycles uint64) string {
 		return strconv.FormatFloat(float64(cycles)/cpm, 'f', 3, 64)
 	}
 	if e.Kind == Span {
-		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s",
-			e.Class, e.VCPU, us(e.Start()), us(e.Dur))
+		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s",
+			e.Class, pid, e.VCPU, us(e.Start()), us(e.Dur))
 	} else {
-		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s",
-			e.Class, e.VCPU, us(e.TS))
+		bw.printf("{\"name\":\"%s\",\"cat\":\"veil\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s",
+			e.Class, pid, e.VCPU, us(e.TS))
 	}
 	bw.printf(",\"args\":{\"cycles\":%d", e.TS)
 	if e.VMPL >= 0 {

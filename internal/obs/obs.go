@@ -302,6 +302,12 @@ type Recorder struct {
 	// floating-point values (rates, ratios).
 	aux    []func() (names []string, values []uint64)
 	gauges []func() (names []string, values []float64)
+
+	// machine identifies which fleet member this recorder belongs to.
+	// Exporters use it as the process dimension (the Chrome trace pid),
+	// so merged fleet traces keep one process track per CVM. Zero for
+	// single-machine runs, which keeps their exports byte-identical.
+	machine int
 }
 
 // NewRecorder creates a recorder whose shards each hold capacity events
@@ -575,6 +581,25 @@ func (r *Recorder) ShardCap() int {
 		return 0
 	}
 	return r.shardCap
+}
+
+// SetMachine tags the recorder with its fleet machine id. Exporters use
+// the tag as the process dimension; BootFleet calls this for every
+// per-machine recorder it is handed. Nil-safe no-op.
+func (r *Recorder) SetMachine(id int) {
+	if r == nil {
+		return
+	}
+	r.machine = id
+}
+
+// Machine returns the fleet machine id set by SetMachine (0 — the
+// single-machine default — otherwise). Nil-safe.
+func (r *Recorder) Machine() int {
+	if r == nil {
+		return 0
+	}
+	return r.machine
 }
 
 // Shards returns the number of live shards (VCPUs seen so far).

@@ -234,6 +234,92 @@ func TestChromeExportValidAndDeterministic(t *testing.T) {
 	}
 }
 
+func TestChromeExportMachineDimension(t *testing.T) {
+	opts := ChromeOptions{CyclesPerMicrosecond: 1900}
+
+	// Machine 0 is the single-machine default: tagging it must not change
+	// a single byte of the export.
+	var untagged, zero bytes.Buffer
+	if err := WriteChromeTrace(&untagged, fixedRecorder(), opts); err != nil {
+		t.Fatal(err)
+	}
+	tagged := fixedRecorder()
+	tagged.SetMachine(0)
+	if err := WriteChromeTrace(&zero, tagged, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(untagged.Bytes(), zero.Bytes()) {
+		t.Fatal("SetMachine(0) changed the single-machine export")
+	}
+
+	// A non-zero machine id must become the pid of every row.
+	other := fixedRecorder()
+	other.SetMachine(2)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, other, opts); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"pid":0`) {
+		t.Fatalf("machine-2 export still contains pid 0 rows:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"pid":2`) {
+		t.Fatal("machine-2 export has no pid 2 rows")
+	}
+}
+
+func TestFleetChromeTraceMergedDeterministic(t *testing.T) {
+	opts := ChromeOptions{CyclesPerMicrosecond: 1900}
+	mk := func() []*Recorder {
+		recs := []*Recorder{fixedRecorder(), fixedRecorder(), fixedRecorder()}
+		for i, r := range recs {
+			r.SetMachine(i)
+		}
+		return recs
+	}
+	var a, b bytes.Buffer
+	if err := WriteFleetChromeTrace(&a, mk(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFleetChromeTrace(&b, mk(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two merged exports of identical fleets differ")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("merged export is not valid JSON:\n%s", a.String())
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[int]string{}
+	perPid := map[int]int{}
+	for _, e := range tf.TraceEvents {
+		perPid[e.Pid]++
+		if e.Name == "process_name" {
+			procs[e.Pid], _ = e.Args["name"].(string)
+		}
+	}
+	for pid := 0; pid < 3; pid++ {
+		want := "veil/m" + string(rune('0'+pid))
+		if procs[pid] != want {
+			t.Errorf("process_name for pid %d = %q, want %q", pid, procs[pid], want)
+		}
+		// 10 rows per machine: 7 events + process_name + 2 thread_name.
+		if perPid[pid] != 10 {
+			t.Errorf("pid %d has %d rows, want 10", pid, perPid[pid])
+		}
+	}
+}
+
 func TestPrometheusExport(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, fixedRecorder()); err != nil {

@@ -1,4 +1,4 @@
-package sched
+package sched_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 
 	"veil/internal/core"
 	"veil/internal/cvm"
+	"veil/internal/sched"
 )
 
 // Satellite isolation under ring backpressure: one VCPU jams its own
@@ -19,7 +20,7 @@ func TestRingFullOnOneVCPUDoesNotStallAnother(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{Machine: c.M, VCPUs: 2, Seed: 99, DrainLatency: 3})
+	s := sched.New(sched.Config{Machine: c.M, VCPUs: 2, Seed: 99, DrainLatency: 3})
 	c.OnInterrupt(s.Wake)
 
 	// VCPU 0: fill the submission ring to backpressure and hold it there.
@@ -46,15 +47,15 @@ func TestRingFullOnOneVCPUDoesNotStallAnother(t *testing.T) {
 	// The jammer stays runnable (never draining, so the jam persists) and
 	// re-verifies the backpressure each slice; it finishes only once the
 	// worker does, so Run terminates.
-	if err := s.Add(0, 1, TaskFunc(func(vcpu int) (Status, error) {
+	if err := s.Add(0, 1, sched.TaskFunc(func(vcpu int) (sched.Status, error) {
 		jamRounds++
 		if done >= batches {
-			return Done, nil
+			return sched.Done, nil
 		}
 		if _, err := jammed.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend}); !errors.Is(err, core.ErrRingFull) {
-			return Done, fmt.Errorf("jammed ring accepted a submission: %v", err)
+			return sched.Done, fmt.Errorf("jammed ring accepted a submission: %v", err)
 		}
-		return Yield, nil
+		return sched.Yield, nil
 	})); err != nil {
 		t.Fatal(err)
 	}
@@ -65,40 +66,40 @@ func TestRingFullOnOneVCPUDoesNotStallAnother(t *testing.T) {
 	if err := worker.EnableRingIRQ(true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Add(1, 1, TaskFunc(func(vcpu int) (Status, error) {
+	if err := s.Add(1, 1, sched.TaskFunc(func(vcpu int) (sched.Status, error) {
 		if len(pending) == 0 {
 			if done >= batches {
-				return Done, nil
+				return sched.Done, nil
 			}
 			for j := 0; j < batchSize; j++ {
 				pc, err := worker.SubmitSrv(core.Request{Svc: core.SvcLOG, Op: core.OpLogAppend,
 					Payload: []byte(fmt.Sprintf("ok b%d op%d", done, j))})
 				if err != nil {
-					return Yield, err
+					return sched.Yield, err
 				}
 				pending = append(pending, pc)
 			}
 			if err := worker.DoorbellAsync(); err != nil {
-				return Yield, err
+				return sched.Yield, err
 			}
-			return Yield, nil
+			return sched.Yield, nil
 		}
 		if _, err := worker.WaitIntr(pending[len(pending)-1]); err != nil {
 			if errors.Is(err, core.ErrWouldBlock) {
-				return Blocked, nil
+				return sched.Blocked, nil
 			}
-			return Yield, err
+			return sched.Yield, err
 		}
 		for _, pc := range pending {
 			r, ok, err := worker.Poll(pc)
 			if err != nil || !ok || r.Status != core.StatusOK {
-				return Yield, fmt.Errorf("seq %d: ok=%v status=%v err=%v", pc.Seq, ok, r.Status, err)
+				return sched.Yield, fmt.Errorf("seq %d: ok=%v status=%v err=%v", pc.Seq, ok, r.Status, err)
 			}
 			ops++
 		}
 		pending = pending[:0]
 		done++
-		return Yield, nil
+		return sched.Yield, nil
 	})); err != nil {
 		t.Fatal(err)
 	}

@@ -230,69 +230,118 @@ func (s *Scheduler) Wake(vcpu int) {
 	v.wake = true
 }
 
+// StepResult reports what one scheduler round accomplished — the contract
+// between a single-machine Run loop and the fleet stepper that interleaves
+// several schedulers in virtual-time lockstep.
+type StepResult int
+
+const (
+	// StepProgress: work remains and the scheduler can keep going on its
+	// own (it ran a slice or a drain, or is idling toward a pending
+	// drain's due round).
+	StepProgress StepResult = iota
+	// StepDone: every task is Done.
+	StepDone
+	// StepAllBlocked: only blocked VCPUs remain and no drain is pending —
+	// nothing inside this clock domain can ever make progress again. A
+	// single-machine Run treats this as a stall; a fleet stepper treats it
+	// as "waiting for a fabric message" and parks the machine until a
+	// cross-machine delivery wakes it.
+	StepAllBlocked
+)
+
+// Step executes one scheduling round: serve every due drain (FIFO), then
+// step one runnable task picked by seeded weighted lottery. It reports
+// whether the domain can continue, is finished, or is blocked on an
+// external wake source. Halt, lost wake-ups and the round budget surface
+// as errors exactly as they do from Run.
+func (s *Scheduler) Step() (StepResult, error) {
+	if f := s.m.Halted(); f != nil {
+		return StepProgress, fmt.Errorf("sched: machine halted: %s: %w", f.Why, snp.ErrHalted)
+	}
+	if s.round >= s.cfg.MaxRounds {
+		return StepProgress, s.refuseStalled("round budget exhausted")
+	}
+	progressed := false
+
+	// Serve every drain that has become eligible, in post order.
+	for len(s.drains) > 0 && s.drains[0].due <= s.round {
+		d := s.drains[0]
+		s.drains = s.drains[1:]
+		if err := s.runDrain(d); err != nil {
+			return StepProgress, err
+		}
+		progressed = true
+	}
+
+	runnable := 0
+	for _, v := range s.vcpus {
+		if v.state == stateRunnable {
+			runnable++
+		}
+	}
+	s.tel.RunQueue.Observe(uint64(runnable))
+
+	if v := s.pick(); v != nil {
+		if err := s.runSlice(v); err != nil {
+			return StepProgress, err
+		}
+		progressed = true
+	}
+	s.round++
+
+	done := true
+	blocked := false
+	for _, v := range s.vcpus {
+		switch v.state {
+		case stateRunnable:
+			done = false
+		case stateBlocked:
+			done, blocked = false, true
+		}
+	}
+	if done {
+		return StepDone, nil
+	}
+	if !progressed && len(s.drains) == 0 {
+		if blocked {
+			return StepAllBlocked, nil
+		}
+		// Unreachable by construction (a runnable VCPU always yields a
+		// slice), kept as a belt-and-suspenders liveness guard.
+		return StepProgress, s.refuseStalled("no runnable progress")
+	}
+	return StepProgress, nil
+}
+
 // Run drives the VCPUs to completion: each round serves due drains (FIFO)
 // then steps one runnable task picked by seeded weighted lottery. It
 // returns when every task is Done, or with an error on halt, lost wake-up
 // or stall — never by spinning forever.
 func (s *Scheduler) Run() (Stats, error) {
 	for {
-		if f := s.m.Halted(); f != nil {
-			return s.stats(), fmt.Errorf("sched: machine halted: %s: %w", f.Why, snp.ErrHalted)
+		st, err := s.Step()
+		if err != nil {
+			return s.stats(), err
 		}
-		if s.round >= s.cfg.MaxRounds {
-			return s.stats(), s.refuseStalled("round budget exhausted")
-		}
-		progressed := false
-
-		// Serve every drain that has become eligible, in post order.
-		for len(s.drains) > 0 && s.drains[0].due <= s.round {
-			d := s.drains[0]
-			s.drains = s.drains[1:]
-			if err := s.runDrain(d); err != nil {
-				return s.stats(), err
-			}
-			progressed = true
-		}
-
-		runnable := 0
-		for _, v := range s.vcpus {
-			if v.state == stateRunnable {
-				runnable++
-			}
-		}
-		s.tel.RunQueue.Observe(uint64(runnable))
-
-		if v := s.pick(); v != nil {
-			if err := s.runSlice(v); err != nil {
-				return s.stats(), err
-			}
-			progressed = true
-		}
-		s.round++
-
-		done := true
-		blocked := false
-		for _, v := range s.vcpus {
-			switch v.state {
-			case stateRunnable:
-				done = false
-			case stateBlocked:
-				done, blocked = false, true
-			}
-		}
-		if done {
+		switch st {
+		case StepDone:
 			return s.stats(), nil
-		}
-		if !progressed && len(s.drains) == 0 {
-			if blocked {
-				return s.stats(), s.refuseStalled("no wake source")
-			}
-			// Unreachable by construction (a runnable VCPU always yields a
-			// slice), kept as a belt-and-suspenders liveness guard.
-			return s.stats(), s.refuseStalled("no runnable progress")
+		case StepAllBlocked:
+			// No fleet stepper to deliver an external wake-up: a blocked
+			// set with no drain pending can never run again.
+			return s.stats(), s.refuseStalled("no wake source")
 		}
 	}
 }
+
+// Stats returns the per-VCPU ledger accumulated so far. Run returns the
+// same snapshot; the fleet stepper reads it after driving Step directly.
+func (s *Scheduler) Stats() Stats { return s.stats() }
+
+// Round returns the current scheduling round (drain due times are measured
+// in rounds; the fleet stepper surfaces it in telemetry).
+func (s *Scheduler) Round() uint64 { return s.round }
 
 // pick selects the next runnable VCPU by weighted lottery: deterministic
 // given the seed, proportionally fair given the weights. Returns nil when

@@ -1,0 +1,564 @@
+// Package chn implements VeilS-Channel, the protected service that gives
+// the CVMs of a fleet mutually attested secure sessions.
+//
+// The paper's remote-user channel (§5.1) binds an ephemeral X25519 key into
+// an attestation report so the verifier knows the key belongs to measured
+// software. VeilS-Channel applies the same construction symmetrically
+// between two CVMs: each side mints a report whose 64-byte ReportData
+// carries its session public key (32 bytes) and a transcript hash (32
+// bytes) over both machine identities, the session id and both nonces.
+// A session is only established after each side has verified the peer's
+// PSP signature, VMPL0 provenance, expected measurement (from the fleet
+// directory) and transcript binding — so a man in the middle cannot
+// substitute keys, an old report cannot be replayed into a new handshake,
+// and a mismeasured machine cannot join.
+//
+// The untrusted OS is the network driver: it shuttles frames between the
+// service and the fabric exactly as it relays remote-user messages, able
+// to drop traffic but not to read or forge it. Every refusal lands in the
+// machine's observability stream as a DeniedChannel event with the peer id
+// as context, so cross-CVM attacks leave auditor-visible evidence.
+package chn
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"veil/internal/attest"
+	"veil/internal/core"
+	"veil/internal/snp"
+)
+
+// Frame kinds on the wire (first byte of every fabric payload).
+const (
+	FrameDial   uint8 = 1
+	FrameOffer  uint8 = 2
+	FrameAnswer uint8 = 3
+	FrameData   uint8 = 4
+)
+
+// Session states reported by OpChnState.
+const (
+	StateNone        uint8 = 0
+	StateDialing     uint8 = 1
+	StateEstablished uint8 = 2
+)
+
+const nonceLen = 16
+
+// transcriptLabel domain-separates the handshake hash from every other use
+// of SHA-256 in the tree.
+const transcriptLabel = "veils-chn-v1"
+
+// Config wires one machine's VeilS-Channel instance.
+type Config struct {
+	// MachineID is this CVM's fleet identity (also the fabric endpoint).
+	MachineID int
+	// PSPPub verifies peer reports. In a real deployment every machine
+	// trusts the same AMD cert chain; the fleet shares one simulated PSP.
+	PSPPub ed25519.PublicKey
+	// Rand supplies nonces and session keys (crypto/rand.Reader if nil;
+	// the simulation path always passes the machine's seeded reader).
+	Rand io.Reader
+}
+
+// Stats counts service outcomes.
+type Stats struct {
+	Dialed      uint64 // sessions initiated here
+	Established uint64 // handshakes completed (either role)
+	Refused     uint64 // frames refused: bad report, replay, unknown peer
+	Sent        uint64 // data messages sealed
+	Received    uint64 // data messages opened
+	Dropped     uint64 // data frames whose Open failed (replay/reorder/tamper)
+}
+
+type session struct {
+	peer      int
+	initiator bool
+	sid       uint32
+	state     uint8
+	kp        *attest.KeyPair
+	nonceA    [nonceLen]byte
+	nonceB    [nonceLen]byte
+	ch        *attest.Channel
+	inbox     [][]byte
+}
+
+// Service is one machine's VeilS-Channel instance, running in Dom-SRV.
+type Service struct {
+	mon *core.Monitor
+	cfg Config
+
+	// directory maps peer machine id → expected launch measurement: the
+	// fleet owner's trust policy, provisioned like the remote user's
+	// expected measurement. A peer absent from the directory, or whose
+	// report carries a different measurement, never gets a session.
+	directory map[int][32]byte
+
+	sessions map[uint64]*session // key: init<<32 | sid
+	nextSid  uint32
+	stats    Stats
+}
+
+// New creates the service and registers it with VeilMon. Like every
+// protected service it must exist before launch (it is part of the
+// measured image); the peer directory is provisioned separately.
+func New(mon *core.Monitor, cfg Config) *Service {
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	s := &Service{
+		mon:      mon,
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+	}
+	mon.RegisterService(core.SvcCHN, s.handle)
+	return s
+}
+
+// SetDirectory installs the fleet trust policy: which peers exist and what
+// measurement each must prove. The map is copied.
+func (s *Service) SetDirectory(dir map[int][32]byte) {
+	s.directory = make(map[int][32]byte, len(dir))
+	for id, m := range dir {
+		s.directory[id] = m
+	}
+}
+
+// Stats returns the service counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+func sessKey(init, sid uint32) uint64 { return uint64(init)<<32 | uint64(sid) }
+
+// refuse records one auditor-visible refusal: a DeniedChannel event with
+// the peer machine id as context.
+func (s *Service) refuse(peer int) (uint32, []byte) {
+	s.stats.Refused++
+	s.mon.Machine().ObserveDenied(snp.DeniedChannel, uint64(peer))
+	return core.StatusDenied, nil
+}
+
+// handle serves OS requests arriving in Dom-SRV.
+func (s *Service) handle(vcpu int, op uint8, payload []byte) (uint32, []byte) {
+	switch op {
+	case core.OpChnDial:
+		return s.serveDial(payload)
+	case core.OpChnDeliver:
+		return s.serveDeliver(vcpu, payload)
+	case core.OpChnSend:
+		return s.serveSend(payload)
+	case core.OpChnRecv:
+		return s.serveRecv(payload)
+	case core.OpChnState:
+		return s.serveState(payload)
+	case core.OpChnStats:
+		var out [48]byte
+		binary.LittleEndian.PutUint64(out[0:], s.stats.Dialed)
+		binary.LittleEndian.PutUint64(out[8:], s.stats.Established)
+		binary.LittleEndian.PutUint64(out[16:], s.stats.Refused)
+		binary.LittleEndian.PutUint64(out[24:], s.stats.Sent)
+		binary.LittleEndian.PutUint64(out[32:], s.stats.Received)
+		binary.LittleEndian.PutUint64(out[40:], s.stats.Dropped)
+		return core.StatusOK, out[:]
+	}
+	return core.StatusError, nil
+}
+
+// transcript hashes the public handshake context: both identities, the
+// session id and both nonces. Binding it into each side's ReportData is
+// what kills report replay — a report minted for one handshake cannot
+// vouch for any other.
+func transcript(init, resp, sid uint32, nonceA, nonceB [nonceLen]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(transcriptLabel))
+	var ids [12]byte
+	binary.LittleEndian.PutUint32(ids[0:], init)
+	binary.LittleEndian.PutUint32(ids[4:], resp)
+	binary.LittleEndian.PutUint32(ids[8:], sid)
+	h.Write(ids[:])
+	h.Write(nonceA[:])
+	h.Write(nonceB[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// serveDial starts a session: draw the ephemeral key and nonce, remember
+// the session, and hand the OS the dial frame to transmit.
+func (s *Service) serveDial(payload []byte) (uint32, []byte) {
+	if len(payload) != 4 {
+		return core.StatusError, nil
+	}
+	peer := int(binary.LittleEndian.Uint32(payload))
+	if _, ok := s.directory[peer]; !ok || peer == s.cfg.MachineID {
+		return s.refuse(peer)
+	}
+	kp, err := attest.NewKeyPair(s.cfg.Rand)
+	if err != nil {
+		return core.StatusError, nil
+	}
+	sess := &session{
+		peer:      peer,
+		initiator: true,
+		sid:       s.nextSid,
+		state:     StateDialing,
+		kp:        kp,
+	}
+	s.nextSid++
+	if _, err := io.ReadFull(s.cfg.Rand, sess.nonceA[:]); err != nil {
+		return core.StatusError, nil
+	}
+	s.sessions[sessKey(uint32(s.cfg.MachineID), sess.sid)] = sess
+	s.stats.Dialed++
+
+	f := frame{
+		Kind: FrameDial,
+		Init: uint32(s.cfg.MachineID), Resp: uint32(peer), Sid: sess.sid,
+		Nonce: sess.nonceA,
+	}
+	out := make([]byte, 4, 4+64)
+	binary.LittleEndian.PutUint32(out, sess.sid)
+	return core.StatusOK, append(out, f.encode()...)
+}
+
+// serveDeliver processes one frame the OS pulled off the fabric.
+func (s *Service) serveDeliver(vcpu int, payload []byte) (uint32, []byte) {
+	f, err := decodeFrame(payload)
+	if err != nil {
+		return s.refuse(-1)
+	}
+	switch f.Kind {
+	case FrameDial:
+		return s.deliverDial(vcpu, f)
+	case FrameOffer:
+		return s.deliverOffer(vcpu, f)
+	case FrameAnswer:
+		return s.deliverAnswer(f)
+	case FrameData:
+		return s.deliverData(f)
+	}
+	return s.refuse(-1)
+}
+
+// deliverDial is the responder's half-open step: admit only directory
+// peers, then mint the report that binds our session key and the
+// transcript, and offer it back.
+func (s *Service) deliverDial(vcpu int, f *frame) (uint32, []byte) {
+	peer := int(f.Init)
+	if int(f.Resp) != s.cfg.MachineID {
+		return s.refuse(peer)
+	}
+	if _, ok := s.directory[peer]; !ok {
+		return s.refuse(peer)
+	}
+	key := sessKey(f.Init, f.Sid)
+	if _, exists := s.sessions[key]; exists {
+		// A replayed dial must not reset an in-progress or established
+		// session (that would be a handshake-reset oracle).
+		return s.refuse(peer)
+	}
+	kp, err := attest.NewKeyPair(s.cfg.Rand)
+	if err != nil {
+		return core.StatusError, nil
+	}
+	sess := &session{
+		peer: peer, sid: f.Sid, state: StateDialing, kp: kp, nonceA: f.Nonce,
+	}
+	if _, err := io.ReadFull(s.cfg.Rand, sess.nonceB[:]); err != nil {
+		return core.StatusError, nil
+	}
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	report, err := s.mon.ServiceAttestationReport(vcpu, reportData(kp.PublicBytes(), ts))
+	if err != nil {
+		return core.StatusError, nil
+	}
+	s.sessions[key] = sess
+	reply := frame{
+		Kind: FrameOffer,
+		Init: f.Init, Resp: f.Resp, Sid: f.Sid,
+		Nonce: sess.nonceB, Report: report,
+	}
+	return core.StatusOK, encodeReply(peer, reply.encode())
+}
+
+// deliverOffer is the initiator's verification step: check the responder's
+// report, derive the channel, and answer with our own report.
+func (s *Service) deliverOffer(vcpu int, f *frame) (uint32, []byte) {
+	peer := int(f.Resp)
+	sess, ok := s.sessions[sessKey(f.Init, f.Sid)]
+	if !ok || !sess.initiator || sess.state != StateDialing ||
+		int(f.Init) != s.cfg.MachineID || peer != sess.peer {
+		return s.refuse(peer)
+	}
+	sess.nonceB = f.Nonce
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	peerPub, ok := s.verifyPeerReport(peer, f.Report, ts)
+	if !ok {
+		return s.refuse(peer)
+	}
+	ch, err := sess.kp.OpenChannel(peerPub, false)
+	if err != nil {
+		return s.refuse(peer)
+	}
+	report, err := s.mon.ServiceAttestationReport(vcpu, reportData(sess.kp.PublicBytes(), ts))
+	if err != nil {
+		return core.StatusError, nil
+	}
+	sess.ch = ch
+	sess.state = StateEstablished
+	s.stats.Established++
+	reply := frame{
+		Kind: FrameAnswer,
+		Init: f.Init, Resp: f.Resp, Sid: f.Sid,
+		Report: report,
+	}
+	return core.StatusOK, encodeReply(peer, reply.encode())
+}
+
+// deliverAnswer is the responder's verification step: the mirror of
+// deliverOffer, completing the handshake.
+func (s *Service) deliverAnswer(f *frame) (uint32, []byte) {
+	peer := int(f.Init)
+	sess, ok := s.sessions[sessKey(f.Init, f.Sid)]
+	if !ok || sess.initiator || sess.state != StateDialing ||
+		int(f.Resp) != s.cfg.MachineID {
+		return s.refuse(peer)
+	}
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	peerPub, ok := s.verifyPeerReport(peer, f.Report, ts)
+	if !ok {
+		return s.refuse(peer)
+	}
+	ch, err := sess.kp.OpenChannel(peerPub, true)
+	if err != nil {
+		return s.refuse(peer)
+	}
+	sess.ch = ch
+	sess.state = StateEstablished
+	s.stats.Established++
+	return core.StatusOK, encodeReply(-1, nil)
+}
+
+// verifyPeerReport runs the full acceptance policy over a peer's report:
+// PSP signature, VMPL0 provenance, directory measurement, transcript
+// binding. It returns the peer's session public key only when everything
+// holds.
+func (s *Service) verifyPeerReport(peer int, raw []byte, ts [32]byte) ([]byte, bool) {
+	rep, err := attest.VerifyReport(s.cfg.PSPPub, raw)
+	if err != nil {
+		return nil, false
+	}
+	if rep.VMPL != snp.VMPL0 {
+		return nil, false
+	}
+	want, ok := s.directory[peer]
+	if !ok || rep.Measurement != want {
+		return nil, false
+	}
+	if [32]byte(rep.ReportData[32:]) != ts {
+		return nil, false
+	}
+	return rep.ReportData[:32], true
+}
+
+// deliverData opens one sealed application frame. A failed Open — replay,
+// reorder, tamper — is refused without advancing the channel window, so
+// the next in-order frame still opens.
+func (s *Service) deliverData(f *frame) (uint32, []byte) {
+	sess, ok := s.sessions[sessKey(f.Init, f.Sid)]
+	if !ok || sess.state != StateEstablished {
+		return s.refuse(int(f.Init))
+	}
+	msg, err := sess.ch.Open(f.Sealed)
+	if err != nil {
+		s.stats.Dropped++
+		return s.refuse(sess.peer)
+	}
+	sess.inbox = append(sess.inbox, msg)
+	s.stats.Received++
+	return core.StatusOK, encodeReply(-1, nil)
+}
+
+// serveSend seals one application message for an established session.
+func (s *Service) serveSend(payload []byte) (uint32, []byte) {
+	if len(payload) < 8 {
+		return core.StatusError, nil
+	}
+	init := binary.LittleEndian.Uint32(payload)
+	sid := binary.LittleEndian.Uint32(payload[4:])
+	msg := payload[8:]
+	sess, ok := s.sessions[sessKey(init, sid)]
+	if !ok || sess.state != StateEstablished {
+		return s.refuse(-1)
+	}
+	sealed, err := sess.ch.Seal(msg)
+	if err != nil {
+		return core.StatusError, nil
+	}
+	s.stats.Sent++
+	f := frame{
+		Kind: FrameData,
+		Init: init, Resp: respOf(init, sess, s.cfg.MachineID), Sid: sid,
+		Sealed: sealed,
+	}
+	out := make([]byte, 4, 4+len(sealed)+32)
+	binary.LittleEndian.PutUint32(out, uint32(sess.peer))
+	return core.StatusOK, append(out, f.encode()...)
+}
+
+// respOf reconstructs the frame's responder field: the session key is
+// (init, sid), so the responder id is whichever endpoint is not init.
+func respOf(init uint32, sess *session, self int) uint32 {
+	if int(init) == self {
+		return uint32(sess.peer)
+	}
+	return uint32(self)
+}
+
+// serveRecv pops the next decrypted inbound message, if any.
+func (s *Service) serveRecv(payload []byte) (uint32, []byte) {
+	if len(payload) != 8 {
+		return core.StatusError, nil
+	}
+	init := binary.LittleEndian.Uint32(payload)
+	sid := binary.LittleEndian.Uint32(payload[4:])
+	sess, ok := s.sessions[sessKey(init, sid)]
+	if !ok {
+		return core.StatusError, nil
+	}
+	if len(sess.inbox) == 0 {
+		return core.StatusOK, []byte{0}
+	}
+	msg := sess.inbox[0]
+	sess.inbox = sess.inbox[1:]
+	return core.StatusOK, append([]byte{1}, msg...)
+}
+
+// serveState reports a session's handshake state.
+func (s *Service) serveState(payload []byte) (uint32, []byte) {
+	if len(payload) != 8 {
+		return core.StatusError, nil
+	}
+	init := binary.LittleEndian.Uint32(payload)
+	sid := binary.LittleEndian.Uint32(payload[4:])
+	sess, ok := s.sessions[sessKey(init, sid)]
+	if !ok {
+		return core.StatusOK, []byte{StateNone}
+	}
+	return core.StatusOK, []byte{sess.state}
+}
+
+// reportData packs (session public key, transcript hash) into the 64-byte
+// ReportData layout both sides verify.
+func reportData(pub []byte, ts [32]byte) []byte {
+	out := make([]byte, 0, attest.ReportDataSize)
+	out = append(out, pub...)
+	return append(out, ts[:]...)
+}
+
+// encodeReply packs an OpChnDeliver response: has-reply flag, destination,
+// frame. dst < 0 means no reply frame.
+func encodeReply(dst int, f []byte) []byte {
+	if dst < 0 || f == nil {
+		return []byte{0}
+	}
+	out := make([]byte, 5, 5+len(f))
+	out[0] = 1
+	binary.LittleEndian.PutUint32(out[1:], uint32(dst))
+	return append(out, f...)
+}
+
+// frame is the wire format every fabric payload decodes to. Header: kind
+// u8, init u32, resp u32, sid u32; then kind-specific fields.
+type frame struct {
+	Kind            uint8
+	Init, Resp, Sid uint32
+	Nonce           [nonceLen]byte // Dial: nonceA; Offer: nonceB
+	Report          []byte         // Offer, Answer
+	Sealed          []byte         // Data
+}
+
+const frameHdrLen = 13
+
+func (f *frame) encode() []byte {
+	out := make([]byte, frameHdrLen, frameHdrLen+nonceLen+len(f.Report)+len(f.Sealed)+4)
+	out[0] = f.Kind
+	binary.LittleEndian.PutUint32(out[1:], f.Init)
+	binary.LittleEndian.PutUint32(out[5:], f.Resp)
+	binary.LittleEndian.PutUint32(out[9:], f.Sid)
+	switch f.Kind {
+	case FrameDial:
+		out = append(out, f.Nonce[:]...)
+	case FrameOffer:
+		out = append(out, f.Nonce[:]...)
+		out = appendBytes(out, f.Report)
+	case FrameAnswer:
+		out = appendBytes(out, f.Report)
+	case FrameData:
+		out = appendBytes(out, f.Sealed)
+	}
+	return out
+}
+
+func appendBytes(out, b []byte) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	return append(append(out, n[:]...), b...)
+}
+
+func decodeFrame(b []byte) (*frame, error) {
+	if len(b) < frameHdrLen {
+		return nil, fmt.Errorf("chn: frame truncated (%d bytes)", len(b))
+	}
+	f := &frame{
+		Kind: b[0],
+		Init: binary.LittleEndian.Uint32(b[1:]),
+		Resp: binary.LittleEndian.Uint32(b[5:]),
+		Sid:  binary.LittleEndian.Uint32(b[9:]),
+	}
+	rest := b[frameHdrLen:]
+	takeNonce := func() error {
+		if len(rest) < nonceLen {
+			return fmt.Errorf("chn: nonce truncated")
+		}
+		copy(f.Nonce[:], rest)
+		rest = rest[nonceLen:]
+		return nil
+	}
+	takeBytes := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("chn: length truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n < 0 || n > len(rest) {
+			return nil, fmt.Errorf("chn: field length %d corrupt", n)
+		}
+		v := append([]byte(nil), rest[:n]...)
+		rest = rest[n:]
+		return v, nil
+	}
+	var err error
+	switch f.Kind {
+	case FrameDial:
+		err = takeNonce()
+	case FrameOffer:
+		if err = takeNonce(); err == nil {
+			f.Report, err = takeBytes()
+		}
+	case FrameAnswer:
+		f.Report, err = takeBytes()
+	case FrameData:
+		f.Sealed, err = takeBytes()
+	default:
+		err = fmt.Errorf("chn: unknown frame kind %d", f.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

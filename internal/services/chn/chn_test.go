@@ -1,0 +1,69 @@
+package chn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The wire format is what the hostile fabric tampers with (the attack
+// suite patches frames by byte offset), so the codec itself needs direct
+// coverage: every kind round-trips, and truncation or corrupt lengths are
+// errors rather than panics or silent misparses.
+func TestFrameRoundTrip(t *testing.T) {
+	var nonce [nonceLen]byte
+	for i := range nonce {
+		nonce[i] = byte(i + 1)
+	}
+	frames := []frame{
+		{Kind: FrameDial, Init: 0, Resp: 2, Sid: 7, Nonce: nonce},
+		{Kind: FrameOffer, Init: 1, Resp: 0, Sid: 0, Nonce: nonce, Report: []byte("report-bytes")},
+		{Kind: FrameAnswer, Init: 3, Resp: 1, Sid: 9, Report: []byte{}},
+		{Kind: FrameData, Init: 2, Resp: 3, Sid: 1, Sealed: bytes.Repeat([]byte{0xAB}, 80)},
+	}
+	for _, want := range frames {
+		got, err := decodeFrame(want.encode())
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Init != want.Init || got.Resp != want.Resp || got.Sid != want.Sid {
+			t.Fatalf("kind %d: header mismatch: %+v", want.Kind, got)
+		}
+		if got.Nonce != want.Nonce && (want.Kind == FrameDial || want.Kind == FrameOffer) {
+			t.Fatalf("kind %d: nonce mismatch", want.Kind)
+		}
+		if !bytes.Equal(got.Report, want.Report) || !bytes.Equal(got.Sealed, want.Sealed) {
+			t.Fatalf("kind %d: body mismatch", want.Kind)
+		}
+	}
+}
+
+func TestFrameDecodeRejectsCorrupt(t *testing.T) {
+	f := frame{Kind: FrameOffer, Init: 1, Resp: 2, Sid: 3, Report: []byte("r")}
+	enc := f.encode()
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     enc[:frameHdrLen-1],
+		"missing nonce":    enc[:frameHdrLen+4],
+		"length truncated": enc[:frameHdrLen+nonceLen+2],
+		"unknown kind":     append([]byte{99}, enc[1:]...),
+	}
+	// A length field pointing past the buffer must be refused, not read.
+	overlong := append([]byte(nil), enc...)
+	overlong[frameHdrLen+nonceLen] = 0xFF
+	cases["corrupt length"] = overlong
+	for name, b := range cases {
+		if _, err := decodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted %d bytes", name, len(b))
+		}
+	}
+}
+
+// The offerReportOffset constant the attack suite patches frames at must
+// match the real layout: header, nonce, then the 4-byte report length.
+func TestOfferReportLayout(t *testing.T) {
+	f := frame{Kind: FrameOffer, Init: 0, Resp: 1, Sid: 0, Report: []byte("xyz")}
+	enc := f.encode()
+	if off := frameHdrLen + nonceLen + 4; !bytes.Equal(enc[off:], []byte("xyz")) {
+		t.Fatalf("report not at header+nonce+len: %x", enc)
+	}
+}

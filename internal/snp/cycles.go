@@ -26,13 +26,20 @@ const (
 	CostContextSwitch
 	CostInterrupt
 	CostCompute // generic workload computation
+	// CostIdle is virtual time a machine spends quiescent waiting for an
+	// external event — in a fleet, the cycles a clock domain skips forward
+	// while rendezvousing with a fabric message from a peer machine. Idle
+	// cycles advance the clock (virtual time keeps flowing) but represent
+	// no executed work, so they get their own attribution bucket rather
+	// than polluting CostCompute.
+	CostIdle
 	numCostKinds
 )
 
 var costKindNames = [...]string{
 	"VMGEXIT", "VMENTER", "VMCALL", "RMPADJUST", "PVALIDATE",
 	"syscall", "page-copy", "page-encrypt", "page-hash",
-	"context-switch", "interrupt", "compute",
+	"context-switch", "interrupt", "compute", "idle",
 }
 
 func (k CostKind) String() string {
@@ -133,6 +140,15 @@ func (c *Clock) Charge(k CostKind, n uint64) {
 
 // Cycles returns the total elapsed virtual cycles.
 func (c *Clock) Cycles() uint64 { return c.total }
+
+// AdvanceTo moves the clock forward to the target cycle count, charging
+// the gap to kind k (CostIdle for fleet rendezvous waits). A target at or
+// behind the current time is a no-op: virtual time never runs backwards.
+func (c *Clock) AdvanceTo(target uint64, k CostKind) {
+	if target > c.total {
+		c.Charge(k, target-c.total)
+	}
+}
 
 // CyclesOf returns the cycles attributed to a single event kind.
 func (c *Clock) CyclesOf(k CostKind) uint64 {

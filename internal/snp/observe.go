@@ -387,6 +387,12 @@ const (
 	// it to another VCPU or swallowed it), and refused to keep scheduling
 	// rather than deadlock (context = the stranded VCPU).
 	DeniedIntrRoute
+	// DeniedChannel: VeilS-Channel refused a cross-CVM session or message
+	// — an unverifiable or mismeasured peer report, a handshake transcript
+	// that does not match the live nonces (replayed report), or a sealed
+	// frame that failed authenticated decryption (fabric-level replay,
+	// reorder or tamper). Context = the peer machine id.
+	DeniedChannel
 )
 
 // ObserveDenied records one refused-but-survivable operation: sanitizer
