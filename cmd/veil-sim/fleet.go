@@ -123,10 +123,10 @@ func (t *ringTask) Step(vcpu int) (sched.Status, error) {
 }
 
 // runFleet is the -fleet N entry point.
-func runFleet(n int, mem uint64, traceOut string, auditOn bool) error {
+func runFleet(n int, mem uint64, traceOut, causalOut string, metrics, auditOn bool) error {
 	fmt.Printf("Booting Veil fleet: %d CVMs, %d MiB each...\n", n, mem>>20)
 	var recs []*obs.Recorder
-	if traceOut != "" {
+	if traceOut != "" || causalOut != "" || metrics {
 		recs = make([]*obs.Recorder, n)
 		for i := range recs {
 			recs[i] = obs.NewRecorder(obs.DefaultCapacity)
@@ -225,6 +225,31 @@ func runFleet(n int, mem uint64, traceOut string, auditOn bool) error {
 			return werr
 		}
 		fmt.Printf("Merged fleet trace written to %s (one Chrome process per machine)\n", traceOut)
+	}
+	if causalOut != "" {
+		fh, err := os.Create(causalOut)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteFleetCausalTrace(fh, recs)
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		reqs, edges, err := obs.FleetCriticalPaths(recs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fleet causal view written to %s (%d cross-machine traces, %d wire edges, %d unmatched)\n",
+			causalOut, len(reqs), len(edges.Edges), edges.UnmatchedRx+edges.UnmatchedTx)
+	}
+	if metrics {
+		fmt.Println()
+		if err := obs.WriteFleetSummary(os.Stdout, recs); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("veil-sim: fleet ring demonstrated")

@@ -50,12 +50,15 @@ func main() {
 	}
 
 	if *fleet > 0 {
-		// Fleet mode swaps the single-CVM demo for the multi-machine ring;
-		// single-machine exporters do not apply to it.
-		if *causalOut != "" || *pmOut != "" || *flameOut != "" || *metrics {
-			log.Fatal("veil-sim: -fleet supports -trace and -audit only (no -causal/-postmortem/-flame/-metrics)")
+		// Fleet mode swaps the single-CVM demo for the multi-machine ring
+		// and the fleet-merged exporters: -trace writes the merged Chrome
+		// timeline, -causal the cross-machine request forest, -metrics the
+		// machine-labeled Prometheus summary. Post-mortems and flame graphs
+		// stay single-machine.
+		if *pmOut != "" || *flameOut != "" {
+			log.Fatal("veil-sim: -fleet does not support -postmortem/-flame")
 		}
-		if err := runFleet(*fleet, *memMB<<20, *traceOut, *auditOn); err != nil {
+		if err := runFleet(*fleet, *memMB<<20, *traceOut, *causalOut, *metrics, *auditOn); err != nil {
 			log.Fatalf("veil-sim: %v", err)
 		}
 		return

@@ -16,6 +16,7 @@ import (
 	"veil/internal/core"
 	"veil/internal/cvm"
 	"veil/internal/fabric"
+	"veil/internal/obs"
 	"veil/internal/sched"
 	"veil/internal/services/chn"
 )
@@ -141,8 +142,36 @@ func runFleetPair(f *cvm.Fleet, dials, pings int) (*fleetPeer, *fleetPeer, error
 }
 
 // offerReportOffset is where the attested-report field starts inside a
-// FrameOffer payload: 13-byte header + 16-byte nonce (+4-byte length).
-const offerReportOffset = 13 + 16
+// FrameOffer payload: fixed header + 16-byte nonce (+4-byte length).
+const offerReportOffset = chn.FrameHeaderLen + 16
+
+// fleetEvidence joins both machines' flight tails by the trace context
+// the frames carried: the fleet-wide evidence view an auditor would build
+// after the attack.
+func fleetEvidence(f *cvm.Fleet) []obs.TraceEvidence {
+	ms := make([]obs.MachineEvents, len(f.CVMs))
+	for i, c := range f.CVMs {
+		ms[i] = obs.MachineEvents{Machine: i, Events: c.M.FlightTail()}
+	}
+	return obs.CorrelateFleetEvidence(ms)
+}
+
+// deniedLeg returns the first trace that originated on machine `origin`
+// and was denied on machine `victim` — proof the two flight rings join on
+// the frame's trace context, attributing the denial to the request that
+// provoked it.
+func deniedLeg(evs []obs.TraceEvidence, origin, victim int) *obs.TraceEvidence {
+	for i := range evs {
+		ev := &evs[i]
+		if ev.OriginMachine != origin {
+			continue
+		}
+		if l := ev.Leg(victim); l != nil && len(l.Denied) > 0 {
+			return ev
+		}
+	}
+	return nil
+}
 
 // Fleet runs the cross-CVM attacks.
 func Fleet() []Result {
@@ -254,8 +283,18 @@ func Fleet() []Result {
 					return false, err.Error()
 				}
 				st := f.CVMs[1].CHN.Stats()
+				// The denial must be joinable across machines: the victim's
+				// DeniedChannel evidence correlates (by the frame's trace
+				// context) with a trace that originated on the attacker-facing
+				// initiator, machine 0.
+				ev := deniedLeg(fleetEvidence(f), 0, 1)
+				if ev == nil {
+					return false, "denial not joinable to a machine-0 trace in the fleet evidence"
+				}
+				leg := ev.Leg(1)
 				return b.received == 2 && st.Dropped >= 1 && st.Received == 2,
-					fmt.Sprintf("victim received=%d dropped=%d", st.Received, st.Dropped)
+					fmt.Sprintf("victim received=%d dropped=%d; trace %#x (origin m%d) shows %d rx, %d denied on m1",
+						st.Received, st.Dropped, ev.Trace, ev.OriginMachine, leg.Received, len(leg.Denied))
 			},
 		},
 		{
@@ -289,8 +328,17 @@ func Fleet() []Result {
 					return false, err.Error()
 				}
 				st := f.CVMs[1].CHN.Stats()
+				// Same joinability requirement as the replay row: the
+				// leapfrogged frame's refusal must correlate with the
+				// machine-0 trace whose frames were reordered.
+				ev := deniedLeg(fleetEvidence(f), 0, 1)
+				if ev == nil {
+					return false, "denial not joinable to a machine-0 trace in the fleet evidence"
+				}
+				leg := ev.Leg(1)
 				return st.Dropped >= 1 && st.Received >= 1,
-					fmt.Sprintf("victim received=%d dropped=%d (in-sequence frame still accepted)", st.Received, st.Dropped)
+					fmt.Sprintf("victim received=%d dropped=%d (in-sequence frame still accepted); trace %#x denied %d time(s) on m1",
+						st.Received, st.Dropped, ev.Trace, len(leg.Denied))
 			},
 		},
 	})

@@ -243,3 +243,44 @@ func TestChannelSendCounterOverflowGuard(t *testing.T) {
 		t.Fatalf("refused Seal consumed a sequence number: %d", got)
 	}
 }
+
+func TestChannelAADBindsHeader(t *testing.T) {
+	mon, _ := NewKeyPair(newDetRand(18))
+	user, _ := NewKeyPair(newDetRand(19))
+	monCh, _ := mon.OpenChannel(user.PublicBytes(), true)
+	userCh, _ := user.OpenChannel(mon.PublicBytes(), false)
+
+	hdr := []byte("frame-header: trace ctx")
+	sealed, err := monCh.SealAAD([]byte("payload"), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A host that rewrites the plaintext header must fail authentication,
+	// and the refused open must not advance the replay window.
+	bad := append([]byte(nil), hdr...)
+	bad[0] ^= 0xFF
+	if _, err := userCh.OpenAAD(sealed, bad); err == nil {
+		t.Fatal("doctored AAD accepted")
+	}
+	if got := userCh.RecvSeq(); got != 0 {
+		t.Fatalf("refused OpenAAD moved recvSeq to %d", got)
+	}
+
+	// Omitting the AAD entirely must fail too (nil is a distinct binding).
+	if _, err := userCh.OpenAAD(sealed, nil); err == nil {
+		t.Fatal("sealed-with-AAD frame opened without AAD")
+	}
+	if got, err := userCh.OpenAAD(sealed, hdr); err != nil || string(got) != "payload" {
+		t.Fatalf("honest AAD open failed after refusals: %v %q", err, got)
+	}
+
+	// Seal/Open remain the nil-AAD case of the same primitive.
+	s2, err := monCh.Seal([]byte("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := userCh.OpenAAD(s2, nil); err != nil || string(got) != "plain" {
+		t.Fatalf("Seal/OpenAAD(nil) mismatch: %v %q", err, got)
+	}
+}

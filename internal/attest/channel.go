@@ -105,11 +105,18 @@ var ErrChannelExhausted = errors.New("attest: channel send counter exhausted")
 // Seal encrypts and authenticates msg with the next send sequence number.
 // It fails — without consuming a sequence number — once the send counter
 // reaches the 2^63 ceiling.
-func (c *Channel) Seal(msg []byte) ([]byte, error) {
+func (c *Channel) Seal(msg []byte) ([]byte, error) { return c.SealAAD(msg, nil) }
+
+// SealAAD is Seal with additional authenticated data: aad travels in
+// plaintext beside the ciphertext (VeilS-Channel puts the frame header,
+// including fleet trace context, there) but is bound into the GCM tag, so
+// the host can read it and route on it yet cannot alter it without the
+// peer's Open failing.
+func (c *Channel) SealAAD(msg, aad []byte) ([]byte, error) {
 	if c.sendSeq >= maxSeq {
 		return nil, ErrChannelExhausted
 	}
-	out := c.aead.Seal(nil, c.nonce(c.sendDir, c.sendSeq), msg, nil)
+	out := c.aead.Seal(nil, c.nonce(c.sendDir, c.sendSeq), msg, aad)
 	c.sendSeq++
 	return out, nil
 }
@@ -117,8 +124,12 @@ func (c *Channel) Seal(msg []byte) ([]byte, error) {
 // Open authenticates and decrypts the next message from the peer. A
 // replayed, reordered or tampered ciphertext fails authentication and does
 // not advance the window: the next in-order message still opens.
-func (c *Channel) Open(sealed []byte) ([]byte, error) {
-	msg, err := c.aead.Open(nil, c.nonce(c.recvDir, c.recvSeq), sealed, nil)
+func (c *Channel) Open(sealed []byte) ([]byte, error) { return c.OpenAAD(sealed, nil) }
+
+// OpenAAD is Open with additional authenticated data; it must match the
+// aad the sender sealed with byte for byte, or authentication fails.
+func (c *Channel) OpenAAD(sealed, aad []byte) ([]byte, error) {
+	msg, err := c.aead.Open(nil, c.nonce(c.recvDir, c.recvSeq), sealed, aad)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrChannel, err)
 	}

@@ -87,6 +87,20 @@ type FleetResult struct {
 	// (obs.WriteFleetChromeTrace). Byte-determinism of the whole fleet
 	// timeline collapses to equality of this one string.
 	MergedTraceSHA256 string
+
+	// FleetSummarySHA256 digests the machine-labeled Prometheus fleet
+	// summary (obs.WriteFleetSummary) — pins the telemetry plane the same
+	// way MergedTraceSHA256 pins the timeline.
+	FleetSummarySHA256 string
+	// Cross-machine trace plumbing (obs v4): matched NetTx→NetRx edges,
+	// distinct traces seen crossing the wire, and summed wire latency
+	// (WireCycles, charged to no machine — gated by -compare like every
+	// other cycle count). UnmatchedRx counts arrivals whose sending
+	// breadcrumb was lost; the honest run requires it to be zero.
+	CrossEdges  int
+	CrossTraces int
+	WireCycles  uint64
+	UnmatchedRx int
 }
 
 // fleetEnd is one machine's view of one session.
@@ -307,6 +321,33 @@ func Fleet() (FleetResult, error) {
 		return r, err
 	}
 	r.MergedTraceSHA256 = hex.EncodeToString(h.Sum(nil))
+
+	hs := sha256.New()
+	if err := obs.WriteFleetSummary(hs, recs); err != nil {
+		return r, err
+	}
+	r.FleetSummarySHA256 = hex.EncodeToString(hs.Sum(nil))
+
+	edges, err := obs.BuildFleetEdges(recs)
+	if err != nil {
+		return r, err
+	}
+	traces := make(map[uint64]bool)
+	for _, e := range edges.Edges {
+		traces[e.Trace] = true
+		r.WireCycles += e.WireCycles
+	}
+	r.CrossEdges = len(edges.Edges)
+	r.CrossTraces = len(traces)
+	r.UnmatchedRx = edges.UnmatchedRx
+	// The honest fleet must produce a fully connected request view: real
+	// cross-machine traces, and every arrival joined to its departure.
+	if r.CrossTraces == 0 {
+		return r, fmt.Errorf("bench: fleet run produced no cross-machine traces")
+	}
+	if r.UnmatchedRx != 0 {
+		return r, fmt.Errorf("bench: fleet run left %d NetRx breadcrumbs unmatched", r.UnmatchedRx)
+	}
 	return r, nil
 }
 
@@ -325,5 +366,8 @@ func ReportFleet(w io.Writer, r FleetResult) {
 			m.Machine, m.Cycles, m.BusyCycles, m.IdleCycles,
 			m.ChnEstablished, m.ChnSent, m.ChnReceived, m.LogAppends)
 	}
+	fmt.Fprintf(w, "  wire: %d cross-machine edges over %d traces, %d wire cycles, %d unmatched rx\n",
+		r.CrossEdges, r.CrossTraces, r.WireCycles, r.UnmatchedRx)
 	fmt.Fprintf(w, "  merged trace sha256 %s\n", r.MergedTraceSHA256)
+	fmt.Fprintf(w, "  fleet summary sha256 %s\n", r.FleetSummarySHA256)
 }

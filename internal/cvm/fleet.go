@@ -135,6 +135,7 @@ func BootFleet(opts FleetOptions) (*Fleet, error) {
 	}
 	for id, c := range f.CVMs {
 		c.CHN.SetDirectory(f.Directory)
+		c.M.SetMachineID(id)
 		src := id
 		clock := c.M.Clock()
 		tx := func(dst int, frame []byte) error {
@@ -142,6 +143,13 @@ func BootFleet(opts FleetOptions) (*Fleet, error) {
 		}
 		for _, st := range c.Stubs {
 			st.SetNetSender(tx)
+		}
+		// Surface this machine's fabric-link counters and wire-latency
+		// gauges through its recorder, so fleet exporters label them per
+		// machine. Pull-based: nothing here runs on the message hot path.
+		if r := c.M.Recorder(); r != nil {
+			r.AddAuxCounters(fab.CountersFor(id))
+			r.AddAuxGauges(fab.GaugesFor(id))
 		}
 	}
 	return f, nil

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"veil/internal/obs"
 )
 
 // Message is one frame in flight (or delivered). Seq is the global send
@@ -84,6 +86,11 @@ type Stats struct {
 type link struct {
 	model LinkModel
 	rng   *rand.Rand
+	// stats and lat are the per-directed-link view of the aggregate
+	// counters: what the fleet exporters surface with link labels.
+	// Delivered and lat are counted at Due time, everything else at Send.
+	stats Stats
+	lat   obs.Histogram
 }
 
 // Fabric is the fleet's message network. Not safe for concurrent use: the
@@ -151,17 +158,20 @@ func (f *Fabric) Send(src, dst int, payload []byte, now uint64) error {
 	}
 	l := &f.links[src][dst]
 	f.stats.Sent++
+	l.stats.Sent++
 	lat := l.model.BaseLatency
 	if l.model.Jitter > 0 {
 		lat += uint64(l.rng.Int63n(int64(l.model.Jitter) + 1))
 	}
 	if l.model.DropPerMil > 0 && l.rng.Intn(1000) < l.model.DropPerMil {
 		f.stats.Dropped++
+		l.stats.Dropped++
 		return nil
 	}
 	if l.model.ReorderPerMil > 0 && l.rng.Intn(1000) < l.model.ReorderPerMil {
 		lat += l.model.reorderPenalty()
 		f.stats.Reordered++
+		l.stats.Reordered++
 	}
 	m := Message{
 		Src: src, Dst: dst,
@@ -230,6 +240,17 @@ func (f *Fabric) Due(dst int, now uint64) []Message {
 	out := append([]Message(nil), q[:cut]...)
 	f.queues[dst] = q[cut:]
 	f.stats.Delivered += uint64(cut)
+	for _, m := range out {
+		// Injected frames may carry a forged Src; only real links account.
+		if m.Src < 0 || m.Src >= f.n || m.Src == dst {
+			continue
+		}
+		l := &f.links[m.Src][dst]
+		l.stats.Delivered++
+		if m.Arrive >= m.Sent {
+			l.lat.Observe(m.Arrive - m.Sent)
+		}
+	}
 	return out
 }
 
@@ -262,3 +283,65 @@ func (f *Fabric) InFlight() int {
 
 // Stats returns the fabric counters.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// LinkStats returns the counters for the directed link src → dst (zero
+// for out-of-range or self links). Injected is always zero per link: a
+// forged frame has no trustworthy source.
+func (f *Fabric) LinkStats(src, dst int) Stats {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n || src == dst {
+		return Stats{}
+	}
+	return f.links[src][dst].stats
+}
+
+// LinkLatency returns a copy of the delivered-frame latency histogram for
+// the directed link src → dst: virtual cycles from Send to the frame
+// becoming deliverable (wire time, not queueing at the receiver).
+func (f *Fabric) LinkLatency(src, dst int) obs.Histogram {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n || src == dst {
+		return obs.Histogram{}
+	}
+	return f.links[src][dst].lat
+}
+
+// CountersFor returns a pull-based obs aux-counter source exposing every
+// outbound link of machine id. Names are fixed by topology alone —
+// `fabric-link-<src>-<dst>-{sent,delivered,dropped,reordered}` in
+// ascending destination order — so two runs of the same fleet export
+// identical name sets regardless of traffic.
+func (f *Fabric) CountersFor(id int) func() ([]string, []uint64) {
+	return func() ([]string, []uint64) {
+		var names []string
+		var values []uint64
+		for d := 0; d < f.n; d++ {
+			if d == id {
+				continue
+			}
+			st := f.LinkStats(id, d)
+			prefix := fmt.Sprintf("fabric-link-%d-%d-", id, d)
+			names = append(names, prefix+"sent", prefix+"delivered", prefix+"dropped", prefix+"reordered")
+			values = append(values, st.Sent, st.Delivered, st.Dropped, st.Reordered)
+		}
+		return names, values
+	}
+}
+
+// GaugesFor returns a pull-based obs aux-gauge source exposing wire-
+// latency quantiles for every inbound link of machine id (the receiver
+// observes delivery latency), in ascending source order.
+func (f *Fabric) GaugesFor(id int) func() ([]string, []float64) {
+	return func() ([]string, []float64) {
+		var names []string
+		var values []float64
+		for s := 0; s < f.n; s++ {
+			if s == id {
+				continue
+			}
+			h := f.LinkLatency(s, id)
+			prefix := fmt.Sprintf("fabric-link-%d-%d-lat-", s, id)
+			names = append(names, prefix+"p50", prefix+"p99")
+			values = append(values, float64(h.Quantile(0.5)), float64(h.Quantile(0.99)))
+		}
+		return names, values
+	}
+}

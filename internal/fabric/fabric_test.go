@@ -227,3 +227,71 @@ func TestInterceptorSwallowRewriteDuplicate(t *testing.T) {
 		t.Fatal("injected frame not enqueued")
 	}
 }
+
+func TestPerLinkStatsAndAuxSources(t *testing.T) {
+	f := mustNew(t, Config{Machines: 3, Seed: 1, Default: LinkModel{BaseLatency: 100}})
+
+	// Aux source names are fixed by topology alone: a fresh fabric with no
+	// traffic already exports the full deterministic name set.
+	names, values := f.CountersFor(0)()
+	wantNames := []string{
+		"fabric-link-0-1-sent", "fabric-link-0-1-delivered", "fabric-link-0-1-dropped", "fabric-link-0-1-reordered",
+		"fabric-link-0-2-sent", "fabric-link-0-2-delivered", "fabric-link-0-2-dropped", "fabric-link-0-2-reordered",
+	}
+	if fmt.Sprint(names) != fmt.Sprint(wantNames) {
+		t.Fatalf("CountersFor(0) names = %v, want %v", names, wantNames)
+	}
+	for i, v := range values {
+		if v != 0 {
+			t.Fatalf("fresh fabric counter %s = %d", names[i], v)
+		}
+	}
+	gnames, _ := f.GaugesFor(1)()
+	wantG := []string{"fabric-link-0-1-lat-p50", "fabric-link-0-1-lat-p99", "fabric-link-2-1-lat-p50", "fabric-link-2-1-lat-p99"}
+	if fmt.Sprint(gnames) != fmt.Sprint(wantG) {
+		t.Fatalf("GaugesFor(1) names = %v, want %v", gnames, wantG)
+	}
+
+	// Traffic lands on the right directed link, and the per-link view sums
+	// to the aggregate.
+	for _, send := range []struct{ src, dst int }{{0, 1}, {0, 1}, {0, 2}, {2, 1}} {
+		if err := f.Send(send.src, send.dst, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Due(1, 1_000)
+	f.Due(2, 1_000)
+	if st := f.LinkStats(0, 1); st.Sent != 2 || st.Delivered != 2 {
+		t.Fatalf("link 0->1 stats = %+v", st)
+	}
+	if st := f.LinkStats(0, 2); st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("link 0->2 stats = %+v", st)
+	}
+	var sent, delivered uint64
+	for s := 0; s < 3; s++ {
+		for d := 0; d < 3; d++ {
+			st := f.LinkStats(s, d)
+			sent += st.Sent
+			delivered += st.Delivered
+		}
+	}
+	if agg := f.Stats(); sent != agg.Sent || delivered != agg.Delivered {
+		t.Fatalf("per-link sums (%d, %d) != aggregate (%d, %d)", sent, delivered, agg.Sent, agg.Delivered)
+	}
+
+	// Wire latency is observed at delivery: zero-jitter links record the
+	// base latency exactly.
+	h := f.LinkLatency(0, 1)
+	if h.Count() != 2 || h.Sum() != 200 {
+		t.Fatalf("link 0->1 latency count=%d sum=%d, want 2/200", h.Count(), h.Sum())
+	}
+
+	// A forged-source injection must not corrupt any link's accounting.
+	f.Inject(Message{Src: -5, Dst: 1, Payload: []byte("forged"), Arrive: 2_000})
+	f.Due(1, 3_000)
+	for s := 0; s < 3; s++ {
+		if st := f.LinkStats(s, 1); st.Delivered+st.Sent != map[int]uint64{0: 4, 1: 0, 2: 2}[s] {
+			t.Fatalf("injected frame leaked into link %d->1 stats: %+v", s, st)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 	bw := &errWriter{w: w}
 	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, r.Dropped())
 	flowID := 0
-	writeChromeProcess(bw, r, opts.ProcessName, cpm, opts.SyscallName, &flowID, true)
+	writeChromeProcess(bw, r, opts.ProcessName, cpm, opts.SyscallName, &flowID, true, nil)
 	bw.printf("\n]}\n")
 	return bw.err
 }
@@ -47,8 +47,17 @@ func WriteChromeTrace(w io.Writer, r *Recorder, opts ChromeOptions) error {
 // into one Chrome trace: one process per machine (pid = machine id,
 // process_name "<name>/m<id>"), machines emitted in slice order. Virtual
 // time is the shared fleet clock, so cross-CVM exchanges line up on the
-// common timeline. Deterministic for a deterministic fleet run.
+// common timeline, and matched NetTx→NetRx breadcrumbs become
+// cross-process "wire" flow arrows: a request crossing machines renders
+// as one connected flow. Deterministic for a deterministic fleet run.
+//
+// The recorder slice must be a well-formed fleet: non-empty, no nil
+// entries, every recorder tagged via SetMachine, no duplicate machine
+// ids. Anything else errors rather than silently interleaving tracks.
 func WriteFleetChromeTrace(w io.Writer, recs []*Recorder, opts ChromeOptions) error {
+	if err := validateFleet(recs); err != nil {
+		return err
+	}
 	if opts.ProcessName == "" {
 		opts.ProcessName = "veil"
 	}
@@ -60,23 +69,26 @@ func WriteFleetChromeTrace(w io.Writer, recs []*Recorder, opts ChromeOptions) er
 	for _, r := range recs {
 		dropped += r.Dropped()
 	}
+	wires := fleetTxIndex(recs)
 	bw := &errWriter{w: w}
 	bw.printf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"%s\",\"dropped_events\":\"%d\"},\"traceEvents\":[\n", opts.ProcessName, dropped)
 	flowID := 0
 	for i, r := range recs {
 		name := fmt.Sprintf("%s/m%d", opts.ProcessName, r.Machine())
-		writeChromeProcess(bw, r, name, cpm, opts.SyscallName, &flowID, i == 0)
+		writeChromeProcess(bw, r, name, cpm, opts.SyscallName, &flowID, i == 0, wires)
 	}
 	bw.printf("\n]}\n")
 	return bw.err
 }
 
 // writeChromeProcess emits one machine's worth of trace rows: process and
-// thread metadata, every retained event, and intra-machine causal flow
-// arrows. first suppresses the leading comma of the very first row of the
-// file; flowID is shared across machines so arrow ids stay unique in a
-// merged trace.
-func writeChromeProcess(bw *errWriter, r *Recorder, name string, cpm float64, sysName func(uint64) string, flowID *int, first bool) {
+// thread metadata, every retained event, intra-machine causal flow
+// arrows and — when wires is non-nil (fleet export) — cross-process
+// "wire" arrows from each NetRx back to the NetTx that sent its frame.
+// first suppresses the leading comma of the very first row of the file;
+// flowID is shared across machines so arrow ids stay unique in a merged
+// trace.
+func writeChromeProcess(bw *errWriter, r *Recorder, name string, cpm float64, sysName func(uint64) string, flowID *int, first bool, wires map[[2]uint64]*fleetTxPoint) {
 	pid := r.Machine()
 	events := r.Events()
 
@@ -123,6 +135,18 @@ func writeChromeProcess(bw *errWriter, r *Recorder, name string, cpm float64, sy
 					*flowID, pid, p.VCPU, us(p.Start()))
 				bw.printf(",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"name\":\"causal\",\"cat\":\"veil\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
 					*flowID, pid, e.VCPU, us(e.Start()))
+			}
+		}
+		// One cross-process arrow per matched wire hop: the sender's NetTx
+		// breadcrumb → this machine's NetRx, rendering the request as one
+		// connected flow across machine process tracks.
+		if wires != nil && e.Class == ClassNetRx {
+			if tx, ok := wires[[2]uint64{e.Arg1, e.Arg2}]; ok && tx.machine != pid {
+				*flowID++
+				bw.printf(",\n{\"ph\":\"s\",\"id\":%d,\"name\":\"wire\",\"cat\":\"veil\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+					*flowID, tx.machine, tx.vcpu, us(tx.ts))
+				bw.printf(",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"name\":\"wire\",\"cat\":\"veil\",\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+					*flowID, pid, e.VCPU, us(e.TS))
 			}
 		}
 	}
@@ -177,6 +201,10 @@ func writeChromeEvent(bw *errWriter, e Event, pid int, cpm float64, sysName func
 		bw.printf(",\"reason\":%d,\"context\":\"0x%x\"", e.Arg1, e.Arg2)
 	case ClassInvariant:
 		bw.printf(",\"check\":%d,\"violations\":%d", e.Arg1, e.Arg2)
+	case ClassNetTx, ClassNetRx:
+		tm, tsp := UnpackTraceRef(e.Arg1)
+		cm, csp := UnpackTraceRef(e.Arg2)
+		bw.printf(",\"trace_machine\":%d,\"trace_span\":%d,\"ctx_machine\":%d,\"ctx_span\":%d", tm, tsp, cm, csp)
 	}
 	bw.printf("}}")
 }

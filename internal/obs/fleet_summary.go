@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// WriteFleetSummary writes a fleet-merged metrics page in the Prometheus
+// text exposition format: every per-machine series carries a machine
+// label, service (tenant) latency summaries carry machine and service
+// labels, and the per-machine aux counters (fabric link stats among them)
+// and drop accounting are all present — per-machine drop-by-class
+// counters survive the merge by construction. Machines are emitted in
+// slice order and everything inside a machine in fixed order, so two
+// identical fleet runs expose byte-identical pages.
+func WriteFleetSummary(w io.Writer, recs []*Recorder) error {
+	if err := validateFleet(recs); err != nil {
+		return err
+	}
+	bw := &errWriter{w: w}
+
+	bw.printf("# HELP veil_fleet_machines Recorders merged into this page.\n")
+	bw.printf("# TYPE veil_fleet_machines gauge\n")
+	bw.printf("veil_fleet_machines %d\n", len(recs))
+
+	bw.printf("# HELP veil_fleet_events_total Events recorded per machine and class.\n")
+	bw.printf("# TYPE veil_fleet_events_total counter\n")
+	for _, r := range recs {
+		m := r.Metrics()
+		for c := Class(0); c < NumClasses; c++ {
+			if n := m.Count(c); n > 0 {
+				bw.printf("veil_fleet_events_total{machine=\"%d\",class=%q} %d\n", r.Machine(), c.String(), n)
+			}
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_span_cycles Span durations per machine in virtual cycles.\n")
+	bw.printf("# TYPE veil_fleet_span_cycles summary\n")
+	for _, r := range recs {
+		m := r.Metrics()
+		for c := Class(0); c < NumClasses; c++ {
+			h := m.SpanHist(c)
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+				bw.printf("veil_fleet_span_cycles{machine=\"%d\",class=%q,quantile=%q} %d\n",
+					r.Machine(), c.String(), q.label, h.Quantile(q.q))
+			}
+			bw.printf("veil_fleet_span_cycles_count{machine=\"%d\",class=%q} %d\n", r.Machine(), c.String(), h.Count())
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_service_latency_cycles Protected-service dispatch latency per machine and tenant service.\n")
+	bw.printf("# TYPE veil_fleet_service_latency_cycles summary\n")
+	for _, r := range recs {
+		m := r.Metrics()
+		for s := 0; s < MaxServices; s++ {
+			h := m.ServiceHist(s)
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			name := m.ServiceName(s)
+			if name == "" {
+				name = "service-" + strconv.Itoa(s)
+			}
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+				bw.printf("veil_fleet_service_latency_cycles{machine=\"%d\",service=%q,quantile=%q} %d\n",
+					r.Machine(), name, q.label, h.Quantile(q.q))
+			}
+			bw.printf("veil_fleet_service_latency_cycles_count{machine=\"%d\",service=%q} %d\n", r.Machine(), name, h.Count())
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_cycles_total Virtual cycles attributed per machine and cost kind.\n")
+	bw.printf("# TYPE veil_fleet_cycles_total counter\n")
+	for _, r := range recs {
+		m := r.Metrics()
+		byKind := m.CyclesByKind()
+		for k := 0; k < m.NumKinds() && k < len(byKind); k++ {
+			if byKind[k] > 0 {
+				bw.printf("veil_fleet_cycles_total{machine=\"%d\",kind=%q} %d\n", r.Machine(), m.KindName(k), byKind[k])
+			}
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_aux_total Per-machine auxiliary counters (fabric link stats among them).\n")
+	bw.printf("# TYPE veil_fleet_aux_total counter\n")
+	for _, r := range recs {
+		names, values := r.AuxCounters()
+		for i, n := range names {
+			if i < len(values) {
+				bw.printf("veil_fleet_aux_total{machine=\"%d\",counter=%q} %d\n", r.Machine(), n, values[i])
+			}
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_aux_gauge Per-machine derived gauges (link wire-latency quantiles among them).\n")
+	bw.printf("# TYPE veil_fleet_aux_gauge gauge\n")
+	for _, r := range recs {
+		names, values := r.AuxGauges()
+		for i, n := range names {
+			if i < len(values) {
+				bw.printf("veil_fleet_aux_gauge{machine=\"%d\",gauge=%q} %s\n",
+					r.Machine(), n, strconv.FormatFloat(values[i], 'f', 6, 64))
+			}
+		}
+	}
+
+	bw.printf("# HELP veil_fleet_trace_dropped_total Events evicted from each machine's trace ring.\n")
+	bw.printf("# TYPE veil_fleet_trace_dropped_total counter\n")
+	for _, r := range recs {
+		bw.printf("veil_fleet_trace_dropped_total{machine=\"%d\"} %d\n", r.Machine(), r.Dropped())
+	}
+
+	bw.printf("# HELP veil_fleet_trace_dropped_by_class_total Events evicted per machine and class.\n")
+	bw.printf("# TYPE veil_fleet_trace_dropped_by_class_total counter\n")
+	for _, r := range recs {
+		m := r.Metrics()
+		for c := Class(0); c < NumClasses; c++ {
+			if n := m.DroppedByClass(c); n > 0 {
+				bw.printf("veil_fleet_trace_dropped_by_class_total{machine=\"%d\",class=%q} %d\n", r.Machine(), c.String(), n)
+			}
+		}
+	}
+
+	// Cross-machine edge digest: how much of the fleet's request volume
+	// crossed the wire, and how much of the evidence failed to join.
+	edges, err := BuildFleetEdges(recs)
+	if err != nil {
+		return err
+	}
+	var wire uint64
+	traces := make(map[uint64]bool)
+	for _, e := range edges.Edges {
+		wire += e.WireCycles
+		traces[e.Trace] = true
+	}
+	bw.printf("# HELP veil_fleet_wire_edges_total Matched cross-machine trace edges.\n")
+	bw.printf("# TYPE veil_fleet_wire_edges_total counter\n")
+	bw.printf("veil_fleet_wire_edges_total %d\n", len(edges.Edges))
+	bw.printf("# HELP veil_fleet_wire_traces_total Distinct traces observed crossing machines.\n")
+	bw.printf("# TYPE veil_fleet_wire_traces_total counter\n")
+	bw.printf("veil_fleet_wire_traces_total %d\n", len(traces))
+	bw.printf("# HELP veil_fleet_wire_cycles_total Wire latency summed over matched edges (charged to no machine).\n")
+	bw.printf("# TYPE veil_fleet_wire_cycles_total counter\n")
+	bw.printf("veil_fleet_wire_cycles_total %d\n", wire)
+	bw.printf("# HELP veil_fleet_wire_unmatched_total Net breadcrumbs that failed to join (rx without tx, tx without rx).\n")
+	bw.printf("# TYPE veil_fleet_wire_unmatched_total counter\n")
+	bw.printf("veil_fleet_wire_unmatched_total{side=\"rx\"} %d\n", edges.UnmatchedRx)
+	bw.printf("veil_fleet_wire_unmatched_total{side=\"tx\"} %d\n", edges.UnmatchedTx)
+	return bw.err
+}

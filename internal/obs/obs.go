@@ -106,6 +106,17 @@ const (
 	// work charged to one VCPU (Arg1 = VCPU, Arg2 = slice kind: 0 = task,
 	// 1 = deferred ring drain).
 	ClassSchedSlice
+	// ClassNetTx is one cross-CVM frame leaving this machine with trace
+	// context attached (Arg1 = the fleet trace ref, Arg2 = the sender's
+	// machine-qualified span ref — see PackTraceRef). The matching
+	// ClassNetRx on the receiving machine carries the identical pair,
+	// which is how fleet exporters join the two ends of a wire hop.
+	ClassNetTx
+	// ClassNetRx is one cross-CVM frame arriving at this machine, stamped
+	// with the trace context the frame carried (Arg1/Arg2 as ClassNetTx).
+	// Its Parent is the local delivery invocation's span, so denial
+	// evidence recorded while processing the frame joins to the trace.
+	ClassNetRx
 
 	// NumClasses is the number of defined event classes.
 	NumClasses
@@ -116,6 +127,7 @@ var classNames = [NumClasses]string{
 	"rmpadjust", "pvalidate", "syscall", "audit-emit", "interrupt",
 	"enclave-exit", "fault", "page-state", "service", "enclave-enter",
 	"denied", "invariant", "ring-submit", "ring-drain", "sched-slice",
+	"net-tx", "net-rx",
 }
 
 func (c Class) String() string {
@@ -308,6 +320,11 @@ type Recorder struct {
 	// so merged fleet traces keep one process track per CVM. Zero for
 	// single-machine runs, which keeps their exports byte-identical.
 	machine int
+	// machineSet records whether SetMachine was ever called. Fleet
+	// exporters refuse untagged recorders: machine id 0 by default is
+	// indistinguishable from machine id 0 by assignment, and merging an
+	// untagged recorder would silently interleave it with machine 0.
+	machineSet bool
 }
 
 // NewRecorder creates a recorder whose shards each hold capacity events
@@ -591,6 +608,17 @@ func (r *Recorder) SetMachine(id int) {
 		return
 	}
 	r.machine = id
+	r.machineSet = true
+}
+
+// MachineTagged reports whether SetMachine was ever called. Fleet
+// exporters use it to reject recorders that were never assigned a fleet
+// identity. Nil-safe.
+func (r *Recorder) MachineTagged() bool {
+	if r == nil {
+		return false
+	}
+	return r.machineSet
 }
 
 // Machine returns the fleet machine id set by SetMachine (0 — the

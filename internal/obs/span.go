@@ -54,6 +54,16 @@ func (t *SpanTracker) End(ref SpanRef) {
 	}
 }
 
+// Root returns the outermost open span's ID, or zero. For a request that
+// fans out across machines it identifies the originating request span,
+// which is what gets packed into cross-CVM trace context.
+func (t *SpanTracker) Root() uint64 {
+	if len(t.stack) > 0 {
+		return t.stack[0]
+	}
+	return 0
+}
+
 // Current returns the innermost open span's ID, or zero.
 func (t *SpanTracker) Current() uint64 {
 	if n := len(t.stack); n > 0 {

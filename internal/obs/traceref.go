@@ -1,0 +1,32 @@
+package obs
+
+// Fleet trace context: span IDs are allocated per machine from 1, so two
+// machines' span 17 are unrelated. A trace ref qualifies a span ID with
+// the machine that allocated it, packed into one uint64 so it travels in
+// the existing Event.Arg1/Arg2 slots and in 8 wire bytes. The machine id
+// lives in the top 16 bits (offset by one so machine 0 packs nonzero) and
+// the span ID in the low 48 — a per-machine span counter would need
+// ~2^48 events to overflow that, far beyond any ring capacity.
+
+const (
+	traceRefSpanBits = 48
+	traceRefSpanMask = (uint64(1) << traceRefSpanBits) - 1
+)
+
+// PackTraceRef packs (machine, span) into one machine-qualified ref.
+// A zero span packs to zero — "no trace context" — regardless of machine.
+func PackTraceRef(machine int, span uint64) uint64 {
+	if span == 0 {
+		return 0
+	}
+	return uint64(machine+1)<<traceRefSpanBits | span&traceRefSpanMask
+}
+
+// UnpackTraceRef splits a packed ref back into (machine, span). The zero
+// ref unpacks to (-1, 0): no machine, no span.
+func UnpackTraceRef(ref uint64) (machine int, span uint64) {
+	if ref == 0 {
+		return -1, 0
+	}
+	return int(ref>>traceRefSpanBits) - 1, ref & traceRefSpanMask
+}

@@ -18,6 +18,15 @@
 // to drop traffic but not to read or forge it. Every refusal lands in the
 // machine's observability stream as a DeniedChannel event with the peer id
 // as context, so cross-CVM attacks leave auditor-visible evidence.
+//
+// Since obs v4 every frame header also carries fleet trace context (the
+// originating request's machine-qualified trace and span refs) as
+// authenticated-but-plaintext metadata: the host can read it for routing
+// and debugging, but data frames bind the header into the AEAD additional
+// data and handshake frames hash it into the attested transcript, so it
+// cannot be forged without the peer refusing. NetTx/NetRx breadcrumbs at
+// each send and delivery are what fleet exporters join into cross-machine
+// flows.
 package chn
 
 import (
@@ -30,6 +39,7 @@ import (
 
 	"veil/internal/attest"
 	"veil/internal/core"
+	"veil/internal/obs"
 	"veil/internal/snp"
 )
 
@@ -49,6 +59,10 @@ const (
 )
 
 const nonceLen = 16
+
+// tcLen is the wire size of one frame's trace context: trace u64 + span
+// u64, exactly as laid out in the frame header.
+const tcLen = 16
 
 // transcriptLabel domain-separates the handshake hash from every other use
 // of SHA-256 in the tree.
@@ -86,6 +100,17 @@ type session struct {
 	nonceB    [nonceLen]byte
 	ch        *attest.Channel
 	inbox     [][]byte
+
+	// dialTC and offerTC are the trace-context bytes the Dial and Offer
+	// frames carried; both are hashed into the handshake transcript, so a
+	// host that rewrites trace context in flight desynchronises the two
+	// sides' transcripts and the report verification refuses.
+	dialTC  [tcLen]byte
+	offerTC [tcLen]byte
+	// lastRxTrace is the most recent trace ref received on this session:
+	// replies and echoes propagate it, so a request keeps one trace id as
+	// it crosses machines.
+	lastRxTrace uint64
 }
 
 // Service is one machine's VeilS-Channel instance, running in Dom-SRV.
@@ -169,10 +194,13 @@ func (s *Service) handle(vcpu int, op uint8, payload []byte) (uint32, []byte) {
 }
 
 // transcript hashes the public handshake context: both identities, the
-// session id and both nonces. Binding it into each side's ReportData is
-// what kills report replay — a report minted for one handshake cannot
-// vouch for any other.
-func transcript(init, resp, sid uint32, nonceA, nonceB [nonceLen]byte) [32]byte {
+// session id, both nonces and the trace context the Dial and Offer frames
+// carried. Binding it into each side's ReportData is what kills report
+// replay — a report minted for one handshake cannot vouch for any other —
+// and extends the same protection to the plaintext trace metadata: a host
+// that rewrites trace context in flight leaves the two sides computing
+// different transcripts, so the report verification refuses.
+func transcript(init, resp, sid uint32, nonceA, nonceB [nonceLen]byte, dialTC, offerTC [tcLen]byte) [32]byte {
 	h := sha256.New()
 	h.Write([]byte(transcriptLabel))
 	var ids [12]byte
@@ -182,9 +210,46 @@ func transcript(init, resp, sid uint32, nonceA, nonceB [nonceLen]byte) [32]byte 
 	h.Write(ids[:])
 	h.Write(nonceA[:])
 	h.Write(nonceB[:])
+	h.Write(dialTC[:])
+	h.Write(offerTC[:])
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
+}
+
+// tcBytes packs one frame's trace context exactly as the frame header
+// lays it out, for transcript hashing.
+func tcBytes(trace, span uint64) [tcLen]byte {
+	var b [tcLen]byte
+	binary.LittleEndian.PutUint64(b[0:], trace)
+	binary.LittleEndian.PutUint64(b[8:], span)
+	return b
+}
+
+// txContext computes the trace context for an outbound frame: span is
+// this machine's current causal span (the service invocation doing the
+// send), trace the originating request — propagated from the session's
+// last received frame when there is one, this machine's own root span
+// otherwise. Both zero when no observation sink is attached, so untraced
+// runs stay byte-identical on the wire.
+func (s *Service) txContext(sess *session) (trace, span uint64) {
+	m := s.mon.Machine()
+	cur := m.CurrentSpan()
+	if cur == 0 {
+		return 0, 0
+	}
+	span = obs.PackTraceRef(s.cfg.MachineID, cur)
+	if sess != nil && sess.lastRxTrace != 0 {
+		return sess.lastRxTrace, span
+	}
+	return obs.PackTraceRef(s.cfg.MachineID, m.RootSpan()), span
+}
+
+// observeTx records the NetTx breadcrumb for one outbound traced frame.
+func (s *Service) observeTx(trace, span uint64) {
+	if trace|span != 0 {
+		s.mon.Machine().ObserveNetTx(trace, span)
+	}
 }
 
 // serveDial starts a session: draw the ephemeral key and nonce, remember
@@ -215,11 +280,15 @@ func (s *Service) serveDial(payload []byte) (uint32, []byte) {
 	s.sessions[sessKey(uint32(s.cfg.MachineID), sess.sid)] = sess
 	s.stats.Dialed++
 
+	trace, span := s.txContext(nil)
+	sess.dialTC = tcBytes(trace, span)
 	f := frame{
 		Kind: FrameDial,
 		Init: uint32(s.cfg.MachineID), Resp: uint32(peer), Sid: sess.sid,
+		Trace: trace, Span: span,
 		Nonce: sess.nonceA,
 	}
+	s.observeTx(trace, span)
 	out := make([]byte, 4, 4+64)
 	binary.LittleEndian.PutUint32(out, sess.sid)
 	return core.StatusOK, append(out, f.encode()...)
@@ -230,6 +299,12 @@ func (s *Service) serveDeliver(vcpu int, payload []byte) (uint32, []byte) {
 	f, err := decodeFrame(payload)
 	if err != nil {
 		return s.refuse(-1)
+	}
+	// The NetRx breadcrumb lands before any handling, under the deliver
+	// invocation's span: even a frame refused below leaves an arrival
+	// record the fleet evidence correlator can join to its trace.
+	if f.Trace|f.Span != 0 {
+		s.mon.Machine().ObserveNetRx(f.Trace, f.Span)
 	}
 	switch f.Kind {
 	case FrameDial:
@@ -271,7 +346,13 @@ func (s *Service) deliverDial(vcpu int, f *frame) (uint32, []byte) {
 	if _, err := io.ReadFull(s.cfg.Rand, sess.nonceB[:]); err != nil {
 		return core.StatusError, nil
 	}
-	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	sess.dialTC = tcBytes(f.Trace, f.Span)
+	if f.Trace != 0 {
+		sess.lastRxTrace = f.Trace
+	}
+	trace, span := s.txContext(sess)
+	sess.offerTC = tcBytes(trace, span)
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB, sess.dialTC, sess.offerTC)
 	report, err := s.mon.ServiceAttestationReport(vcpu, reportData(kp.PublicBytes(), ts))
 	if err != nil {
 		return core.StatusError, nil
@@ -280,8 +361,10 @@ func (s *Service) deliverDial(vcpu int, f *frame) (uint32, []byte) {
 	reply := frame{
 		Kind: FrameOffer,
 		Init: f.Init, Resp: f.Resp, Sid: f.Sid,
+		Trace: trace, Span: span,
 		Nonce: sess.nonceB, Report: report,
 	}
+	s.observeTx(trace, span)
 	return core.StatusOK, encodeReply(peer, reply.encode())
 }
 
@@ -295,7 +378,15 @@ func (s *Service) deliverOffer(vcpu int, f *frame) (uint32, []byte) {
 		return s.refuse(peer)
 	}
 	sess.nonceB = f.Nonce
-	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	sess.offerTC = tcBytes(f.Trace, f.Span)
+	if f.Trace != 0 {
+		sess.lastRxTrace = f.Trace
+	}
+	// The initiator's own stored dialTC — not anything from the wire —
+	// goes into the transcript: if the host rewrote either frame's trace
+	// context in flight, this transcript no longer matches the one the
+	// responder's report vouches for.
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB, sess.dialTC, sess.offerTC)
 	peerPub, ok := s.verifyPeerReport(peer, f.Report, ts)
 	if !ok {
 		return s.refuse(peer)
@@ -311,11 +402,14 @@ func (s *Service) deliverOffer(vcpu int, f *frame) (uint32, []byte) {
 	sess.ch = ch
 	sess.state = StateEstablished
 	s.stats.Established++
+	trace, span := s.txContext(sess)
 	reply := frame{
 		Kind: FrameAnswer,
 		Init: f.Init, Resp: f.Resp, Sid: f.Sid,
+		Trace: trace, Span: span,
 		Report: report,
 	}
+	s.observeTx(trace, span)
 	return core.StatusOK, encodeReply(peer, reply.encode())
 }
 
@@ -328,7 +422,10 @@ func (s *Service) deliverAnswer(f *frame) (uint32, []byte) {
 		int(f.Resp) != s.cfg.MachineID {
 		return s.refuse(peer)
 	}
-	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB)
+	// Recomputed from the responder's own stored trace context (what it
+	// saw on the Dial, what it sent on the Offer) — the initiator's report
+	// only verifies if both sides observed the same bytes.
+	ts := transcript(f.Init, f.Resp, f.Sid, sess.nonceA, sess.nonceB, sess.dialTC, sess.offerTC)
 	peerPub, ok := s.verifyPeerReport(peer, f.Report, ts)
 	if !ok {
 		return s.refuse(peer)
@@ -336,6 +433,9 @@ func (s *Service) deliverAnswer(f *frame) (uint32, []byte) {
 	ch, err := sess.kp.OpenChannel(peerPub, true)
 	if err != nil {
 		return s.refuse(peer)
+	}
+	if f.Trace != 0 {
+		sess.lastRxTrace = f.Trace
 	}
 	sess.ch = ch
 	sess.state = StateEstablished
@@ -373,10 +473,16 @@ func (s *Service) deliverData(f *frame) (uint32, []byte) {
 	if !ok || sess.state != StateEstablished {
 		return s.refuse(int(f.Init))
 	}
-	msg, err := sess.ch.Open(f.Sealed)
+	// The frame header — trace context included — is the AEAD additional
+	// data: a host that rewrites any header byte (or grafts the sealed
+	// body under a doctored header) fails authentication here.
+	msg, err := sess.ch.OpenAAD(f.Sealed, f.headerBytes())
 	if err != nil {
 		s.stats.Dropped++
 		return s.refuse(sess.peer)
+	}
+	if f.Trace != 0 {
+		sess.lastRxTrace = f.Trace
 	}
 	sess.inbox = append(sess.inbox, msg)
 	s.stats.Received++
@@ -395,16 +501,19 @@ func (s *Service) serveSend(payload []byte) (uint32, []byte) {
 	if !ok || sess.state != StateEstablished {
 		return s.refuse(-1)
 	}
-	sealed, err := sess.ch.Seal(msg)
+	trace, span := s.txContext(sess)
+	f := frame{
+		Kind: FrameData,
+		Init: init, Resp: respOf(init, sess, s.cfg.MachineID), Sid: sid,
+		Trace: trace, Span: span,
+	}
+	sealed, err := sess.ch.SealAAD(msg, f.headerBytes())
 	if err != nil {
 		return core.StatusError, nil
 	}
 	s.stats.Sent++
-	f := frame{
-		Kind: FrameData,
-		Init: init, Resp: respOf(init, sess, s.cfg.MachineID), Sid: sid,
-		Sealed: sealed,
-	}
+	f.Sealed = sealed
+	s.observeTx(trace, span)
 	out := make([]byte, 4, 4+len(sealed)+32)
 	binary.LittleEndian.PutUint32(out, uint32(sess.peer))
 	return core.StatusOK, append(out, f.encode()...)
@@ -473,23 +582,47 @@ func encodeReply(dst int, f []byte) []byte {
 }
 
 // frame is the wire format every fabric payload decodes to. Header: kind
-// u8, init u32, resp u32, sid u32; then kind-specific fields.
+// u8, init u32, resp u32, sid u32, trace u64, span u64; then kind-specific
+// fields. Trace and Span are the fleet trace context (obs.PackTraceRef
+// values): authenticated-but-plaintext metadata the host may read and
+// route on but cannot forge — data frames bind the whole header into the
+// AEAD additional data, and handshake frames hash it into the transcript
+// each side's attestation report vouches for. Both fields are always
+// present (zero when tracing is off), so frame sizes — and therefore every
+// per-byte cost and fabric draw — are identical with tracing on or off.
 type frame struct {
 	Kind            uint8
 	Init, Resp, Sid uint32
+	Trace, Span     uint64         // fleet trace context (0 = untraced)
 	Nonce           [nonceLen]byte // Dial: nonceA; Offer: nonceB
 	Report          []byte         // Offer, Answer
 	Sealed          []byte         // Data
 }
 
-const frameHdrLen = 13
+const frameHdrLen = 29
+
+// FrameHeaderLen is the fixed frame-header size (kind, endpoint ids,
+// trace context). The attack suite computes its byte-patch offsets from
+// it, so the constant is part of the package's public contract.
+const FrameHeaderLen = frameHdrLen
+
+// headerBytes encodes just the fixed header: the prefix of every encoded
+// frame, and the additional authenticated data sealing binds for data
+// frames.
+func (f *frame) headerBytes() []byte {
+	hdr := make([]byte, frameHdrLen)
+	hdr[0] = f.Kind
+	binary.LittleEndian.PutUint32(hdr[1:], f.Init)
+	binary.LittleEndian.PutUint32(hdr[5:], f.Resp)
+	binary.LittleEndian.PutUint32(hdr[9:], f.Sid)
+	binary.LittleEndian.PutUint64(hdr[13:], f.Trace)
+	binary.LittleEndian.PutUint64(hdr[21:], f.Span)
+	return hdr
+}
 
 func (f *frame) encode() []byte {
-	out := make([]byte, frameHdrLen, frameHdrLen+nonceLen+len(f.Report)+len(f.Sealed)+4)
-	out[0] = f.Kind
-	binary.LittleEndian.PutUint32(out[1:], f.Init)
-	binary.LittleEndian.PutUint32(out[5:], f.Resp)
-	binary.LittleEndian.PutUint32(out[9:], f.Sid)
+	out := make([]byte, 0, frameHdrLen+nonceLen+len(f.Report)+len(f.Sealed)+4)
+	out = append(out, f.headerBytes()...)
 	switch f.Kind {
 	case FrameDial:
 		out = append(out, f.Nonce[:]...)
@@ -515,10 +648,12 @@ func decodeFrame(b []byte) (*frame, error) {
 		return nil, fmt.Errorf("chn: frame truncated (%d bytes)", len(b))
 	}
 	f := &frame{
-		Kind: b[0],
-		Init: binary.LittleEndian.Uint32(b[1:]),
-		Resp: binary.LittleEndian.Uint32(b[5:]),
-		Sid:  binary.LittleEndian.Uint32(b[9:]),
+		Kind:  b[0],
+		Init:  binary.LittleEndian.Uint32(b[1:]),
+		Resp:  binary.LittleEndian.Uint32(b[5:]),
+		Sid:   binary.LittleEndian.Uint32(b[9:]),
+		Trace: binary.LittleEndian.Uint64(b[13:]),
+		Span:  binary.LittleEndian.Uint64(b[21:]),
 	}
 	rest := b[frameHdrLen:]
 	takeNonce := func() error {

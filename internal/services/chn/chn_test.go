@@ -15,10 +15,10 @@ func TestFrameRoundTrip(t *testing.T) {
 		nonce[i] = byte(i + 1)
 	}
 	frames := []frame{
-		{Kind: FrameDial, Init: 0, Resp: 2, Sid: 7, Nonce: nonce},
-		{Kind: FrameOffer, Init: 1, Resp: 0, Sid: 0, Nonce: nonce, Report: []byte("report-bytes")},
+		{Kind: FrameDial, Init: 0, Resp: 2, Sid: 7, Trace: 0x10001, Span: 0x10002, Nonce: nonce},
+		{Kind: FrameOffer, Init: 1, Resp: 0, Sid: 0, Trace: 0x20005, Span: 0x20009, Nonce: nonce, Report: []byte("report-bytes")},
 		{Kind: FrameAnswer, Init: 3, Resp: 1, Sid: 9, Report: []byte{}},
-		{Kind: FrameData, Init: 2, Resp: 3, Sid: 1, Sealed: bytes.Repeat([]byte{0xAB}, 80)},
+		{Kind: FrameData, Init: 2, Resp: 3, Sid: 1, Trace: 1 << 48, Span: 0xFFFF_FFFF_FFFF, Sealed: bytes.Repeat([]byte{0xAB}, 80)},
 	}
 	for _, want := range frames {
 		got, err := decodeFrame(want.encode())
@@ -27,6 +27,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		if got.Kind != want.Kind || got.Init != want.Init || got.Resp != want.Resp || got.Sid != want.Sid {
 			t.Fatalf("kind %d: header mismatch: %+v", want.Kind, got)
+		}
+		if got.Trace != want.Trace || got.Span != want.Span {
+			t.Fatalf("kind %d: trace context mismatch: %+v", want.Kind, got)
 		}
 		if got.Nonce != want.Nonce && (want.Kind == FrameDial || want.Kind == FrameOffer) {
 			t.Fatalf("kind %d: nonce mismatch", want.Kind)

@@ -68,6 +68,10 @@ type Machine struct {
 	// the hypervisor at its entry points.
 	rec     *obs.Recorder
 	obsVCPU int32
+	// machineID is this machine's fleet identity (0 for single-machine
+	// runs). It qualifies cross-CVM trace refs and tags the post-mortem
+	// dump so multi-CVM dumps stay attributable.
+	machineID int
 
 	// spans allocates causal span IDs and tracks the open-span stack; it
 	// only advances while a sink (recorder, flight ring or audit hook) is

@@ -158,6 +158,13 @@ func (m *Machine) memGauges() ([]string, []float64) {
 // Recorder returns the attached recorder (nil when tracing is off).
 func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
+// SetMachineID tags the machine with its fleet identity. BootFleet calls
+// it for every member; single-machine runs keep the zero default.
+func (m *Machine) SetMachineID(id int) { m.machineID = id }
+
+// MachineID returns the fleet identity set by SetMachineID.
+func (m *Machine) MachineID() int { return m.machineID }
+
 // SetObsVCPU sets the hardware VCPU subsequent events are attributed to.
 // The hypervisor calls this at its entry points (VMGEXIT, interrupt
 // injection, VCPU start); machine-internal events inherit the last value.
@@ -188,6 +195,10 @@ func (m *Machine) EndSpan(ref obs.SpanRef) {
 
 // CurrentSpan returns the innermost open span's ID (zero when none).
 func (m *Machine) CurrentSpan() uint64 { return m.spans.Current() }
+
+// RootSpan returns the outermost open span's ID (zero when none): the
+// originating request context VeilS-Channel propagates across machines.
+func (m *Machine) RootSpan() uint64 { return m.spans.Root() }
 
 // OpenSpans returns the open-span stack, outermost first.
 func (m *Machine) OpenSpans() []uint64 { return m.spans.Open() }
@@ -400,6 +411,22 @@ const (
 // defence-held breadcrumbs the attack suites assert on.
 func (m *Machine) ObserveDenied(reason DeniedReason, context uint64) {
 	m.emit(obs.ClassDenied, obs.Instant, 0, -1, uint64(reason), context)
+}
+
+// ObserveNetTx records one cross-CVM frame leaving this machine with
+// fleet trace context attached: trace is the packed origin ref, span the
+// packed sender-local span ref (see obs.PackTraceRef). An instant with no
+// cycle charge — tracing must not perturb the ledger.
+func (m *Machine) ObserveNetTx(trace, span uint64) {
+	m.emit(obs.ClassNetTx, obs.Instant, 0, -1, trace, span)
+}
+
+// ObserveNetRx records one cross-CVM frame arriving at this machine,
+// stamped with the trace context it carried. Emitted under the current
+// span (the delivery service invocation), so refusal evidence recorded
+// while handling the frame shares its Parent and joins the trace.
+func (m *Machine) ObserveNetRx(trace, span uint64) {
+	m.emit(obs.ClassNetRx, obs.Instant, 0, -1, trace, span)
 }
 
 // ObserveInvariant records one invariant-auditor violation report: check

@@ -78,6 +78,9 @@ type PostMortem struct {
 	Reason string `json:"reason"`
 	// Cycles is the virtual clock at freeze time.
 	Cycles uint64 `json:"cycles"`
+	// Machine is the fleet identity of the machine that froze the dump
+	// (0 on single-machine runs), so multi-CVM dumps stay attributable.
+	Machine int `json:"machine"`
 	// Fault is the faulting context when the freeze came from a fault.
 	Fault *PMFault `json:"fault,omitempty"`
 	// OpenSpans is the causal span stack at freeze time, outermost first:
@@ -132,6 +135,7 @@ func (m *Machine) buildPostMortem(reason string, f *Fault) {
 	pm := &PostMortem{
 		Reason:         reason,
 		Cycles:         m.clock.total,
+		Machine:        m.machineID,
 		OpenSpans:      m.spans.Open(),
 		DroppedEvents:  m.FlightDropped(),
 		VMSAPages:      m.VMSAPages(),
