@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp bench-fleet smp-determinism fleet-determinism fleet-trace-determinism parallel-check clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp bench-fleet bench-host smp-determinism fleet-determinism fleet-trace-determinism parallel-check clean
 
 all: vet test
 
@@ -65,6 +65,15 @@ bench-batch:
 # wall-clock field so the file is reproducible).
 bench-mempath:
 	$(GO) run ./cmd/veil-bench -experiment mempath -stable -json BENCH_mempath.json
+
+# Regenerate the committed host-throughput measurement
+# (BENCH_hostperf.json): pooled/batched hot paths vs their exact
+# references, plus the parallel fan-out curve. Pure wall-clock numbers, so
+# the file is machine-shaped and NOT byte-reproducible — regenerate it on
+# a quiet machine and eyeball the speedups (docs/PERFORMANCE.md explains
+# each line); -compare gates it under the loose -host-tol family.
+bench-host:
+	$(GO) run ./cmd/veil-bench -experiment hostperf -iters 2000 -json BENCH_hostperf.json
 
 # Regenerate the committed SMP scheduling measurement (BENCH_smp.json):
 # poll-vs-interrupt completion costs and cross-VCPU fairness. Every value is

@@ -1,8 +1,7 @@
 package main
 
 // The -compare mode: diff two -json result files and fail on regressions.
-// Two families of leaves are gated, each with rules suited to its noise
-// profile:
+// Each gated family of leaves has rules suited to its noise profile:
 //
 //   - virtual-cycle values (key contains "Cycles"): deterministic, so the
 //     bound is a fixed >10% relative growth — generous headroom for
@@ -14,6 +13,13 @@ package main
 //   - fairness indices (key contains "Fairness"): Jain-style values in
 //     [0, 1] where higher is better. They fail on a DROP of more than
 //     -tol/100 (the same budget, rescaled to the index's unit interval).
+//   - pure host-side timings (key contains "HostSeconds" or "HostNs") and
+//     host speedup ratios (key contains "Speedup"): raw wall/thread-clock
+//     measurements, far noisier than anything above, so they get their own
+//     much looser relative budget, -host-tol (default defaultHostTolPct
+//     percent). Timings fail on GROWTH past the budget; speedups — higher
+//     is better — fail on a DROP past it. A zero baseline (e.g. a -stable
+//     file) disarms the gate for that leaf.
 //
 // Keys present only in the NEW file (a freshly-added experiment or field)
 // are deliberately not failures: an old baseline cannot have an opinion
@@ -34,9 +40,18 @@ import (
 // ratios on a shared CI machine (±4-5pp even on the thread CPU clock).
 const defaultOverheadTolPP = 5.0
 
+// defaultHostTolPct is the default -host-tol value: relative growth (in
+// percent) allowed on pure host-side leaves before -compare fails. Host
+// time moves with the machine, its load and the toolchain, so the budget
+// is deliberately a coarse tripwire for order-of-magnitude regressions —
+// a pooled path falling back to allocation, a batch path degrading to
+// per-access — not a precision gate like the cycle families.
+const defaultHostTolPct = 50.0
+
 // runCompare loads two -json result files and fails on any gated
-// regression. tolPP is the OverheadPct budget in percentage points.
-func runCompare(args []string, tolPP float64) int {
+// regression. tolPP is the OverheadPct budget in percentage points;
+// hostTolPct the relative budget for host-side leaves.
+func runCompare(args []string, tolPP, hostTolPct float64) int {
 	if len(args) != 2 {
 		fmt.Fprintf(os.Stderr, "usage: veil-bench -compare [-tol pp] old.json new.json\n")
 		return 2
@@ -62,7 +77,7 @@ func runCompare(args []string, tolPP float64) int {
 		fmt.Fprintf(os.Stderr, "veil-bench: %v\n", err)
 		return 2
 	}
-	compared, regressions, newOnly := compareResults(oldV, newV, tolPP)
+	compared, regressions, newOnly := compareResults(oldV, newV, tolPP, hostTolPct)
 	for _, k := range newOnly {
 		fmt.Fprintf(os.Stderr, "veil-bench: warning: %s has gated values but no baseline in %s; not compared\n",
 			k, args[0])
@@ -71,30 +86,28 @@ func runCompare(args []string, tolPP float64) int {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "veil-bench: REGRESSION %s\n", r)
 		}
-		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d gated values regressed (cycles >10%%, overhead >%.1fpp, fairness -%.4f)\n",
-			len(regressions), compared, tolPP, tolPP/100)
+		fmt.Fprintf(os.Stderr, "veil-bench: %d of %d gated values regressed (cycles >10%%, overhead >%.1fpp, fairness -%.4f, host ±%.0f%%)\n",
+			len(regressions), compared, tolPP, tolPP/100, hostTolPct)
 		return 1
 	}
-	fmt.Printf("veil-bench: compare ok: %d gated values within bounds (cycles 10%%, overhead %.1fpp, fairness %.4f)\n",
-		compared, tolPP, tolPP/100)
+	fmt.Printf("veil-bench: compare ok: %d gated values within bounds (cycles 10%%, overhead %.1fpp, fairness %.4f, host %.0f%%)\n",
+		compared, tolPP, tolPP/100, hostTolPct)
 	return 0
 }
 
 // compareResults walks both JSON trees in lockstep, checking every gated
-// numeric leaf: keys mentioning Cycles (>10% relative growth fails) and
-// keys mentioning OverheadPct (more than tolPP percentage points of
-// absolute growth fails). Regressions and new-only keys (subtrees the new
-// file has, the old lacks, and that contain gated leaves) come back
-// sorted; keys only the OLD side has are ignored — retired experiments are
-// not this check's business.
-func compareResults(oldV, newV any, tolPP float64) (compared int, regressions, newOnly []string) {
-	compareGated("", oldV, newV, tolPP, &compared, &regressions, &newOnly)
+// numeric leaf (see the file comment for the family rules). Regressions
+// and new-only keys (subtrees the new file has, the old lacks, and that
+// contain gated leaves) come back sorted; keys only the OLD side has are
+// ignored — retired experiments are not this check's business.
+func compareResults(oldV, newV any, tolPP, hostTolPct float64) (compared int, regressions, newOnly []string) {
+	compareGated("", oldV, newV, tolPP, hostTolPct, &compared, &regressions, &newOnly)
 	sort.Strings(regressions)
 	sort.Strings(newOnly)
 	return compared, regressions, newOnly
 }
 
-func compareGated(path string, oldV, newV any, tolPP float64, compared *int, regressions, newOnly *[]string) {
+func compareGated(path string, oldV, newV any, tolPP, hostTolPct float64, compared *int, regressions, newOnly *[]string) {
 	switch o := oldV.(type) {
 	case map[string]any:
 		n, ok := newV.(map[string]any)
@@ -126,6 +139,16 @@ func compareGated(path string, oldV, newV any, tolPP float64, compared *int, reg
 							*regressions = append(*regressions,
 								fmt.Sprintf("%s: %.4f -> %.4f (-%.4f > %.4f tolerance)", p, of, nf, of-nf, tolPP/100))
 						}
+					case hostTimeKey(k):
+						if of > 0 && nf > of*(1+hostTolPct/100) {
+							*regressions = append(*regressions,
+								fmt.Sprintf("%s: %.4g -> %.4g (+%.0f%% > %.0f%% host tolerance)", p, of, nf, 100*(nf-of)/of, hostTolPct))
+						}
+					case strings.Contains(k, "Speedup"):
+						if of > 0 && nf < of*(1-hostTolPct/100) {
+							*regressions = append(*regressions,
+								fmt.Sprintf("%s: %.2fx -> %.2fx (-%.0f%% > %.0f%% host tolerance)", p, of, nf, 100*(of-nf)/of, hostTolPct))
+						}
 					case nf > of+tolPP:
 						*regressions = append(*regressions,
 							fmt.Sprintf("%s: %.1f%% -> %.1f%% (+%.1fpp > %.1fpp tolerance)", p, of, nf, nf-of, tolPP))
@@ -133,7 +156,7 @@ func compareGated(path string, oldV, newV any, tolPP float64, compared *int, reg
 					continue
 				}
 			}
-			compareGated(p, ov, nv, tolPP, compared, regressions, newOnly)
+			compareGated(p, ov, nv, tolPP, hostTolPct, compared, regressions, newOnly)
 		}
 	case []any:
 		n, ok := newV.([]any)
@@ -142,16 +165,23 @@ func compareGated(path string, oldV, newV any, tolPP float64, compared *int, reg
 		}
 		for i := range o {
 			if i < len(n) {
-				compareGated(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], tolPP, compared, regressions, newOnly)
+				compareGated(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], tolPP, hostTolPct, compared, regressions, newOnly)
 			}
 		}
 	}
 }
 
+// hostTimeKey reports whether a leaf is a raw host-side timing (lower is
+// better, gated on relative growth).
+func hostTimeKey(k string) bool {
+	return strings.Contains(k, "HostSeconds") || strings.Contains(k, "HostNs")
+}
+
 // gatedKey reports whether a leaf under this key is regression-gated.
 func gatedKey(k string) bool {
 	return strings.Contains(k, "Cycles") || strings.Contains(k, "OverheadPct") ||
-		strings.Contains(k, "Fairness")
+		strings.Contains(k, "Fairness") || strings.Contains(k, "Speedup") ||
+		hostTimeKey(k)
 }
 
 // hasGatedLeaf reports whether the subtree rooted at (key, v) contains any

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func mustJSON(t *testing.T, s string) any {
 func TestCompareResultsRegression(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"SyncPerCallCycles":100,"Rows":[{"Cycles":1000}]}}`)
 	newV := mustJSON(t, `{"batch":{"SyncPerCallCycles":150,"Rows":[{"Cycles":1005}]}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2", compared)
 	}
@@ -32,7 +33,7 @@ func TestCompareResultsRegression(t *testing.T) {
 func TestCompareResultsWithinTolerance(t *testing.T) {
 	oldV := mustJSON(t, `{"x":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"x":{"Cycles":1100}}`) // exactly +10%: allowed
-	_, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
+	_, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none at the 10%% boundary", regressions)
 	}
@@ -43,7 +44,7 @@ func TestCompareResultsWithinTolerance(t *testing.T) {
 func TestCompareResultsNewExperimentWarnsNotFails(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"batch":{"Cycles":1000},"smp":{"Idle":{"TotalCycles":5000}}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none", regressions)
 	}
@@ -59,7 +60,7 @@ func TestCompareResultsNewExperimentWarnsNotFails(t *testing.T) {
 func TestCompareResultsNewKeyWithoutGatedLeavesIgnored(t *testing.T) {
 	oldV := mustJSON(t, `{"batch":{"Cycles":1000}}`)
 	newV := mustJSON(t, `{"batch":{"Cycles":1000},"notes":{"Comment":"hi"},"batch2":{"Mode":"intr"}}`)
-	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(newOnly) != 0 {
 		t.Fatalf("newOnly = %v, want none (no gated leaves under the new keys)", newOnly)
 	}
@@ -70,7 +71,7 @@ func TestCompareResultsNewKeyWithoutGatedLeavesIgnored(t *testing.T) {
 func TestCompareResultsNestedAndArrays(t *testing.T) {
 	oldV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":20}]}}`)
 	newV := mustJSON(t, `{"e":{"Rows":[{"Cycles":10},{"Cycles":50},{"Cycles":99}],"SMPCycles":7}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2 (extra new row has no baseline)", compared)
 	}
@@ -89,7 +90,7 @@ func TestCompareResultsFairnessDrop(t *testing.T) {
 
 	// -0.04: inside the default 5pp/100 = 0.05 budget.
 	newV := mustJSON(t, `{"fleet":{"FairnessJain":0.94}}`)
-	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if compared != 1 {
 		t.Fatalf("compared = %d, want 1 fairness leaf", compared)
 	}
@@ -99,21 +100,21 @@ func TestCompareResultsFairnessDrop(t *testing.T) {
 
 	// -0.06: out of budget.
 	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.92}}`)
-	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want the fairness leaf", regressions)
 	}
 
 	// Improvement never regresses, even at zero tolerance.
 	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.99}}`)
-	_, regressions, _ = compareResults(oldV, newV, 0)
+	_, regressions, _ = compareResults(oldV, newV, 0, defaultHostTolPct)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none on improvement", regressions)
 	}
 
 	// A new-only fairness subtree warns like a cycle subtree would.
 	newV = mustJSON(t, `{"fleet":{"FairnessJain":0.98},"smp2":{"FairnessMinMax":0.9}}`)
-	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	_, _, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(newOnly) != 1 || newOnly[0] != "/smp2" {
 		t.Fatalf("newOnly = %v, want [/smp2]", newOnly)
 	}
@@ -127,7 +128,7 @@ func TestCompareResultsOverheadTolerance(t *testing.T) {
 	// +4.9pp: inside the 5pp default budget even though it is a +61%
 	// relative jump — the rule is absolute points, not ratio.
 	newV := mustJSON(t, `{"obs":{"TracingOverheadPct":12.9,"AuditorOverheadPct":6.0}}`)
-	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2 overhead leaves", compared)
 	}
@@ -137,14 +138,14 @@ func TestCompareResultsOverheadTolerance(t *testing.T) {
 
 	// +5.1pp: out of budget.
 	newV = mustJSON(t, `{"obs":{"TracingOverheadPct":13.1,"AuditorOverheadPct":6.0}}`)
-	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want the tracing leaf", regressions)
 	}
 
 	// A tighter explicit tolerance flips the in-budget case.
 	newV = mustJSON(t, `{"obs":{"TracingOverheadPct":10.5,"AuditorOverheadPct":6.0}}`)
-	_, regressions, _ = compareResults(oldV, newV, 2.0)
+	_, regressions, _ = compareResults(oldV, newV, 2.0, defaultHostTolPct)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want the tracing leaf at 2pp tolerance", regressions)
 	}
@@ -155,7 +156,7 @@ func TestCompareResultsOverheadTolerance(t *testing.T) {
 func TestCompareResultsOverheadImprovementAndNewOnly(t *testing.T) {
 	oldV := mustJSON(t, `{"obs":{"TracingOverheadPct":10.0}}`)
 	newV := mustJSON(t, `{"obs":{"TracingOverheadPct":-1.0,"AuditorOverheadPct":9.0}}`)
-	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP)
+	compared, regressions, newOnly := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
 	if compared != 1 {
 		t.Fatalf("compared = %d, want 1", compared)
 	}
@@ -164,5 +165,83 @@ func TestCompareResultsOverheadImprovementAndNewOnly(t *testing.T) {
 	}
 	if len(newOnly) != 1 || newOnly[0] != "/obs/AuditorOverheadPct" {
 		t.Fatalf("newOnly = %v, want [/obs/AuditorOverheadPct]", newOnly)
+	}
+}
+
+// Host-side timing leaves (*HostSeconds*, *HostNs*) use the looser
+// relative -host-tol budget, not the 10% cycle rule or the pp overhead
+// rule.
+func TestCompareResultsHostTimeFamily(t *testing.T) {
+	oldV := mustJSON(t, `{"obs":{"HostSecondsDark":0.10},"hostperf":{"HostNsPerEvent":50}}`)
+
+	// +40% host time: inside the 50% default budget (would have failed the
+	// cycle rule five times over).
+	newV := mustJSON(t, `{"obs":{"HostSecondsDark":0.14},"hostperf":{"HostNsPerEvent":50}}`)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 host leaves", compared)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none at +40%% host time", regressions)
+	}
+
+	// +60% on either timing shape: out of budget.
+	newV = mustJSON(t, `{"obs":{"HostSecondsDark":0.16},"hostperf":{"HostNsPerEvent":90}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %v, want both host leaves past 50%%", regressions)
+	}
+
+	// A tighter explicit budget flips the in-budget case.
+	newV = mustJSON(t, `{"obs":{"HostSecondsDark":0.14},"hostperf":{"HostNsPerEvent":50}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, 20.0)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want the HostSeconds leaf at 20%% tolerance", regressions)
+	}
+}
+
+// A zero host baseline (a -stable file) disarms the gate: any new value
+// passes, including zero-vs-zero.
+func TestCompareResultsHostZeroBaselineDisarmed(t *testing.T) {
+	oldV := mustJSON(t, `{"obs":{"HostSecondsDark":0},"hostperf":{"ExportSpeedup":0}}`)
+	newV := mustJSON(t, `{"obs":{"HostSecondsDark":0.25},"hostperf":{"ExportSpeedup":0}}`)
+	_, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none against a -stable (zeroed) baseline", regressions)
+	}
+}
+
+// Speedup leaves gate on a relative DROP past -host-tol; growth passes.
+func TestCompareResultsSpeedupDrop(t *testing.T) {
+	oldV := mustJSON(t, `{"hostperf":{"MemSpeedup":8.0}}`)
+
+	// -37%: within the 50% budget.
+	newV := mustJSON(t, `{"hostperf":{"MemSpeedup":5.0}}`)
+	compared, regressions, _ := compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1 speedup leaf", compared)
+	}
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none within the budget", regressions)
+	}
+
+	// -62%: a pooled/batched path has degraded — fail.
+	newV = mustJSON(t, `{"hostperf":{"MemSpeedup":3.0}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, defaultHostTolPct)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "host tolerance") {
+		t.Fatalf("regressions = %v, want the speedup leaf", regressions)
+	}
+
+	// Getting faster is never a regression.
+	newV = mustJSON(t, `{"hostperf":{"MemSpeedup":20.0}}`)
+	_, regressions, _ = compareResults(oldV, newV, defaultOverheadTolPP, 0)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none on improvement", regressions)
+	}
+
+	// A new-only host subtree warns like every other gated family.
+	_, _, newOnly := compareResults(mustJSON(t, `{}`), oldV, defaultOverheadTolPP, defaultHostTolPct)
+	if len(newOnly) != 1 || newOnly[0] != "/hostperf" {
+		t.Fatalf("newOnly = %v, want [/hostperf]", newOnly)
 	}
 }

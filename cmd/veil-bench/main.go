@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"veil/internal/bench"
 )
@@ -206,24 +208,52 @@ var experiments = []experiment{
 		}
 		return r, nil
 	}},
+	{"hostperf", func(w io.Writer) (any, error) {
+		// Host-throughput engine measurement: wall-clock cost of the three
+		// hottest host paths (obs export, obs record, memory translate), the
+		// pooled/batched implementations against their exact fmt/per-access
+		// references, plus the parallel fan-out scaling curve. Virtual-cycle
+		// outputs are untouched by construction — this experiment reports
+		// host time only.
+		n := iters
+		if n > 2000 {
+			n = 2000 // the export corpus converges quickly; keep "all" fast
+		}
+		r, err := bench.HostPerf(n)
+		if err != nil {
+			return nil, err
+		}
+		if stable {
+			// Everything here except the corpus/workload shape is host
+			// timing (or, for allocs/op, sensitive to concurrent -j
+			// neighbors); -stable zeroes it all so runs byte-compare.
+			r.Scrub()
+		}
+		if text {
+			bench.ReportHostPerf(w, r)
+		}
+		return r, nil
+	}},
 }
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|smp|fleet|all")
+		"experiment to run: fig4|fig5|fig6|boot|switch|background|cs1|mempath|monitors|ablation|obs|batch|smp|fleet|hostperf|all")
 	flag.IntVar(&iters, "iters", 10000, "iterations for fig4/switch/cs1 micro-benchmarks")
 	flag.Uint64Var(&memMB, "mem", 2048, "guest memory (MiB) for the boot experiment")
 	jsonOut := flag.String("json", "",
 		"emit machine-readable per-experiment results as JSON to this path ('-' = stdout) instead of text reports")
 	auditOn := flag.Bool("audit", false,
 		"attach the security-invariant auditor to every experiment CVM and exit 1 on any violation (the clean-workload CI check; charges no virtual cycles, so goldens are unaffected)")
-	jobs := flag.Int("j", 1, "experiments to run in parallel (output order is unaffected)")
+	jobs := flag.Int("j", 1, "experiments to run in parallel; 0 = one worker per CPU (output order is unaffected)")
 	flag.BoolVar(&stable, "stable", false,
 		"zero host wall-clock fields so two runs of the same build are byte-identical")
 	compare := flag.Bool("compare", false,
 		"compare mode: veil-bench -compare old.json new.json; exit 1 if any *Cycles* value regressed by >10%, any *OverheadPct* grew past -tol, or any *Fairness* index dropped by more than -tol/100")
 	tol := flag.Float64("tol", defaultOverheadTolPP,
 		"compare mode: absolute percentage-point growth allowed on *OverheadPct* values before failing")
+	hostTol := flag.Float64("host-tol", defaultHostTolPct,
+		"compare mode: relative growth (percent) allowed on pure host-side values (*HostSeconds*, *HostNs*; *Speedup* gates the same bound as a drop) — looser than the cycle gate because host time is noisy even on the thread CPU clock")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	cpuProfile := flag.String("cpuprofile", "",
@@ -231,7 +261,7 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *tol))
+		os.Exit(runCompare(flag.Args(), *tol, *hostTol))
 	}
 
 	if *pprofAddr != "" {
@@ -262,30 +292,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Run the selection — sequentially, or sharded whole-experiment-at-a-time
-	// across -j workers. Each worker buffers its text report; buffers are
-	// flushed in canonical order, so -j never changes the output bytes.
+	// Run the selection — sequentially, or whole-experiment-at-a-time on a
+	// fixed pool of -j workers (-j 0 saturates the machine with one worker
+	// per CPU). Workers claim the next unstarted experiment from a shared
+	// atomic index — a work-stealing queue in the degenerate all-tasks-
+	// shared form — so no worker sits idle while experiments remain, and a
+	// long experiment (fleet, obs) never strands the capacity a static
+	// shard assignment would have pinned behind it. Long-lived workers also
+	// keep reusing their CPU's pooled machine backings (internal/snp
+	// pool.go) across experiments instead of cold-allocating per boot.
+	//
+	// Each worker buffers its text report; buffers are flushed in canonical
+	// order, so -j never changes the output bytes.
 	type outcome struct {
 		result any
 		text   bytes.Buffer
 		err    error
 	}
 	outs := make([]outcome, len(selected))
-	if *jobs <= 1 {
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	if workers <= 1 {
 		for i, e := range selected {
 			outs[i].result, outs[i].err = e.run(&outs[i].text)
 		}
 	} else {
-		sem := make(chan struct{}, *jobs)
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		for i, e := range selected {
-			wg.Add(1)
-			go func(i int, e experiment) {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				outs[i].result, outs[i].err = e.run(&outs[i].text)
-			}(i, e)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(selected) {
+						return
+					}
+					outs[i].result, outs[i].err = selected[i].run(&outs[i].text)
+				}
+			}()
 		}
 		wg.Wait()
 	}

@@ -163,12 +163,25 @@ func auditBoot(c *cvm.CVM) {
 	auditMu.Unlock()
 }
 
+// releaseCVM returns a finished experiment CVM's machine backing to the
+// snp boot pool. Skipped while -audit is on: the collected auditors sweep
+// their machines' RMPs again after all experiments finish.
+func releaseCVM(c *cvm.CVM) {
+	auditMu.Lock()
+	on := auditing
+	auditMu.Unlock()
+	if !on {
+		c.M.Release()
+	}
+}
+
 // Run executes one workload under a mode on a fresh CVM.
 func Run(w workloads.Workload, mode Mode) (Measurement, error) {
 	c, err := bootFor(mode, 1000+int64(mode))
 	if err != nil {
 		return Measurement{}, err
 	}
+	defer releaseCVM(c)
 	if err := w.Setup(c); err != nil {
 		return Measurement{}, fmt.Errorf("bench: setup %s: %w", w.Name, err)
 	}

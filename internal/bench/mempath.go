@@ -181,6 +181,8 @@ func subMemStats(a, b snp.MemStats) snp.MemStats {
 		TLBPTInvalidation: a.TLBPTInvalidation - b.TLBPTInvalidation,
 		SpanReads:         a.SpanReads - b.SpanReads,
 		SpanWrites:        a.SpanWrites - b.SpanWrites,
+		SpanBatchHits:     a.SpanBatchHits - b.SpanBatchHits,
+		SpanBatchFills:    a.SpanBatchFills - b.SpanBatchFills,
 	}
 }
 

@@ -63,6 +63,8 @@ func BootInit(memBytes uint64) (BootResult, error) {
 			r.SweepShareOfDelta = 1
 		}
 	}
+	releaseCVM(nat)
+	releaseCVM(veil)
 	return r, nil
 }
 
@@ -84,6 +86,7 @@ func DomainSwitchCost(n int) (SwitchResult, error) {
 	if err != nil {
 		return SwitchResult{}, err
 	}
+	defer releaseCVM(c)
 	// A page the monitor will accept state changes for.
 	frame, err := c.K.AllocFrame()
 	if err != nil {
@@ -191,6 +194,7 @@ func CS1Module(n int) (CS1Result, error) {
 		if err != nil {
 			return 0, 0, nil, err
 		}
+		defer releaseCVM(c)
 		image = mod.Sign(c.ModulePriv)
 		var loadTotal, unloadTotal uint64
 		for i := 0; i < n; i++ {

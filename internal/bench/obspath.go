@@ -120,6 +120,10 @@ func obsPathRun(w workloads.Workload, seed int64, mode obsMode) (obsPathSide, er
 	if err != nil {
 		return obsPathSide{}, err
 	}
+	// The side struct copies everything it needs out of the machine and
+	// recorder before returning, so the boot's backing memory can go
+	// straight back to the pool for the next repetition.
+	defer releaseCVM(c)
 	var a *audit.Auditor
 	if mode == obsAudited {
 		a = audit.Attach(c.M, audit.Config{})

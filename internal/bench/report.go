@@ -189,6 +189,27 @@ func pollWaitSlices(m SMPModeResult) uint64 {
 	return n
 }
 
+// ReportHostPerf prints the host-throughput engine measurement.
+func ReportHostPerf(w io.Writer, r HostPerfResult) {
+	fmt.Fprintf(w, "Host throughput — pooled/batched hot paths vs exact references (sqlite ×%d corpus)\n",
+		r.Iterations)
+	fmt.Fprintf(w, "  export (%d events, %d B/render): legacy %.0f ns, pooled %.0f ns (%.1fx); allocs %.0f -> %.0f\n",
+		r.ExportEvents, r.ExportBytes, r.HostNsExportLegacy, r.HostNsExportPooled,
+		r.ExportSpeedup, r.ExportAllocsLegacy, r.ExportAllocsPooled)
+	fmt.Fprintf(w, "  record: %.1f ns/event steady state, %.0f allocs/op\n",
+		r.HostNsPerEvent, r.RecordAllocsPerOp)
+	fmt.Fprintf(w, "  translate (%d word loads/sweep): per-access %.2f ns, cursor %.2f ns, span-batched %.2f ns (%.1fx); cursor allocs %.0f\n",
+		r.MemAccesses, r.HostNsPerAccessScalar, r.HostNsPerAccessCursor,
+		r.HostNsPerAccessSpan, r.MemSpeedup, r.CursorAllocsPerOp)
+	if len(r.Scale) > 0 {
+		fmt.Fprintf(w, "  fan-out (%d tasks):", r.ScaleTasks)
+		for _, p := range r.Scale {
+			fmt.Fprintf(w, "  j%d %.3fs (%.2fx)", p.Workers, p.HostSeconds, p.Speedup)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+}
+
 // ReportObsPath prints the observability-stack overhead comparison.
 func ReportObsPath(w io.Writer, r ObsPathResult) {
 	fmt.Fprintf(w, "Observability path — %s ×%d: dark vs tracing vs tracing+auditor\n",

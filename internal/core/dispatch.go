@@ -41,7 +41,8 @@ func (mon *Monitor) RegisterSecureService(svc uint8, h SecureHandler) {
 // IDCB, sanitize, act, respond (§5.2, Fig. 3).
 func (mon *Monitor) dispatchMon(vcpu int) error {
 	idcb := mon.lay.MonIDCB(vcpu)
-	req, err := ReadIDCBRequest(mon.m, snp.VMPL0, idcb)
+	req, stage, err := ReadIDCBRequestInto(mon.m, snp.VMPL0, idcb, mon.reqStage)
+	mon.reqStage = stage
 	if err != nil {
 		return err
 	}
@@ -189,7 +190,8 @@ func (mon *Monitor) serveUserMessage(sealed []byte) Response {
 // services through the OS↔Srv IDCB.
 func (mon *Monitor) dispatchSrv(vcpu int) error {
 	idcb := mon.lay.SrvIDCB(vcpu)
-	req, err := ReadIDCBRequest(mon.m, snp.VMPL1, idcb)
+	req, stage, err := ReadIDCBRequestInto(mon.m, snp.VMPL1, idcb, mon.reqStage)
+	mon.reqStage = stage
 	if err != nil {
 		return err
 	}

@@ -102,6 +102,38 @@ func ReadIDCBRequest(m *snp.Machine, vmpl snp.VMPL, page uint64) (Request, error
 	return req, nil
 }
 
+// ReadIDCBRequestInto is ReadIDCBRequest with caller-owned payload
+// staging: the payload is copied into stage (grown as needed) and the
+// returned Request's Payload aliases it. The grown buffer is returned for
+// reuse. The monitor's dispatch paths feed it a per-monitor buffer —
+// every registered handler either fully consumes the payload before
+// returning or copies what it retains, so one staging buffer per monitor
+// suffices and the per-request allocation disappears. Callers that may
+// retain the payload must use ReadIDCBRequest.
+func ReadIDCBRequestInto(m *snp.Machine, vmpl snp.VMPL, page uint64, stage []byte) (Request, []byte, error) {
+	hdr, err := m.Span(vmpl, snp.CPL0, page+idcbReqOff, idcbHdrLen, snp.AccessRead)
+	if err != nil {
+		return Request{}, stage, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > IDCBPayloadMax {
+		return Request{}, stage, fmt.Errorf("core: IDCB request length %d corrupt", n)
+	}
+	if uint32(cap(stage)) < n {
+		stage = make([]byte, n, IDCBPayloadMax)
+	}
+	stage = stage[:n]
+	req := Request{Svc: hdr[0], Op: hdr[1], Payload: stage}
+	if n > 0 {
+		pay, err := m.Span(vmpl, snp.CPL0, page+idcbReqOff+idcbHdrLen, int(n), snp.AccessRead)
+		if err != nil {
+			return Request{}, stage, err
+		}
+		copy(stage, pay)
+	}
+	return req, stage, nil
+}
+
 // WriteIDCBResponse stores a response frame.
 func WriteIDCBResponse(m *snp.Machine, vmpl snp.VMPL, page uint64, resp Response) error {
 	if len(resp.Payload) > IDCBPayloadMax {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"veil/internal/snp"
+)
+
+func idcbTestMachine(t *testing.T) (*snp.Machine, uint64) {
+	t.Helper()
+	m := snp.NewMachine(snp.Config{MemBytes: 1 << 20, VCPUs: 1})
+	page := uint64(0x10000)
+	if err := m.HVAssignPage(page); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PValidate(snp.VMPL0, page, true); err != nil {
+		t.Fatal(err)
+	}
+	return m, page
+}
+
+// TestReadIDCBRequestIntoDifferential pins the staged request reader to
+// the allocating one across randomized frames, including the corrupt-
+// length refusal.
+func TestReadIDCBRequestIntoDifferential(t *testing.T) {
+	m, page := idcbTestMachine(t)
+	rng := rand.New(rand.NewSource(11))
+	var stage []byte
+	for i := 0; i < 200; i++ {
+		payload := make([]byte, rng.Intn(IDCBPayloadMax+1))
+		rng.Read(payload)
+		req := Request{Svc: uint8(rng.Intn(6)), Op: uint8(rng.Intn(8)), Payload: payload}
+		if err := WriteIDCBRequest(m, snp.VMPL0, snp.CPL0, page, req); err != nil {
+			t.Fatal(err)
+		}
+		want, werr := ReadIDCBRequest(m, snp.VMPL0, page)
+		var got Request
+		var gerr error
+		got, stage, gerr = ReadIDCBRequestInto(m, snp.VMPL0, page, stage)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("iter %d: staged err=%v, allocating err=%v", i, gerr, werr)
+		}
+		if got.Svc != want.Svc || got.Op != want.Op || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("iter %d: staged read diverged: got {%d %d %d bytes}, want {%d %d %d bytes}",
+				i, got.Svc, got.Op, len(got.Payload), want.Svc, want.Op, len(want.Payload))
+		}
+	}
+	// Corrupt length header: both readers must refuse identically.
+	span, err := m.Span(snp.VMPL0, snp.CPL0, page+4, 4, snp.AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span[0], span[1], span[2], span[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadIDCBRequest(m, snp.VMPL0, page); err == nil {
+		t.Fatal("allocating reader accepted a corrupt length")
+	}
+	if _, _, err := ReadIDCBRequestInto(m, snp.VMPL0, page, stage); err == nil {
+		t.Fatal("staged reader accepted a corrupt length")
+	}
+}
+
+// TestReadIDCBRequestIntoZeroAlloc pins the staged reader at zero
+// allocations once the staging buffer has grown to the payload ceiling.
+func TestReadIDCBRequestIntoZeroAlloc(t *testing.T) {
+	m, page := idcbTestMachine(t)
+	payload := bytes.Repeat([]byte{0x5a}, IDCBPayloadMax)
+	if err := WriteIDCBRequest(m, snp.VMPL0, snp.CPL0, page, Request{Svc: SvcKCI, Op: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	stage := make([]byte, 0, IDCBPayloadMax)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		_, stage, err = ReadIDCBRequestInto(m, snp.VMPL0, page, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("staged IDCB read allocates %.1f times per request, want 0", allocs)
+	}
+}

@@ -56,6 +56,15 @@ type Monitor struct {
 	secureHandlers map[uint8]SecureHandler
 	rand           io.Reader
 
+	// reqStage and ringStage are the reusable request-payload staging
+	// buffers of the IDCB and ring dispatch paths (see
+	// ReadIDCBRequestInto). Dispatch is single-threaded per monitor and no
+	// registered handler retains its request payload, so one buffer per
+	// path removes the per-request allocation. They are separate because a
+	// ring drain can interleave with an IDCB dispatch on the call stack.
+	reqStage  []byte
+	ringStage []byte
+
 	booted bool
 }
 

@@ -326,7 +326,13 @@ func (mon *Monitor) drainRing(vcpu int) error {
 // larger than the descriptor's capacity), reported per-slot.
 func (mon *Monitor) dispatchRingDesc(vcpu int, d RingDesc) (status uint32, respLen uint32, err error) {
 	m := mon.m
-	payload := make([]byte, d.ReqLen)
+	// Stage the request in the monitor's reusable ring buffer: descriptors
+	// dispatch strictly one at a time and no handler retains its payload,
+	// so the per-descriptor allocation disappears from the drain loop.
+	if uint32(cap(mon.ringStage)) < d.ReqLen {
+		mon.ringStage = make([]byte, d.ReqLen)
+	}
+	payload := mon.ringStage[:d.ReqLen]
 	if d.ReqLen > 0 {
 		src, err := m.Span(snp.VMPL1, snp.CPL0, d.ReqGPA, int(d.ReqLen), snp.AccessRead)
 		if err != nil {

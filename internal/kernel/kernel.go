@@ -94,6 +94,11 @@ type Kernel struct {
 	// syscall span. Syscalls nest (ioctl handlers call back into the
 	// kernel), hence a stack rather than a single slot.
 	sysStack []sysFrame
+
+	// spliceBuf is Splice's reusable pipe/socket staging buffer. Every
+	// sink (pipe queue, socket queue, inode) copies the bytes before the
+	// call returns, so the buffer never escapes a single splice.
+	spliceBuf []byte
 }
 
 // New creates a kernel over the machine/hypervisor pair. Boot must be

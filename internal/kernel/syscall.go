@@ -718,7 +718,10 @@ func (k *Kernel) Splice(p *Process, infd, outfd int, count int) (int, error) {
 		}
 		return k.writeNoAudit(p, outfd, data)
 	}
-	buf := make([]byte, count)
+	if cap(k.spliceBuf) < count {
+		k.spliceBuf = make([]byte, count)
+	}
+	buf := k.spliceBuf[:count]
 	n, err := k.readNoAudit(p, infd, buf)
 	if err != nil || n == 0 {
 		return n, err

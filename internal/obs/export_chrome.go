@@ -90,7 +90,15 @@ func WriteFleetChromeTrace(w io.Writer, recs []*Recorder, opts ChromeOptions) er
 // trace.
 func writeChromeProcess(bw *errWriter, r *Recorder, name string, cpm float64, sysName func(uint64) string, flowID *int, first bool, wires map[[2]uint64]*fleetTxPoint) {
 	pid := r.Machine()
-	events := r.Events()
+	// The merge buffer is the largest allocation of an export; draw it from
+	// the pool so repeated exports (a bench loop, a dashboard refresh)
+	// reuse one grown slice.
+	ep := eventMergePool.Get().(*[]Event)
+	events := r.appendEvents((*ep)[:0])
+	defer func() {
+		*ep = events[:0]
+		eventMergePool.Put(ep)
+	}()
 
 	// One metadata row per observed VCPU, in ascending order, so tracks
 	// are stably named.

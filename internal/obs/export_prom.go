@@ -10,9 +10,207 @@ import (
 // duration summaries (p50/p95/p99 over virtual cycles), the per-cost-kind
 // cycle-attribution table, and the trace drop counter. Output order is
 // fixed, so identical runs expose byte-identical pages.
+//
+// This is the pooled hot path: the page is formatted into reusable
+// scratch by appendPrometheus and written in one call.
+// WritePrometheusReference is the fmt-based reference implementation it
+// is differentially tested against.
 func WritePrometheus(w io.Writer, r *Recorder) error {
-	bw := &errWriter{w: w}
 	m := r.Metrics()
+	bp := exportScratch.Get().(*[]byte)
+	buf := appendPrometheus((*bp)[:0], r, m)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	exportScratch.Put(bp)
+	return err
+}
+
+// promQuantiles / promSummaryQuantiles are the pre-rendered
+// `,quantile="…"} ` label fragments of the two quantile sets the page
+// uses (span summaries use p95, the latency summaries p90).
+var (
+	promSpanQuantiles = [3]struct {
+		frag string
+		q    float64
+	}{{`,quantile="0.5"} `, 0.5}, {`,quantile="0.95"} `, 0.95}, {`,quantile="0.99"} `, 0.99}}
+	promLatQuantiles = [3]struct {
+		frag string
+		q    float64
+	}{{`,quantile="0.5"} `, 0.5}, {`,quantile="0.9"} `, 0.9}, {`,quantile="0.99"} `, 0.99}}
+)
+
+// appendPrometheus renders the full exposition page into b. It allocates
+// nothing beyond b's own growth (the zero-alloc pin in the tests), which
+// is what lets WritePrometheus run allocation-free from pooled scratch.
+func appendPrometheus(b []byte, r *Recorder, m *Metrics) []byte {
+	b = append(b, "# HELP veil_events_total Events recorded per class.\n# TYPE veil_events_total counter\n"...)
+	for c := Class(0); c < NumClasses; c++ {
+		b = append(b, "veil_events_total{class="...)
+		b = append(b, classQuoted[c]...)
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, m.Count(c), 10)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# HELP veil_span_cycles Span durations in virtual cycles.\n# TYPE veil_span_cycles summary\n"...)
+	for c := Class(0); c < NumClasses; c++ {
+		h := m.SpanHist(c)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		for _, q := range promSpanQuantiles {
+			b = append(b, "veil_span_cycles{class="...)
+			b = append(b, classQuoted[c]...)
+			b = append(b, q.frag...)
+			b = strconv.AppendUint(b, h.Quantile(q.q), 10)
+			b = append(b, '\n')
+		}
+		b = append(b, "veil_span_cycles_sum{class="...)
+		b = append(b, classQuoted[c]...)
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, h.Sum(), 10)
+		b = append(b, "\nveil_span_cycles_count{class="...)
+		b = append(b, classQuoted[c]...)
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, h.Count(), 10)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# HELP veil_service_latency_cycles Protected-service dispatch latency in virtual cycles.\n# TYPE veil_service_latency_cycles summary\n"...)
+	for s := 0; s < MaxServices; s++ {
+		h := m.ServiceHist(s)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		name := m.ServiceName(s)
+		for _, q := range promLatQuantiles {
+			b = append(b, "veil_service_latency_cycles{service="...)
+			b = appendServiceName(b, name, s)
+			b = append(b, q.frag...)
+			b = strconv.AppendUint(b, h.Quantile(q.q), 10)
+			b = append(b, '\n')
+		}
+		b = append(b, "veil_service_latency_cycles_sum{service="...)
+		b = appendServiceName(b, name, s)
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, h.Sum(), 10)
+		b = append(b, "\nveil_service_latency_cycles_count{service="...)
+		b = appendServiceName(b, name, s)
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, h.Count(), 10)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# HELP veil_request_latency_cycles Root-span (per-request) latency per VCPU in virtual cycles.\n# TYPE veil_request_latency_cycles summary\n"...)
+	b = appendVCPUSummary(b, m, "veil_request_latency_cycles", (*Metrics).RequestHist)
+
+	b = append(b, "# HELP veil_ring_latency_cycles Batched-ring submit-to-completion latency per VCPU in virtual cycles.\n# TYPE veil_ring_latency_cycles summary\n"...)
+	b = appendVCPUSummary(b, m, "veil_ring_latency_cycles", (*Metrics).RingLatHist)
+
+	b = append(b, "# HELP veil_cycles_total Virtual cycles attributed per cost kind.\n# TYPE veil_cycles_total counter\n"...)
+	for k := 0; k < m.NumKinds() && k < MaxKinds; k++ {
+		b = append(b, "veil_cycles_total{kind="...)
+		b = appendQuoted(b, m.KindName(k))
+		b = append(b, "} "...)
+		b = strconv.AppendUint(b, m.kindCycles[k], 10)
+		b = append(b, '\n')
+	}
+
+	if names, values := r.AuxCounters(); len(names) > 0 {
+		b = append(b, "# HELP veil_aux_total Producer-registered auxiliary counters.\n# TYPE veil_aux_total counter\n"...)
+		for i, n := range names {
+			if i < len(values) {
+				b = append(b, "veil_aux_total{counter="...)
+				b = appendQuoted(b, n)
+				b = append(b, "} "...)
+				b = strconv.AppendUint(b, values[i], 10)
+				b = append(b, '\n')
+			}
+		}
+	}
+
+	if names, values := r.AuxGauges(); len(names) > 0 {
+		b = append(b, "# HELP veil_aux_gauge Producer-registered derived gauges (rates, ratios).\n# TYPE veil_aux_gauge gauge\n"...)
+		for i, n := range names {
+			if i < len(values) {
+				b = append(b, "veil_aux_gauge{gauge="...)
+				b = appendQuoted(b, n)
+				b = append(b, "} "...)
+				b = strconv.AppendFloat(b, values[i], 'f', 6, 64)
+				b = append(b, '\n')
+			}
+		}
+	}
+
+	b = append(b, "# HELP veil_trace_dropped_total Events evicted from the trace ring.\n# TYPE veil_trace_dropped_total counter\nveil_trace_dropped_total "...)
+	b = strconv.AppendUint(b, r.Dropped(), 10)
+	b = append(b, '\n')
+
+	b = append(b, "# HELP veil_trace_dropped_by_class_total Events evicted from the trace ring, per class.\n# TYPE veil_trace_dropped_by_class_total counter\n"...)
+	for c := Class(0); c < NumClasses; c++ {
+		if n := m.DroppedByClass(c); n > 0 {
+			b = append(b, "veil_trace_dropped_by_class_total{class="...)
+			b = append(b, classQuoted[c]...)
+			b = append(b, "} "...)
+			b = strconv.AppendUint(b, n, 10)
+			b = append(b, '\n')
+		}
+	}
+	return b
+}
+
+// appendServiceName appends the quoted service label, falling back to the
+// synthetic "service-N" for unnamed ids exactly like the reference page.
+func appendServiceName(b []byte, name string, s int) []byte {
+	if name == "" {
+		b = append(b, `"service-`...)
+		b = strconv.AppendInt(b, int64(s), 10)
+		return append(b, '"')
+	}
+	return appendQuoted(b, name)
+}
+
+// appendVCPUSummary renders one per-VCPU latency summary family (the
+// request and ring sections share the exact same shape).
+func appendVCPUSummary(b []byte, m *Metrics, metric string, hist func(*Metrics, int) *Histogram) []byte {
+	for v := 0; v < m.VCPUs(); v++ {
+		h := hist(m, v)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		for _, q := range promLatQuantiles {
+			b = append(b, metric...)
+			b = append(b, `{vcpu="`...)
+			b = strconv.AppendInt(b, int64(v), 10)
+			b = append(b, '"')
+			b = append(b, q.frag...)
+			b = strconv.AppendUint(b, h.Quantile(q.q), 10)
+			b = append(b, '\n')
+		}
+		b = append(b, metric...)
+		b = append(b, `_sum{vcpu="`...)
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, h.Sum(), 10)
+		b = append(b, '\n')
+		b = append(b, metric...)
+		b = append(b, `_count{vcpu="`...)
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, h.Count(), 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// WritePrometheusReference is the original fmt-based implementation of the
+// exposition page. It is kept as the differential-testing oracle for the
+// pooled WritePrometheus (byte-identical output is asserted in the tests)
+// and as the "legacy export path" baseline the hostperf benchmark measures
+// speedup against.
+func WritePrometheusReference(w io.Writer, r *Recorder) error {
+	bw := &errWriter{w: w}
+	m := r.metricsRebuild() // the legacy path re-aggregated per exporter
 
 	bw.printf("# HELP veil_events_total Events recorded per class.\n")
 	bw.printf("# TYPE veil_events_total counter\n")

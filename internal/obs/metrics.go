@@ -164,6 +164,18 @@ type Metrics struct {
 	svcNames       []string
 }
 
+// clone returns a deep copy: the struct (aggregates, drop counters,
+// attribution table and name-slice headers — names are set-once, so
+// sharing their backing arrays is safe) plus fresh per-VCPU histogram
+// slices. The Recorder's snapshot memoization clones on both store and
+// hit, which is what keeps every returned *Metrics detached.
+func (m *Metrics) clone() *Metrics {
+	c := *m
+	c.requests = append([]Histogram(nil), m.requests...)
+	c.ringLat = append([]Histogram(nil), m.ringLat...)
+	return &c
+}
+
 // Count returns the number of recorded events of class c (retained plus
 // evicted — eviction never loses metrics).
 func (m *Metrics) Count(c Class) uint64 {

@@ -219,7 +219,12 @@ func (a *shardAgg) fold(e *Event) {
 	if e.Class == ClassService && e.Arg1 < MaxServices {
 		a.svc[e.Arg1].Observe(e.Dur)
 	}
-	if e.Span != 0 && e.Parent == 0 {
+	// Root spans feed the per-request latency distribution — except
+	// enclave sessions: one ClassEnclaveEnter span covers an entire
+	// workload run, and folding it in pulls the request Mean orders of
+	// magnitude above P99 (one session ≠ one request). Sessions are still
+	// counted and bucketed under their own class histogram above.
+	if e.Span != 0 && e.Parent == 0 && e.Class != ClassEnclaveEnter {
 		a.requests.Observe(e.Dur)
 	}
 }
@@ -315,6 +320,25 @@ type Recorder struct {
 	aux    []func() (names []string, values []uint64)
 	gauges []func() (names []string, values []float64)
 
+	// snapshot memoizes the last Metrics build. Aggregating a snapshot
+	// costs a full retained-ring scan plus a per-shard aggregate copy —
+	// tens of microseconds on a warm ring — while the common export burst
+	// (Prometheus page + summary + trace from one quiesced recorder, or a
+	// scrape endpoint polled between event bursts) asks for the same
+	// aggregation several times with nothing recorded in between. The
+	// cache is keyed on the sequence counter plus a dirty bit covering
+	// every mutation the counter cannot see (ring-latency observations,
+	// Charge, the name/source setters, shard reconfiguration); a
+	// registered cycle source is re-checked on each hit since its values
+	// can move without touching the recorder at all. The recorder never
+	// writes into a snapshot it has handed out, so hits return the cached
+	// pointer itself — snapshots are immutable, possibly shared, views.
+	// Disabled in concurrent mode (the cache itself would be shared
+	// state).
+	snapshot  *Metrics
+	snapSeq   uint64
+	snapDirty bool
+
 	// machine identifies which fleet member this recorder belongs to.
 	// Exporters use it as the process dimension (the Chrome trace pid),
 	// so merged fleet traces keep one process track per CVM. Zero for
@@ -358,6 +382,7 @@ func (r *Recorder) SetConcurrent(vcpus int) {
 	}
 	r.concurrent = true
 	r.lastShard = nil
+	r.snapshot, r.snapDirty = nil, true
 }
 
 // shardOf returns (growing if needed) the shard for VCPU v.
@@ -468,6 +493,7 @@ func (r *Recorder) RecordRingLatency(vcpu int32, cycles uint64) {
 		r.shards[i].ringLat.Observe(cycles)
 		return
 	}
+	r.snapDirty = true // the sequence counter cannot see this mutation
 	r.shardOf(vcpu).ringLat.Observe(cycles)
 }
 
@@ -479,6 +505,7 @@ func (r *Recorder) Charge(kind int, cycles uint64) {
 	}
 	if kind >= 0 && kind < MaxKinds {
 		r.kindCycles[kind] += cycles
+		r.snapDirty = true // attribution moved without a sequence bump
 	}
 }
 
@@ -491,6 +518,7 @@ func (r *Recorder) SetCycleSource(src func() []uint64) {
 		return
 	}
 	r.cycleSrc = src
+	r.snapDirty = true
 }
 
 // SetKindNames installs the display names for the attribution table's cost
@@ -500,6 +528,7 @@ func (r *Recorder) SetKindNames(names []string) {
 		return
 	}
 	r.kindNames = names
+	r.snapDirty = true
 }
 
 // SetServiceNames installs display names for the per-service latency
@@ -509,6 +538,7 @@ func (r *Recorder) SetServiceNames(names []string) {
 		return
 	}
 	r.svcNames = names
+	r.snapDirty = true
 }
 
 // SetAuxCounters resets the counter registry to the single given source
@@ -686,12 +716,21 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	out := make([]Event, 0, r.Len())
+	return r.appendEvents(make([]Event, 0, r.Len()))
+}
+
+// appendEvents is Events with caller-owned storage: the merged stream is
+// appended to out (growing it as needed) and returned. The trace
+// exporters feed it pooled scratch so a full-ring export reuses one
+// buffer instead of reallocating the largest slice of the run each time.
+func (r *Recorder) appendEvents(out []Event) []Event {
+	base := len(out)
 	for _, sh := range r.shards {
 		out = sh.events(out)
 	}
 	if len(r.shards) > 1 {
-		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+		merged := out[base:]
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
 	}
 	return out
 }
@@ -714,10 +753,66 @@ func (r *Recorder) Tail(n int) []Event {
 // exactly what eager per-event folding would have accumulated — eviction
 // moves an event's contribution, it never loses it. The snapshot is
 // detached: it does not change as further events are recorded.
+//
+// Consecutive calls with no intervening mutation are served from a
+// memoized snapshot (see the snapshot field), so an export burst pays
+// for the ring scan once. Snapshots are immutable views and may be
+// shared between callers: treat everything reached through one —
+// including the histograms — as read-only.
 func (r *Recorder) Metrics() *Metrics {
 	if r == nil {
 		return nil
 	}
+	if r.concurrent {
+		return r.buildMetrics()
+	}
+	if m := r.snapshot; m != nil && !r.snapDirty && r.snapSeq == r.seq {
+		if r.cycleSrc == nil {
+			return m
+		}
+		// A cycle source can advance without any recorder call (the
+		// virtual clock charging cycles that record no event). Re-read
+		// it: if nothing moved the cached view is still exact, otherwise
+		// refresh just the attribution table on a copy — the ring
+		// aggregation itself is still valid.
+		src := r.cycleSrc()
+		fresh := true
+		for i, v := range src {
+			if i >= MaxKinds {
+				break
+			}
+			if m.kindCycles[i] != v {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return m
+		}
+		c := m.clone()
+		copy(c.kindCycles[:], src)
+		r.snapshot = c
+		return c
+	}
+	m := r.buildMetrics()
+	r.snapshot, r.snapSeq, r.snapDirty = m, r.seq, false
+	return m
+}
+
+// metricsRebuild is Metrics with the memoization bypassed: the snapshot
+// is aggregated from scratch on every call. The fmt reference exporters
+// use it so the "legacy export pipeline" the hostperf benchmark measures
+// keeps the pre-pooling cost model (every exporter re-aggregated),
+// not just its bytes. Nil-safe.
+func (r *Recorder) metricsRebuild() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.buildMetrics()
+}
+
+// buildMetrics is the uncached snapshot aggregation.
+func (r *Recorder) buildMetrics() *Metrics {
 	m := &Metrics{
 		kindCycles: r.kindCycles,
 		kindNames:  r.kindNames,

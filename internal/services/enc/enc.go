@@ -14,6 +14,7 @@
 package enc
 
 import (
+	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -67,7 +68,10 @@ type Enclave struct {
 	pages  map[uint64]*pageState
 	meas   [32]byte
 	key    [32]byte
-	vmsa   uint64
+	// gcm caches the AEAD built from key (fixed at creation) so the AES
+	// key schedule is paid once per enclave, not once per page operation.
+	gcm  cipher.AEAD
+	vmsa uint64
 	// threads maps additional VCPUs to their Dom-ENC VMSAs (§7
 	// multi-threading: one synchronized VMSA per VCPU).
 	threads map[int]uint64
@@ -88,6 +92,11 @@ type Service struct {
 
 	shares    []*share
 	nextShare uint32
+
+	// sealBuf is the reusable sealed-page scratch of the paging path: one
+	// PageSize+tag image, alive only within a single PageFree/PageRestore
+	// (the returned tag is copied out, never aliased into it).
+	sealBuf []byte
 }
 
 // New creates the service and registers it with VeilMon.

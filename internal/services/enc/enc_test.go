@@ -367,3 +367,76 @@ func TestMeasureOverSecureChannel(t *testing.T) {
 		t.Fatal("measurement over channel mismatch")
 	}
 }
+
+// TestDemandPagingScratchReuse interleaves evictions of two pages so the
+// second seal overwrites the service's reusable sealed-image scratch, then
+// restores both: the returned tags must be independent copies (an aliased
+// tag would fail the first restore's AEAD check), and both pages must come
+// back with their original contents.
+func TestDemandPagingScratchReuse(t *testing.T) {
+	c := bootVeil(t)
+	prog := sdkNopProgram()
+	p := c.K.Spawn("app")
+	a, err := sdk.LaunchEnclave(c, p, prog, sdk.EnclaveConfig{
+		RegionPages: 4,
+		Image:       append(bytes.Repeat([]byte{0xA1}, snp.PageSize), bytes.Repeat([]byte{0xB2}, snp.PageSize)...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt0 := uint64(kernel.UserBinBase)
+	virt1 := virt0 + snp.PageSize
+	frames, _ := p.RegionFrames(kernel.UserBinBase)
+
+	grab := func(frame uint64) []byte {
+		b := make([]byte, snp.PageSize)
+		if err := c.K.ReadPhys(frame, b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tag0, err := c.ENC.PageFree(a.ID, virt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body0 := grab(frames[0])
+	tag1, err := c.ENC.PageFree(a.ID, virt1) // overwrites the seal scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1 := grab(frames[1])
+	if bytes.Equal(tag0, tag1) {
+		t.Fatal("distinct pages produced identical tags")
+	}
+
+	restore := func(virt uint64, body, tag []byte) {
+		t.Helper()
+		f, err := c.K.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.K.WritePhys(f, body); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ENC.PageRestore(a.ID, virt, f, tag); err != nil {
+			t.Fatalf("restore %#x: %v", virt, err)
+		}
+	}
+	// Restore in reverse order: tag0 has survived a later seal AND a later
+	// restore pass through the same scratch.
+	restore(virt1, body1, tag1)
+	restore(virt0, body0, tag0)
+	encMem := a.Enclave().View().Mem
+	for _, want := range []struct {
+		virt uint64
+		fill byte
+	}{{virt0, 0xA1}, {virt1, 0xB2}} {
+		buf := make([]byte, 32)
+		if err := encMem.Read(want.virt, buf); err != nil {
+			t.Fatalf("read %#x after restore: %v", want.virt, err)
+		}
+		if !bytes.Equal(buf, bytes.Repeat([]byte{want.fill}, len(buf))) {
+			t.Fatalf("page %#x restored to %x, want all %#x", want.virt, buf, want.fill)
+		}
+	}
+}

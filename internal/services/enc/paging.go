@@ -16,19 +16,25 @@ import (
 // performs every protection-relevant step — encryption, integrity hashing
 // with a freshness counter, and all edits to the protected page tables.
 
-// aead builds the per-enclave AES-256-GCM instance.
+// aead returns the per-enclave AES-256-GCM instance, built once on first
+// use (the key is fixed at enclave creation) — the AES key schedule and
+// GCM table setup are far more expensive than a single page seal.
 func (e *Enclave) aead() (cipher.AEAD, error) {
+	if e.gcm != nil {
+		return e.gcm, nil
+	}
 	block, err := aes.NewCipher(e.key[:])
 	if err != nil {
 		return nil, err
 	}
-	return cipher.NewGCM(block)
+	e.gcm, err = cipher.NewGCM(block)
+	return e.gcm, err
 }
 
-// pageNonce derives the GCM nonce from the page address and its freshness
-// counter — unique per (page, eviction) pair.
-func pageNonce(aead cipher.AEAD, virt, counter uint64) []byte {
-	n := make([]byte, aead.NonceSize())
+// pageNonce fills n (the caller's stack array, sized to GCM's standard
+// 12-byte nonce) with the page address and its freshness counter — unique
+// per (page, eviction) pair.
+func pageNonce(n []byte, virt, counter uint64) []byte {
 	binary.LittleEndian.PutUint64(n[0:], virt)
 	binary.LittleEndian.PutUint32(n[8:], uint32(counter))
 	return n
@@ -77,9 +83,17 @@ func (s *Service) PageFree(id uint32, virt uint64) ([]byte, error) {
 		return nil, err
 	}
 	st.counter++
-	// Seal reads the frame in place: the plaintext never crosses into a
-	// service-side staging buffer.
-	ct := aead.Seal(nil, pageNonce(aead, virt, st.counter), src, idAAD(id))
+	// Seal reads the frame in place (the plaintext never crosses into a
+	// service-side staging buffer) and writes into the service's reusable
+	// sealed-image scratch: PageFree/PageRestore run strictly one at a
+	// time, and nothing below retains ct past the return (the tag is
+	// copied out).
+	if cap(s.sealBuf) < snp.PageSize+aead.Overhead() {
+		s.sealBuf = make([]byte, 0, snp.PageSize+aead.Overhead())
+	}
+	var nb [12]byte
+	ct := aead.Seal(s.sealBuf[:0], pageNonce(nb[:], virt, st.counter), src, idAAD(id))
+	s.sealBuf = ct[:0]
 	st.hash = sha256.Sum256(ct)
 	st.present = false
 	m.Clock().Charge(snp.CostPageEncrypt, snp.CyclesPageEncrypt4K)
@@ -106,7 +120,11 @@ func (s *Service) PageFree(id uint32, virt uint64) ([]byte, error) {
 	if err := s.reprotect(e); err != nil {
 		return nil, err
 	}
-	return ct[snp.PageSize:], nil
+	// Copy the tag out of the scratch: callers hold it until the page is
+	// restored, long after the next seal has overwritten the buffer.
+	tag := make([]byte, len(ct)-snp.PageSize)
+	copy(tag, ct[snp.PageSize:])
+	return tag, nil
 }
 
 // servePageRestore handles OpEncPageRestore (payload: id u32, virt u64,
@@ -149,8 +167,12 @@ func (s *Service) PageRestore(id uint32, virt, frame uint64, tag []byte) error {
 	}
 
 	// Reassemble the sealed image from the staged body + tag. GCM needs the
-	// ciphertext contiguous, so this one staging copy stays.
-	ct := make([]byte, snp.PageSize+len(tag))
+	// ciphertext contiguous, so this one staging copy stays — into the
+	// service's reusable scratch (fully consumed by the Open call below).
+	if cap(s.sealBuf) < snp.PageSize+len(tag) {
+		s.sealBuf = make([]byte, 0, snp.PageSize+len(tag))
+	}
+	ct := s.sealBuf[:snp.PageSize+len(tag)]
 	body, err := m.Span(snp.VMPL1, snp.CPL0, frame, snp.PageSize, snp.AccessRead)
 	if err != nil {
 		return err
@@ -174,7 +196,8 @@ func (s *Service) PageRestore(id uint32, virt, frame uint64, tag []byte) error {
 	// Decrypt straight into the frame. The capped destination (len 0, cap
 	// exactly one page) means GCM can never append past the frame, and the
 	// hash check above already pinned len(ct) to one sealed page image.
-	if _, err := aead.Open(dst[:0:snp.PageSize], pageNonce(aead, virt, st.counter), ct, idAAD(id)); err != nil {
+	var nb [12]byte
+	if _, err := aead.Open(dst[:0:snp.PageSize], pageNonce(nb[:], virt, st.counter), ct, idAAD(id)); err != nil {
 		return fmt.Errorf("enc: page decrypt failed: %w", err)
 	}
 	m.Clock().Charge(snp.CostPageEncrypt, snp.CyclesPageEncrypt4K)

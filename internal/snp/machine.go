@@ -54,9 +54,14 @@ type Machine struct {
 	// pages the walker has read PTEs from. tlbNoInvalidate is the
 	// deliberately broken test-only mode proving the stale-TLB attack
 	// test has teeth.
-	tlb             []tlbEntry
-	tlbFlushEpoch   uint64
-	tlbRMPEpoch     uint64
+	tlb           []tlbEntry
+	tlbFlushEpoch uint64
+	tlbRMPEpoch   uint64
+	// tlbGen is the coarse invalidation tick SpanCursor revalidates
+	// against: every invalidation on any of the three precise channels
+	// (flush epoch, RMP epoch, per-table-page generation) also bumps it,
+	// so a cursor's cached page+verdict is live iff its snapshot matches.
+	tlbGen          uint64
 	tlbNoInvalidate bool
 	ptPages         []uint64
 	ptGen           []uint32
@@ -104,7 +109,10 @@ type Machine struct {
 }
 
 // NewMachine creates a machine with all pages hypervisor-owned (shared),
-// exactly as at CVM launch before the boot image is measured in.
+// exactly as at CVM launch before the boot image is measured in. The two
+// large backing arrays are drawn from the boot pool when a released
+// machine of the same size is available (see pool.go); a recycled backing
+// is cleared first, so the machine state is identical either way.
 func NewMachine(cfg Config) *Machine {
 	if cfg.MemBytes == 0 {
 		cfg = DefaultConfig()
@@ -114,13 +122,18 @@ func NewMachine(cfg Config) *Machine {
 	}
 	pages := (cfg.MemBytes + PageSize - 1) / PageSize
 	cfg.MemBytes = pages * PageSize
-	return &Machine{
+	m := &Machine{
 		cfg:     cfg,
-		mem:     make([]byte, cfg.MemBytes),
-		rmp:     make([]RMPEntry, pages),
 		vmsas:   make(map[uint64]*VMSA),
 		ghcbMSR: make(map[int]uint64),
 	}
+	if b := acquireBacking(pages); b != nil {
+		m.mem, m.rmp = b.mem, b.rmp
+	} else {
+		m.mem = make([]byte, cfg.MemBytes)
+		m.rmp = make([]RMPEntry, pages)
+	}
+	return m
 }
 
 // Config returns the machine configuration.

@@ -1,0 +1,159 @@
+package snp
+
+import "encoding/binary"
+
+// SpanCursor is the batch span-lookup API over the software TLB: a handle
+// a sequential workload holds across a run of accesses so that the
+// per-access costs of the span path — building the {vpage,cr3,vmpl,cpl}
+// key, hashing it into the cache, re-walking the entry's table-page
+// dependency generations, and re-checking the PTE permissions and the RMP
+// verdict mask — are paid once per page instead of once per access.
+//
+// The cursor caches the backing slice of the last page it resolved plus a
+// snapshot of the machine's coarse invalidation tick (Machine.tlbGen).
+// Every invalidation on any of the TLB's three precise channels — a full
+// flush, an RMP/page-state mutation, a software write to a live
+// page-table page — also bumps the tick, so the fast path is two bounds
+// checks and one counter compare. Any mismatch falls back to the exact
+// per-access span path, which re-runs the full PTE+RMP machinery and
+// raises faults with byte-identical semantics (same events, same faulting
+// virtual address) to an uncursored access.
+//
+// Like the TLB itself, the cursor affects host wall-clock only: the fast
+// path charges no virtual cycles and emits no events, and a successful
+// per-access span does neither, so every deterministic simulator output
+// is unchanged. MemStats.SpanBatchHits/SpanBatchFills count the traffic
+// out-of-band.
+//
+// A cursor is bound to one AccessContext and one Access kind. It must not
+// be shared across goroutines, and — like WithSpan — slices it returns
+// alias guest memory and are invalidated by any RMP or mapping change;
+// callers must consume them before the next machine operation.
+type SpanCursor struct {
+	ctx  AccessContext
+	acc  Access
+	mem  []byte // full backing page, nil when nothing is cached
+	base uint64 // virtual page base mem corresponds to
+	gen  uint64 // Machine.tlbGen snapshot when mem was established
+	pi   uint64 // physical page index of mem
+}
+
+// Cursor returns a batch span cursor for sequential accesses of kind acc
+// under this context.
+func (a AccessContext) Cursor(acc Access) SpanCursor {
+	return SpanCursor{ctx: a, acc: acc}
+}
+
+// Invalidate drops the cached page; the next access refills through the
+// exact span path.
+func (c *SpanCursor) Invalidate() { c.mem = nil }
+
+// Span returns the backing bytes for [virt, virt+n), which must lie
+// within one page, performing the full PTE+RMP checks on the first touch
+// of each page and the amortized revalidation afterwards.
+func (c *SpanCursor) Span(virt uint64, n int) ([]byte, error) {
+	m := c.ctx.M
+	off := virt - c.base
+	if c.mem != nil && c.gen == m.tlbGen && off < PageSize && uint64(n) <= PageSize-off {
+		if m.halted != nil {
+			return nil, ErrHalted
+		}
+		if c.acc == AccessWrite && m.isPTPage(c.pi) {
+			// Mirror the span path: a write landing on a live table page
+			// invalidates the translations that walked it. The bump also
+			// advances tlbGen, so the cursor itself revalidates next time.
+			m.invalidatePTPage(c.pi)
+		}
+		m.memStats.SpanBatchHits++
+		return c.mem[off : off+uint64(n)], nil
+	}
+	return c.fill(virt, n)
+}
+
+// fill resolves through the exact per-access span path (identical fault
+// semantics and events) and caches the full backing page on success.
+func (c *SpanCursor) fill(virt uint64, n int) ([]byte, error) {
+	m := c.ctx.M
+	buf, phys, err := c.ctx.spanPhys(virt, n, c.acc)
+	if err != nil {
+		c.mem = nil
+		return nil, err
+	}
+	m.memStats.SpanBatchFills++
+	pageBase := PageBase(phys)
+	c.mem = m.mem[pageBase : pageBase+PageSize]
+	c.base = virt &^ (PageSize - 1)
+	c.pi = pageBase >> PageShift
+	// Snapshot the tick AFTER the fill: a write span landing on a live
+	// page-table page bumps tlbGen inside spanPhys, and the cursor must
+	// not validate itself against a tick its own fill advanced past.
+	c.gen = m.tlbGen
+	return buf, nil
+}
+
+// ReadU64 loads a little-endian 64-bit word through the cursor. The hit
+// path is hand-inlined rather than routed through Span: a word load is
+// the cursor's hottest single operation, and folding the validity checks
+// into this frame removes one call from every hit while keeping the
+// conditions — and the stats — exactly Span's. Any miss (cold cursor,
+// stale tick, halted machine, write cursor, page straddle) falls through
+// to the general path with identical semantics.
+func (c *SpanCursor) ReadU64(virt uint64) (uint64, error) {
+	if off := virt - c.base; c.mem != nil && off+8 <= PageSize {
+		m := c.ctx.M
+		if c.gen == m.tlbGen && m.halted == nil && c.acc != AccessWrite {
+			m.memStats.SpanBatchHits++
+			return binary.LittleEndian.Uint64(c.mem[off:]), nil
+		}
+	}
+	if PageOffset(virt)+8 <= PageSize {
+		mem, err := c.Span(virt, 8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(mem), nil
+	}
+	return c.ctx.ReadU64(virt)
+}
+
+// WriteU64 stores a little-endian 64-bit word through the cursor.
+func (c *SpanCursor) WriteU64(virt uint64, v uint64) error {
+	if PageOffset(virt)+8 <= PageSize {
+		mem, err := c.Span(virt, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(mem, v)
+		return nil
+	}
+	return c.ctx.WriteU64(virt, v)
+}
+
+// Copy moves len(buf) bytes between buf and virtual memory, splitting on
+// page boundaries; the direction follows the cursor's access kind (a read
+// cursor fills buf, a write cursor stores it). Each chunk resolves
+// through the cursor, so a sequential bulk copy revalidates once per page.
+func (c *SpanCursor) Copy(virt uint64, buf []byte) error {
+	return c.chunked(virt, buf, c.acc == AccessWrite)
+}
+
+func (c *SpanCursor) chunked(virt uint64, buf []byte, store bool) error {
+	off := 0
+	for off < len(buf) {
+		chunk := int(PageSize - PageOffset(virt+uint64(off)))
+		if rem := len(buf) - off; chunk > rem {
+			chunk = rem
+		}
+		mem, err := c.Span(virt+uint64(off), chunk)
+		if err != nil {
+			return err
+		}
+		if store {
+			copy(mem, buf[off:off+chunk])
+		} else {
+			copy(buf[off:off+chunk], mem)
+		}
+		off += chunk
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package snp
+
+// Differential testing of the batch span cursor: a cursor-driven access
+// must be observationally identical to the exact per-access span path —
+// same bytes, same faults, same final memory — across arbitrary
+// interleavings with PTE rewrites, RMPADJUST calls, full flushes and
+// table-page aliasing. The cursor's only legal divergence is host speed.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// cursorWorld extends the TLB differential world with one long-lived
+// cursor per access kind, as a sequential workload would hold them.
+type cursorWorld struct {
+	*diffWorld
+	rc SpanCursor
+	wc SpanCursor
+}
+
+func buildCursorWorld(tb testing.TB) *cursorWorld {
+	w := buildDiffWorld(tb)
+	return &cursorWorld{
+		diffWorld: w,
+		rc:        w.ctx.Cursor(AccessRead),
+		wc:        w.ctx.Cursor(AccessWrite),
+	}
+}
+
+// checkRead compares a cursor read against the exact span path for one
+// virtual address: identical error outcome, identical bytes.
+func (w *cursorWorld) checkRead(tb testing.TB, virt uint64) {
+	tb.Helper()
+	got, gerr := w.rc.ReadU64(virt)
+	want, werr := w.ctx.ReadU64(virt)
+	if (gerr == nil) != (werr == nil) {
+		tb.Fatalf("cursor ReadU64(%#x) err=%v, span path err=%v", virt, gerr, werr)
+	}
+	if gerr != nil {
+		if gerr.Error() != werr.Error() {
+			tb.Fatalf("cursor ReadU64(%#x) fault diverged:\n  cursor: %v\n  span:   %v", virt, gerr, werr)
+		}
+		return
+	}
+	if got != want {
+		tb.Fatalf("cursor ReadU64(%#x) = %#x, span path reads %#x", virt, got, want)
+	}
+}
+
+// checkWrite writes through the cursor and re-writes the same value
+// through the exact path: the error outcomes must match, and a read-back
+// must observe the value.
+func (w *cursorWorld) checkWrite(tb testing.TB, virt uint64, v uint64) {
+	tb.Helper()
+	gerr := w.wc.WriteU64(virt, v)
+	werr := w.ctx.WriteU64(virt, v)
+	if (gerr == nil) != (werr == nil) {
+		tb.Fatalf("cursor WriteU64(%#x) err=%v, span path err=%v", virt, gerr, werr)
+	}
+	if gerr != nil {
+		if gerr.Error() != werr.Error() {
+			tb.Fatalf("cursor WriteU64(%#x) fault diverged:\n  cursor: %v\n  span:   %v", virt, gerr, werr)
+		}
+		return
+	}
+	if got, err := w.ctx.ReadU64(virt); err == nil && got != v {
+		tb.Fatalf("cursor WriteU64(%#x, %#x) read back %#x", virt, v, got)
+	}
+}
+
+// cursorStep applies one 3-byte operation: cursor traffic interleaved
+// with every invalidation source the TLB knows.
+func (w *cursorWorld) cursorStep(tb testing.TB, data []byte) int {
+	tb.Helper()
+	if len(data) < 3 {
+		return 0
+	}
+	op, a, b := data[0], data[1], data[2]
+	g, i := int(a)%2, int(b)%diffGroupPages
+	virt := diffVirt(g, i) + uint64(a%2)*8
+	leaf := w.leafA
+	if g == 1 {
+		leaf = w.leafB
+	}
+	switch op % 8 {
+	case 0:
+		w.checkRead(tb, virt)
+	case 1:
+		w.checkWrite(tb, virt, uint64(a)<<8|uint64(b))
+	case 2: // bulk copy through the cursor vs the copying access path
+		var got, want [24]byte
+		gerr := w.rc.Copy(virt, got[:])
+		werr := w.ctx.Read(virt, want[:])
+		if (gerr == nil) != (werr == nil) {
+			tb.Fatalf("cursor Copy(%#x) err=%v, Read err=%v", virt, gerr, werr)
+		}
+		if gerr == nil && got != want {
+			tb.Fatalf("cursor Copy(%#x) = %x, Read says %x", virt, got, want)
+		}
+	case 3: // rewrite a leaf PTE (kills translations via the PT-page channel)
+		flags := uint64(PTEPresent | PTEUser)
+		if a&1 != 0 {
+			flags |= PTEWrite
+		}
+		if b&1 != 0 {
+			flags &^= PTEPresent
+		}
+		if err := w.ctx.WritePTE(leaf, uint64(i), MakePTE(diffPhys(g, i), flags)); err != nil {
+			tb.Fatalf("WritePTE: %v", err)
+		}
+	case 4: // RMPADJUST (bumps the RMP epoch)
+		perms := PermNone
+		if a&1 != 0 {
+			perms = PermRW
+		}
+		if err := w.m.RMPAdjust(VMPL0, diffPhys(g, i), VMPL3, perms); err != nil {
+			tb.Fatalf("RMPAdjust: %v", err)
+		}
+	case 5: // full flush
+		w.m.FlushTLB()
+	case 6: // alias a data virt onto a live table page: cursor writes there
+		// must take the per-table-page invalidation path, exactly like the
+		// span path does.
+		if err := w.ctx.WritePTE(leaf, uint64(i), MakePTE(w.leafA, PTEPresent|PTEWrite|PTEUser)); err != nil {
+			tb.Fatalf("WritePTE(alias): %v", err)
+		}
+		w.checkWrite(tb, diffVirt(g, i)+uint64(diffGroupPages+8)*8, uint64(b))
+		// Restore the mapping so later ops see data frames again.
+		if err := w.ctx.WritePTE(leaf, uint64(i), MakePTE(diffPhys(g, i), PTEPresent|PTEWrite|PTEUser)); err != nil {
+			tb.Fatalf("WritePTE(restore): %v", err)
+		}
+	case 7: // sever an intermediate entry
+		flags := uint64(PTEPresent | PTEWrite | PTEUser)
+		if a&1 != 0 {
+			flags &^= PTEPresent
+		}
+		if err := w.ctx.WritePTE(w.l1, uint64(g), MakePTE(leaf, flags)); err != nil {
+			tb.Fatalf("WritePTE(l1): %v", err)
+		}
+	}
+	// Sweep the probe set through both cursors after every operation:
+	// staleness — a cursor surviving an invalidation it should not —
+	// shows up here as a byte or fault divergence.
+	for _, pv := range diffProbes(b) {
+		w.checkRead(tb, pv)
+	}
+	return 3
+}
+
+func runCursorDiff(tb testing.TB, data []byte) {
+	tb.Helper()
+	w := buildCursorWorld(tb)
+	for len(data) > 0 {
+		n := w.cursorStep(tb, data)
+		if n == 0 {
+			break
+		}
+		data = data[n:]
+	}
+}
+
+// TestSpanCursorDifferentialSeeded drives long seeded op-streams through
+// the cursor differential harness.
+func TestSpanCursorDifferentialSeeded(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			data := make([]byte, 3*400)
+			r.Read(data)
+			runCursorDiff(t, data)
+		})
+	}
+}
+
+// FuzzSpanCursor feeds arbitrary op-streams to the cursor harness:
+// go test -fuzz=FuzzSpanCursor ./internal/snp
+func FuzzSpanCursor(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{1, 3, 9, 0, 0, 9, 6, 1, 0, 5, 1, 9})
+	f.Add([]byte{3, 1, 5, 0, 0, 5, 4, 0, 0, 2, 1, 5, 5, 2, 7})
+	r := rand.New(rand.NewSource(99))
+	big := make([]byte, 3*64)
+	r.Read(big)
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*1024 {
+			t.Skip("cap stream length")
+		}
+		runCursorDiff(t, data)
+	})
+}
+
+// TestSpanCursorZeroAllocs pins the cursor hot path at zero allocations
+// per access — the property the hostperf numbers rest on.
+func TestSpanCursorZeroAllocs(t *testing.T) {
+	w := buildCursorWorld(t)
+	virt := diffVirt(0, 3)
+	if _, err := w.rc.ReadU64(virt); err != nil { // fill outside the measurement
+		t.Fatal(err)
+	}
+	if err := w.wc.WriteU64(virt+8, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := w.rc.ReadU64(virt); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.wc.WriteU64(virt+8, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cursor access path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSpanCursorStats checks the out-of-band batch counters move: a
+// sequential sweep is almost entirely batch hits with one fill per page.
+func TestSpanCursorStats(t *testing.T) {
+	w := buildCursorWorld(t)
+	before := w.m.MemStats()
+	for i := 0; i < diffGroupPages; i++ {
+		for off := uint64(0); off < PageSize; off += 64 {
+			if _, err := w.rc.ReadU64(diffVirt(0, i) + off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d := w.m.MemStats()
+	fills := d.SpanBatchFills - before.SpanBatchFills
+	hits := d.SpanBatchHits - before.SpanBatchHits
+	if fills != diffGroupPages {
+		t.Fatalf("SpanBatchFills = %d, want %d (one per page)", fills, diffGroupPages)
+	}
+	if want := uint64(diffGroupPages * (PageSize/64 - 1)); hits != want {
+		t.Fatalf("SpanBatchHits = %d, want %d", hits, want)
+	}
+}

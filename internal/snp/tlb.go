@@ -74,6 +74,8 @@ type MemStats struct {
 	TLBPTInvalidation uint64 // precise per-table-page invalidations
 	SpanReads         uint64 // zero-copy read spans handed out
 	SpanWrites        uint64 // zero-copy write spans handed out
+	SpanBatchHits     uint64 // SpanCursor accesses served from the cached page
+	SpanBatchFills    uint64 // SpanCursor refills through the full span path
 }
 
 // MemStats returns a snapshot of the memory-path counters.
@@ -88,6 +90,7 @@ func (m *Machine) FlushTLB() {
 		return
 	}
 	m.tlbFlushEpoch++
+	m.tlbGen++
 	m.memStats.TLBFlushes++
 }
 
@@ -102,6 +105,7 @@ func (m *Machine) rmpFlushTLB() {
 		return
 	}
 	m.tlbRMPEpoch++
+	m.tlbGen++
 	m.memStats.TLBRMPFlushes++
 }
 
@@ -179,5 +183,6 @@ func (m *Machine) invalidatePTPage(pi uint64) {
 		return
 	}
 	m.ptGen[pi]++
+	m.tlbGen++
 	m.memStats.TLBPTInvalidation++
 }
