@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp bench-fleet bench-host smp-determinism fleet-determinism fleet-trace-determinism parallel-check clean
+.PHONY: all build test vet race bench attacks demo experiments boot-full examples trace golden-check audit bench-obs bench-batch bench-mempath bench-smp bench-fleet bench-host smp-determinism fleet-determinism fleet-trace-determinism parallel-check mc-smoke mc-determinism clean
 
 all: vet test
 
@@ -126,6 +126,28 @@ parallel-check:
 	$(GO) run ./cmd/veil-bench -experiment all -iters 500 -stable -json /tmp/veil-bench-j4.json -j 4
 	cmp /tmp/veil-bench-j1.json /tmp/veil-bench-j4.json
 	$(GO) run ./cmd/veil-bench -compare /tmp/veil-bench-j1.json /tmp/veil-bench-j4.json
+
+# The bounded model-check gate (docs/MODELCHECK.md): exhaustively explore
+# every schedule pick × per-delivery interrupt mode × RMPADJUST injection
+# timing on the 2-VCPU 2-process config up to the gate depth — the run
+# must explore >0 states with 0 violations — then prove the checker has
+# teeth: with TLB invalidation suppressed (the seeded known-bad mutation)
+# it must find the stale-TLB violation, minimize it, and the written
+# counterexample must replay back into the same violation.
+mc-smoke:
+	$(GO) run ./cmd/veil-mc -depth 8
+	$(GO) run ./cmd/veil-mc -depth 4 -broken-tlb -expect-violation -ce /tmp/veil-mc-ce.json
+	$(GO) run ./cmd/veil-mc -replay /tmp/veil-mc-ce.json -expect-violation
+
+# The model-check determinism gate: the parallel BFS frontier explorer
+# self-schedules replays across workers, so the claim under test is that
+# worker count cannot leak into exploration statistics — byte-identical
+# -json summaries at 1 and 4 workers, and the sequential DFS order agrees
+# with BFS on the leaf tallies (asserted in internal/mc tests).
+mc-determinism:
+	$(GO) run ./cmd/veil-mc -depth 10 -json -workers 1 > /tmp/veil-mc-w1.json
+	$(GO) run ./cmd/veil-mc -depth 10 -json -workers 4 > /tmp/veil-mc-w4.json
+	cmp /tmp/veil-mc-w1.json /tmp/veil-mc-w4.json
 
 # End-to-end demo of all protected services.
 demo:

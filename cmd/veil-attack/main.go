@@ -15,6 +15,8 @@
 //	veil-attack -suite fleet       # cross-CVM VeilS-Channel attacks
 //	veil-attack -audit             # attach the invariant auditor to every CVM
 //	veil-attack -evidence          # print per-attack flight-recorder evidence
+//	veil-attack -json              # machine-readable results (suite, attack,
+//	                               # defended, evidence incl. refusal classes)
 //
 // With -evidence, every defended on-platform attack is additionally required
 // to have left machine-visible evidence (a fault/denial event, a halt, or a
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,22 +32,71 @@ import (
 	"veil/internal/attacks"
 )
 
+// jsonRow is one attack in -json output: which suite it belongs to, what
+// ran, whether the defence held, and the machine-visible evidence with its
+// refusal classes spelled out by name.
+type jsonRow struct {
+	Suite       string       `json:"suite"`
+	Attack      string       `json:"attack"`
+	Defence     string       `json:"defence"`
+	Defended    bool         `json:"defended"`
+	Detail      string       `json:"detail,omitempty"`
+	OffPlatform bool         `json:"off_platform,omitempty"`
+	Evidence    jsonEvidence `json:"evidence"`
+}
+
+type jsonEvidence struct {
+	Faults          uint64   `json:"faults"`
+	Denied          uint64   `json:"denied"`
+	Invariants      uint64   `json:"invariants"`
+	Halted          bool     `json:"halted"`
+	PostMortem      bool     `json:"post_mortem"`
+	AuditViolations uint64   `json:"audit_violations,omitempty"`
+	DeniedReasons   []string `json:"denied_reasons,omitempty"`
+}
+
+// jsonReport is the whole -json document.
+type jsonReport struct {
+	Executed int       `json:"executed"`
+	Defended int       `json:"defended"`
+	Breached int       `json:"breached"`
+	Attacks  []jsonRow `json:"attacks"`
+}
+
 func main() {
 	suite := flag.String("suite", "all", "attack suite: framework|enclave|validation|tlb|ring|interrupt|fleet|all")
 	auditOn := flag.Bool("audit", false, "attach the invariant auditor to every attack CVM")
 	evidence := flag.Bool("evidence", false, "print and require flight-recorder evidence per attack")
+	jsonOut := flag.Bool("json", false, "print machine-readable results instead of text")
 	flag.Parse()
 
 	attacks.SetAuditing(*auditOn)
 
 	var results []attacks.Result
+	var rows []jsonRow
 	run := func(name string, fn func() []attacks.Result) {
 		if *suite != "all" && *suite != name {
 			return
 		}
-		fmt.Printf("== %s attacks ==\n", name)
+		if !*jsonOut {
+			fmt.Printf("== %s attacks ==\n", name)
+		}
 		rs := fn()
 		for _, r := range rs {
+			rows = append(rows, jsonRow{
+				Suite: name, Attack: r.Attack, Defence: r.Defence,
+				Defended: r.Defended, Detail: r.Detail, OffPlatform: r.OffPlatform,
+				Evidence: jsonEvidence{
+					Faults: r.Evidence.Faults, Denied: r.Evidence.Denied,
+					Invariants: r.Evidence.Invariants, Halted: r.Evidence.Halted,
+					PostMortem:      r.Evidence.PostMortem,
+					AuditViolations: r.Evidence.AuditViolations,
+					DeniedReasons:   r.Evidence.DeniedReasons,
+				},
+			})
+			if *jsonOut {
+				continue
+			}
 			status := "DEFENDED"
 			if !r.Defended {
 				status = "BREACHED"
@@ -59,7 +111,9 @@ func main() {
 			}
 		}
 		results = append(results, rs...)
-		fmt.Println()
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 
 	run("framework", attacks.Framework)
@@ -77,11 +131,25 @@ func main() {
 		}
 		if *evidence && r.Defended && !r.OffPlatform && !r.Evidence.Any() {
 			unobserved++
-			fmt.Printf("UNOBSERVED defence: %s\n", r.Attack)
+			if !*jsonOut {
+				fmt.Printf("UNOBSERVED defence: %s\n", r.Attack)
+			}
 		}
 	}
-	fmt.Printf("%d attacks executed, %d defended, %d breached\n",
-		len(results), len(results)-breached, breached)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{
+			Executed: len(results), Defended: len(results) - breached,
+			Breached: breached, Attacks: rows,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "veil-attack:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%d attacks executed, %d defended, %d breached\n",
+			len(results), len(results)-breached, breached)
+	}
 	if breached > 0 || unobserved > 0 {
 		os.Exit(1)
 	}

@@ -10,10 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"veil/internal/audit"
 	"veil/internal/core"
 	"veil/internal/cvm"
+	"veil/internal/hv"
 	"veil/internal/kernel"
 	"veil/internal/mm"
 	"veil/internal/obs"
@@ -31,6 +33,10 @@ type Evidence struct {
 	Halted          bool
 	PostMortem      bool
 	AuditViolations uint64 // auditor tally (0 unless SetAuditing(true))
+	// DeniedReasons names the distinct refusal classes among the Denied
+	// events, in first-seen order ("sanitize", "intr-route", ...), so
+	// evidence reads as the defence that fired rather than a bare count.
+	DeniedReasons []string
 }
 
 // Any reports whether the machine saw the attack at all.
@@ -48,6 +54,9 @@ func (e Evidence) String() string {
 	}
 	if e.AuditViolations > 0 {
 		s += fmt.Sprintf(" audit-violations=%d", e.AuditViolations)
+	}
+	if len(e.DeniedReasons) > 0 {
+		s += " [" + strings.Join(e.DeniedReasons, ",") + "]"
 	}
 	return s
 }
@@ -123,12 +132,17 @@ func collectEvidence() Evidence {
 		ev.AuditViolations = lastAuditor.Violations()
 	}
 	if f := c.M.Flight(); f != nil {
+		seen := make(map[uint64]bool)
 		for _, e := range f.Events() {
 			switch e.Class {
 			case obs.ClassFault:
 				ev.Faults++
 			case obs.ClassDenied:
 				ev.Denied++
+				if !seen[e.Arg1] {
+					seen[e.Arg1] = true
+					ev.DeniedReasons = append(ev.DeniedReasons, snp.DeniedReason(e.Arg1).String())
+				}
 			case obs.ClassInvariant:
 				ev.Invariants++
 			}
@@ -424,7 +438,7 @@ func Enclave() []Result {
 				if err != nil {
 					return false, err.Error()
 				}
-				c.HV.SetInterruptRelay(1 /* hv.RefuseRelay */, core.DomUNT)
+				c.HV.SetInterruptRelay(hv.RefuseRelay, core.DomUNT)
 				_, _ = app.Enter()
 				_ = ierr
 				return c.M.Halted() != nil, fmt.Sprintf("halted: %v", c.M.Halted())
@@ -487,7 +501,7 @@ func enterRaw(c *cvm.CVM, app *sdk.AppRuntime) (int, error) {
 	_ = mem
 	// Reuse Enter but skip re-pointing the MSR: Enter always re-points,
 	// so drive the switch directly.
-	g := &snp.GHCB{ExitCode: 0x8000_1001 /* hv.ExitDomainSwitch */, ExitInfo1: app.Tag}
+	g := &snp.GHCB{ExitCode: hv.ExitDomainSwitch, ExitInfo1: app.Tag}
 	if err := c.HV.GuestCall(0, snp.VMPL3, snp.CPL3, app.GHCB, g); err != nil {
 		return -1, err
 	}

@@ -16,6 +16,7 @@ import (
 	"veil/internal/audit"
 	"veil/internal/core"
 	"veil/internal/cvm"
+	"veil/internal/hv"
 	"veil/internal/sched"
 	"veil/internal/snp"
 )
@@ -90,7 +91,7 @@ func Interrupts() []Result {
 				if err != nil {
 					return false, err.Error()
 				}
-				c.HV.SetInterruptRelay(1 /* hv.RefuseRelay */, core.DomUNT)
+				c.HV.SetInterruptRelay(hv.RefuseRelay, core.DomUNT)
 				if err := c.Stub.EnableRingIRQ(true); err != nil {
 					return false, err.Error()
 				}
@@ -113,7 +114,7 @@ func Interrupts() []Result {
 				if err != nil {
 					return false, err.Error()
 				}
-				c.HV.SetInterruptRelay(2 /* hv.MisrouteVCPU */, core.DomUNT)
+				c.HV.SetInterruptRelay(hv.MisrouteVCPU, core.DomUNT)
 				rerr := blockOnCompletion(c, 2, 0)
 				return errors.Is(rerr, sched.ErrLostWakeup) && c.M.Halted() == nil,
 					fmt.Sprintf("%v", rerr)
@@ -127,7 +128,7 @@ func Interrupts() []Result {
 				if err != nil {
 					return false, err.Error()
 				}
-				c.HV.SetInterruptRelay(3 /* hv.DropInterrupt */, core.DomUNT)
+				c.HV.SetInterruptRelay(hv.DropInterrupt, core.DomUNT)
 				rerr := blockOnCompletion(c, 1, 0)
 				return errors.Is(rerr, sched.ErrLostWakeup) && c.M.Halted() == nil,
 					fmt.Sprintf("%v", rerr)

@@ -1,0 +1,168 @@
+package audit_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"veil/internal/audit"
+	"veil/internal/core"
+	"veil/internal/cvm"
+	"veil/internal/sched"
+	"veil/internal/snp"
+)
+
+// ringTask is one VCPU's SMP workload: batched VeilS-Log submissions on
+// the interrupt completion channel — the multi-VCPU traffic the paper's
+// invariants must survive (privilege-domain switches, ring drains and
+// interrupt relays interleaving across VCPUs).
+type ringTask struct {
+	st      *core.OSStub
+	batches int
+	size    int
+	pending []core.PendingCall
+	done    int
+	ops     uint64
+}
+
+func (t *ringTask) Step(vcpu int) (sched.Status, error) {
+	if len(t.pending) == 0 {
+		if t.done >= t.batches {
+			return sched.Done, nil
+		}
+		for j := 0; j < t.size; j++ {
+			pc, err := t.st.SubmitSrv(core.Request{
+				Svc: core.SvcLOG, Op: core.OpLogAppend,
+				Payload: []byte(fmt.Sprintf("audit-smp v%d b%d op%d", vcpu, t.done, j)),
+			})
+			if err != nil {
+				return sched.Yield, err
+			}
+			t.pending = append(t.pending, pc)
+		}
+		if err := t.st.DoorbellAsync(); err != nil {
+			return sched.Yield, err
+		}
+		return sched.Yield, nil
+	}
+	if _, err := t.st.WaitIntr(t.pending[len(t.pending)-1]); err != nil {
+		if errors.Is(err, core.ErrWouldBlock) {
+			return sched.Blocked, nil
+		}
+		return sched.Yield, err
+	}
+	for _, pc := range t.pending {
+		r, ok, err := t.st.Poll(pc)
+		if err != nil || !ok || r.Status != core.StatusOK {
+			return sched.Yield, fmt.Errorf("seq %d: ok=%v status=%v err=%v", pc.Seq, ok, r.Status, err)
+		}
+		t.ops++
+	}
+	t.pending = t.pending[:0]
+	t.done++
+	return sched.Yield, nil
+}
+
+// smpWorkload boots a vcpus-wide Veil CVM with a frequent-cadence auditor
+// attached and drives one ring submitter per VCPU through the scheduler.
+func smpWorkload(t *testing.T, vcpus int, seed int64) (*cvm.CVM, *audit.Auditor, *sched.Scheduler, []*ringTask) {
+	t.Helper()
+	c, err := cvm.Boot(cvm.Options{
+		MemBytes: 24 << 20, VCPUs: vcpus, Veil: true, LogPages: 16,
+		Rand: rng(seed),
+	})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	a := audit.Attach(c.M, audit.Config{FastEvery: 16, SweepEvery: 64})
+	s := sched.New(sched.Config{Machine: c.M, VCPUs: vcpus, Seed: seed, DrainLatency: 2})
+	c.OnInterrupt(s.Wake)
+
+	tasks := make([]*ringTask, vcpus)
+	for i := 0; i < vcpus; i++ {
+		p := c.K.Spawn(fmt.Sprintf("audit-smp-%d", i))
+		v, err := c.K.PlaceProcess(p.PID)
+		if err != nil {
+			t.Fatalf("place: %v", err)
+		}
+		st := c.StubFor(v)
+		st.SetDispatcher(s)
+		if err := st.EnableRingIRQ(true); err != nil {
+			t.Fatalf("ring irq: %v", err)
+		}
+		tasks[v] = &ringTask{st: st, batches: 2, size: 4}
+		if err := s.Add(v, 1, tasks[v]); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	}
+	return c, a, s, tasks
+}
+
+// Across 2, 3 and 4 VCPUs of interleaved ring traffic, every invariant in
+// the catalog stays silent: no violations, no post-mortem, and the checks
+// actually ran (both cadences fired).
+func TestInvariantsHoldUnderSMPWorkloads(t *testing.T) {
+	for _, vcpus := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("vcpus=%d", vcpus), func(t *testing.T) {
+			c, a, s, tasks := smpWorkload(t, vcpus, 4000+int64(vcpus))
+			if _, err := s.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			a.Sweep()
+			if a.Violations() != 0 {
+				t.Fatalf("SMP run produced %d violations: %v", a.Violations(), a.Details())
+			}
+			if a.FastRuns() == 0 || a.SweepRuns() == 0 {
+				t.Fatalf("auditor never paced in (fast=%d sweep=%d)", a.FastRuns(), a.SweepRuns())
+			}
+			if pm := c.M.PostMortem(); pm != nil {
+				t.Fatalf("clean SMP run froze a post-mortem: %q", pm.Reason)
+			}
+			var ops uint64
+			for _, tk := range tasks {
+				ops += tk.ops
+			}
+			if want := uint64(vcpus * 2 * 4); ops != want {
+				t.Fatalf("completed %d ops, want %d", ops, want)
+			}
+		})
+	}
+}
+
+// The teeth variant: mid-workload, TLB invalidation is suppressed and a
+// frame is revoked out from under a warm verdict cache. The auditor
+// attached to the running SMP machine must catch it — rmp-tlb-epoch (the
+// O(1) epoch divergence) and tlb-verdicts (the end-to-end stale-verdict
+// re-derivation) — and freeze a post-mortem naming the first check.
+func TestSMPWorkloadBrokenTLBCaught(t *testing.T) {
+	c, a, s, _ := smpWorkload(t, 2, 4100)
+
+	// Let the workload make some progress so the TLB is warm with ring and
+	// page-table verdicts before the revocation.
+	for i := 0; i < 12; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	c.M.SetBrokenTLBNoInvalidate(true)
+	frame, err := c.K.AllocFrame()
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if err := c.M.PValidate(snp.VMPL0, frame, false); err != nil {
+		t.Fatalf("pvalidate: %v", err)
+	}
+	a.Sweep()
+
+	if a.ViolationsBy(audit.CheckRMPTLBEpoch) == 0 {
+		t.Fatalf("epoch divergence not caught under SMP load: %v", a.Details())
+	}
+	pm := c.M.PostMortem()
+	if pm == nil {
+		t.Fatal("violation under SMP load did not freeze a post-mortem")
+	}
+	if !strings.Contains(pm.Reason, "invariant:") {
+		t.Fatalf("post-mortem reason %q does not name an invariant", pm.Reason)
+	}
+}

@@ -242,7 +242,11 @@ func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
 	if h.m.Halted() != nil {
 		return snp.ErrHalted
 	}
-	switch h.interruptMode {
+	mode := h.interruptMode
+	if h.intrModeChooser != nil {
+		mode = h.intrModeChooser(vcpuID)
+	}
+	switch mode {
 	case DropInterrupt:
 		// Hostile: the host never delivers the interrupt. Nothing runs in
 		// the guest and no cycles are charged; whoever was waiting on the
@@ -265,7 +269,7 @@ func (h *Hypervisor) InjectInterrupt(vcpuID int) error {
 
 	var target binding
 	switch {
-	case h.interruptMode == RelayToUntrusted && h.hasIntrTarget:
+	case mode == RelayToUntrusted && h.hasIntrTarget:
 		b, ok := h.bindings[c.id][h.interruptTarget]
 		if !ok {
 			return fmt.Errorf("hv: no interrupt target domain on VCPU %d", c.id)

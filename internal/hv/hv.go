@@ -120,7 +120,24 @@ const (
 	// injection entirely. Nothing executes in the guest; as with
 	// MisrouteVCPU, detection is the scheduler's job.
 	DropInterrupt
+
+	// NumInterruptModes is the delivery-mode catalog size (the model
+	// checker enumerates all of them per injected interrupt).
+	NumInterruptModes
 )
+
+var interruptModeNames = [NumInterruptModes]string{
+	"relay-to-untrusted", "refuse-relay", "misroute-vcpu", "drop-interrupt",
+}
+
+// String returns the delivery mode's catalog name, so counterexample
+// traces and attack evidence read "drop-interrupt" instead of "3".
+func (m InterruptMode) String() string {
+	if m >= 0 && m < NumInterruptModes {
+		return interruptModeNames[m]
+	}
+	return "interrupt-mode(?)"
+}
 
 // AttestationSigner abstracts the AMD PSP: it signs attestation reports
 // binding the launch measurement, the requesting VMPL, and caller-chosen
@@ -169,6 +186,20 @@ type Hypervisor struct {
 	interruptMode   InterruptMode
 	interruptTarget DomainTag
 	hasIntrTarget   bool
+	// intrModeChooser, when set, is consulted once per InjectInterrupt for
+	// that one delivery's mode, overriding interruptMode. The hostile host
+	// is not obliged to be consistently hostile: the model checker uses
+	// this to enumerate per-delivery delivery choices.
+	intrModeChooser func(vcpuID int) InterruptMode
+}
+
+// SetInterruptModeChooser installs fn, consulted at every InjectInterrupt
+// for the delivery mode of that single interrupt. It models a host that
+// picks a fresh stance per delivery — relay this one honestly, swallow the
+// next — which is exactly the adversary the model checker enumerates. A
+// nil fn restores the static SetInterruptRelay mode.
+func (h *Hypervisor) SetInterruptModeChooser(fn func(vcpuID int) InterruptMode) {
+	h.intrModeChooser = fn
 }
 
 // New creates a hypervisor for machine m using psp for report signing.

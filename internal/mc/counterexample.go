@@ -1,0 +1,149 @@
+// Counterexamples: a violating path captured as its pick sequence, carried
+// with enough context (config, labeled choices, violations) to be replayed
+// bit-for-bit by anyone, minimized to the fewest hostile picks that still
+// violate.
+package mc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"veil/internal/cvm"
+)
+
+// Counterexample is a replayable violating path. Picks is its whole
+// identity: feed it back through Replay against the same Config and the
+// identical machine takes the identical path into the identical violation.
+type Counterexample struct {
+	Config     Config   `json:"config"`
+	Picks      []int    `json:"picks"`
+	Choices    []Choice `json:"choices"`
+	Outcome    Outcome  `json:"outcome"`
+	Detail     string   `json:"detail"`
+	Violations []string `json:"violations"`
+	Minimized  bool     `json:"minimized,omitempty"`
+}
+
+// ceFromRun captures a violating pathRun as a counterexample: the executed
+// picks with the default tail trimmed (defaults past the prefix are
+// implied by replay).
+func ceFromRun(cfg Config, r *pathRun) *Counterexample {
+	return &Counterexample{
+		Config:     cfg,
+		Picks:      trimDefaults(r.picksThrough(len(r.trace))),
+		Choices:    r.trace,
+		Outcome:    r.outcome,
+		Detail:     r.detail,
+		Violations: r.violations,
+	}
+}
+
+// trimDefaults drops trailing zero picks — a replay supplies the honest
+// default past the prefix anyway, so they carry no information.
+func trimDefaults(picks []int) []int {
+	n := len(picks)
+	for n > 0 && picks[n-1] == 0 {
+		n--
+	}
+	return picks[:n]
+}
+
+// minimize greedily zeroes non-default picks: each hostile choice is
+// reverted to the honest default and the path replayed; reverts that keep
+// the path violating stick. Repeated to fixpoint, then the trailing
+// defaults are trimmed and the final sequence re-verified, so a minimized
+// counterexample isolates exactly the hostile choices the violation needs
+// (the broken-TLB teeth case reduces to the single revoke+probe pick).
+// Returns how many replays minimization spent.
+func (ce *Counterexample) minimize(cfg Config) (uint64, error) {
+	picks := append([]int(nil), ce.Picks...)
+	var replays uint64
+	for changed := true; changed; {
+		changed = false
+		for i := range picks {
+			if picks[i] == 0 {
+				continue
+			}
+			trial := append([]int(nil), picks...)
+			trial[i] = 0
+			r, err := runPath(cfg, trial, false)
+			if err != nil {
+				return replays, err
+			}
+			replays++
+			if len(r.violations) > 0 {
+				picks = trial
+				changed = true
+			}
+		}
+	}
+	picks = trimDefaults(picks)
+
+	// Re-verify the minimized sequence and refresh the captured path from
+	// it — the counterexample the user sees is the one they can replay.
+	r, err := runPath(cfg, picks, false)
+	if err != nil {
+		return replays, err
+	}
+	replays++
+	if len(r.violations) == 0 {
+		// Minimization must preserve violation by construction; failing
+		// that is a checker bug worth surfacing loudly.
+		return replays, fmt.Errorf("mc: minimized picks %v no longer violate", picks)
+	}
+	ce.Picks = picks
+	ce.Choices = r.trace
+	ce.Outcome = r.outcome
+	ce.Detail = r.detail
+	ce.Violations = r.violations
+	ce.Minimized = true
+	return replays, nil
+}
+
+// WriteJSON serializes the counterexample (indented, stable field order).
+func (ce *Counterexample) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ce)
+}
+
+// ReadCounterexample parses a counterexample written by WriteJSON.
+func ReadCounterexample(r io.Reader) (*Counterexample, error) {
+	var ce Counterexample
+	if err := json.NewDecoder(r).Decode(&ce); err != nil {
+		return nil, fmt.Errorf("mc: parse counterexample: %w", err)
+	}
+	return &ce, nil
+}
+
+// Result is one replayed path with its machine retained, for post-mortem
+// dumps and interactive inspection (veil-mc -replay).
+type Result struct {
+	Outcome    Outcome
+	Detail     string
+	Violations []string
+	Choices    []Choice
+	Hostile    bool
+	Injected   bool
+	Ops        uint64
+	Steps      uint64
+	// CVM is the final machine state; its flight recorder and post-mortem
+	// (frozen at the first violation or halt) hold the forensic evidence.
+	CVM *cvm.CVM
+}
+
+// Replay re-runs one pick sequence against cfg and keeps the final
+// machine. This is the counterexample consumer's entry point: the same
+// picks against the same config reproduce the same path every time.
+func Replay(cfg Config, picks []int) (*Result, error) {
+	r, err := runPath(cfg, picks, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Outcome: r.outcome, Detail: r.detail, Violations: r.violations,
+		Choices: r.trace, Hostile: r.hostile(), Injected: r.injected,
+		Ops: r.ops, Steps: r.steps, CVM: r.c,
+	}, nil
+}

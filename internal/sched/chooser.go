@@ -1,0 +1,54 @@
+package sched
+
+import "math/rand"
+
+// Candidate is one runnable VCPU offered to the Chooser, in ascending VCPU
+// id order (the scheduler's VCPU table is a slice, so candidate order is a
+// run invariant, never map-iteration luck).
+type Candidate struct {
+	VCPU   int
+	Weight int
+}
+
+// Chooser decides which runnable VCPU runs the next slice. The scheduler
+// consults it once per round with the current runnable set; implementations
+// must be deterministic functions of their own state and the offered
+// candidates, because every schedule claim in this repo (golden benches,
+// attack verdicts, model-checking counterexamples) rests on replayability.
+//
+// The seeded weighted lottery is the production implementation; the model
+// checker's choice-stream driver is another, which is the whole point of
+// the interface: the scheduler cannot tell whether it is being driven by a
+// fair RNG or by an adversary enumerating every interleaving.
+type Chooser interface {
+	// ChooseVCPU returns the index into cands of the VCPU to run.
+	// totalWeight is the sum of candidate weights (always >= len(cands)).
+	// cands is never empty and is only valid for the duration of the call.
+	ChooseVCPU(cands []Candidate, totalWeight int) int
+}
+
+// lotteryChooser is the seeded weighted lottery: one rng.Intn(totalWeight)
+// ticket per pick, walked through the candidates in id order. This is
+// bit-for-bit the pre-Chooser scheduler behaviour — same seed, same
+// runnable sets, same Intn call sequence, same picks — which is what keeps
+// the committed BENCH_* goldens byte-identical across the refactor.
+type lotteryChooser struct {
+	rng *rand.Rand
+}
+
+// NewLotteryChooser returns the seeded weighted-lottery chooser the
+// scheduler installs by default (Config.Chooser == nil).
+func NewLotteryChooser(seed int64) Chooser {
+	return &lotteryChooser{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (lc *lotteryChooser) ChooseVCPU(cands []Candidate, totalWeight int) int {
+	ticket := lc.rng.Intn(totalWeight)
+	for i, c := range cands {
+		if ticket < c.Weight {
+			return i
+		}
+		ticket -= c.Weight
+	}
+	return len(cands) - 1 // unreachable: tickets are < totalWeight
+}

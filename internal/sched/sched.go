@@ -21,7 +21,6 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"veil/internal/snp"
 )
@@ -79,8 +78,14 @@ type Config struct {
 	// VCPUs sizes the VCPU table (ids 0..VCPUs-1). Required, >= 1.
 	VCPUs int
 	// Seed drives the weighted-lottery pick among runnable VCPUs. Equal
-	// seeds and equal task sets replay identical interleavings.
+	// seeds and equal task sets replay identical interleavings. Ignored
+	// when Chooser is set.
 	Seed int64
+	// Chooser overrides the pick policy among runnable VCPUs. Nil installs
+	// the seeded weighted lottery (the production default); the model
+	// checker injects an enumerating chooser here to explore every
+	// schedule decision instead of sampling one.
+	Chooser Chooser
 	// DrainLatency is how many scheduling rounds a posted drain waits
 	// before it becomes eligible — the model's stand-in for dispatcher
 	// pickup delay. Defaults to 1 (next round).
@@ -150,11 +155,12 @@ type Scheduler struct {
 	cfg Config
 	// vcpus is indexed by VCPU id — a slice, never a map, so iteration
 	// order is the id order on every run.
-	vcpus  []*vcpuState
-	rng    *rand.Rand
-	drains []drainReq // FIFO by post order
-	round  uint64
-	tel    Telemetry
+	vcpus   []*vcpuState
+	chooser Chooser
+	cands   []Candidate // pick's reusable candidate scratch
+	drains  []drainReq  // FIFO by post order
+	round   uint64
+	tel     Telemetry
 }
 
 // New creates a scheduler. Panics on a nil machine or VCPUs < 1 — both are
@@ -172,11 +178,16 @@ func New(cfg Config) *Scheduler {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 1 << 20
 	}
+	chooser := cfg.Chooser
+	if chooser == nil {
+		chooser = NewLotteryChooser(cfg.Seed)
+	}
 	s := &Scheduler{
-		m:     cfg.Machine,
-		cfg:   cfg,
-		vcpus: make([]*vcpuState, cfg.VCPUs),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		m:       cfg.Machine,
+		cfg:     cfg,
+		vcpus:   make([]*vcpuState, cfg.VCPUs),
+		chooser: chooser,
+		cands:   make([]Candidate, 0, cfg.VCPUs),
 	}
 	for i := range s.vcpus {
 		s.vcpus[i] = &vcpuState{id: i, stats: VCPUStats{VCPU: i}}
@@ -343,30 +354,29 @@ func (s *Scheduler) Stats() Stats { return s.stats() }
 // in rounds; the fleet stepper surfaces it in telemetry).
 func (s *Scheduler) Round() uint64 { return s.round }
 
-// pick selects the next runnable VCPU by weighted lottery: deterministic
-// given the seed, proportionally fair given the weights. Returns nil when
-// nothing is runnable (all blocked or done — drains may still be pending).
+// pick selects the next runnable VCPU through the configured Chooser:
+// deterministic given the chooser's state, proportionally fair under the
+// default lottery. Returns nil when nothing is runnable (all blocked or
+// done — drains may still be pending).
 func (s *Scheduler) pick() *vcpuState {
+	s.cands = s.cands[:0]
 	total := 0
 	for _, v := range s.vcpus {
 		if v.state == stateRunnable {
+			s.cands = append(s.cands, Candidate{VCPU: v.id, Weight: v.weight})
 			total += v.weight
 		}
 	}
 	if total == 0 {
 		return nil
 	}
-	ticket := s.rng.Intn(total)
-	for _, v := range s.vcpus {
-		if v.state != stateRunnable {
-			continue
-		}
-		if ticket < v.weight {
-			return v
-		}
-		ticket -= v.weight
+	i := s.chooser.ChooseVCPU(s.cands, total)
+	if i < 0 || i >= len(s.cands) {
+		// A broken chooser is an assembly bug; degrade to the lowest id
+		// rather than crash mid-schedule.
+		i = 0
 	}
-	return nil // unreachable
+	return s.vcpus[s.cands[i].VCPU]
 }
 
 // runSlice steps one task for a slice, attributing every cycle charged
@@ -454,6 +464,53 @@ func (s *Scheduler) stats() Stats {
 // PendingDrains returns how many deferred drains are queued (tests and the
 // bench harness use it to assert drain-queue behaviour).
 func (s *Scheduler) PendingDrains() int { return len(s.drains) }
+
+// Fingerprint folds the scheduler's logical state into an FNV-1a hash: per
+// VCPU the run state and wake latch, and the drain queue's (vcpu,
+// expectWake, due-delta) entries in post order. Deliberately excluded are
+// the round counter, the cycle ledger and telemetry — two different
+// interleavings that converge on the same runnable/blocked/queued shape
+// hash equal, which is what makes the model checker's visited-state
+// deduplication prune anything. Deterministic across processes (no seeded
+// hash), so exploration statistics are replayable claims.
+func (s *Scheduler) Fingerprint() uint64 {
+	h := fnvOffset
+	for _, v := range s.vcpus {
+		h = fnvByte(h, byte(v.state))
+		if v.wake {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	h = fnvU64(h, uint64(len(s.drains)))
+	for _, d := range s.drains {
+		h = fnvU64(h, uint64(d.vcpu))
+		if d.expectWake {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+		h = fnvU64(h, d.due-s.round) // relative: due times age with the round
+	}
+	return h
+}
+
+// FNV-1a, inlined so Fingerprint stays allocation-free on the hot
+// exploration path.
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
 
 // JainIndex is Jain's fairness index over xs: 1.0 when perfectly equal,
 // approaching 1/n as one value dominates. Zero input yields 1 (vacuously

@@ -406,6 +406,27 @@ const (
 	DeniedChannel
 )
 
+var deniedReasonNames = [...]string{
+	DeniedHVRead:    "hv-read",
+	DeniedHVWrite:   "hv-write",
+	DeniedSanitize:  "sanitize",
+	DeniedPinned:    "pinned",
+	DeniedGHCB:      "ghcb",
+	DeniedPolicy:    "policy",
+	DeniedRing:      "ring",
+	DeniedIntrRoute: "intr-route",
+	DeniedChannel:   "channel",
+}
+
+// String returns the refusal class's catalog name, so attack evidence and
+// model-checker counterexamples print "intr-route" instead of "7".
+func (r DeniedReason) String() string {
+	if int(r) < len(deniedReasonNames) {
+		return deniedReasonNames[r]
+	}
+	return "denied(?)"
+}
+
 // ObserveDenied records one refused-but-survivable operation: sanitizer
 // rejections, blocked hypervisor accesses, policy refusals. These are the
 // defence-held breadcrumbs the attack suites assert on.
